@@ -1,0 +1,76 @@
+// Branch-predictor ablation (paper §III: "The Branch Predictor is fully
+// parametric and various configurations can be produced according to a
+// full set of user parameters").
+//
+// For each predictor kind, across the five benchmarks: direction
+// accuracy, wrong-path trace overhead, and modeled engine throughput —
+// quantifying what the paper's reconfigurability buys.
+#include "bench_util.hpp"
+#include "fpga/device.hpp"
+
+namespace resim::bench {
+namespace {
+
+struct Row {
+  const char* name;
+  bpred::DirKind kind;
+};
+
+int run() {
+  const auto insts = inst_budget();
+  const double v4 = fpga::xc4vlx40().minor_clock_mhz;
+
+  print_header(
+      "Predictor ablation: 4-issue, perfect memory, Virtex-4 model\n"
+      "(suite averages over gzip/bzip2/parser/vortex/vpr)");
+
+  const Row rows[] = {
+      {"always-not-taken", bpred::DirKind::kAlwaysNotTaken},
+      {"always-taken", bpred::DirKind::kAlwaysTaken},
+      {"bimodal 2k", bpred::DirKind::kBimodal},
+      {"gshare 4k/8", bpred::DirKind::kGShare},
+      {"2-level 4x8/4k (paper)", bpred::DirKind::kTwoLevel},
+      {"perfect (oracle)", bpred::DirKind::kPerfect},
+  };
+
+  std::cout << std::left << std::setw(26) << "direction predictor" << std::right
+            << std::setw(12) << "dir-acc%" << std::setw(14) << "wrong-path%"
+            << std::setw(12) << "IPC" << std::setw(12) << "MIPS@V4" << '\n';
+  print_rule();
+
+  double paper_mips = 0, oracle_mips = 0;
+  for (const Row& row : rows) {
+    double acc_num = 0, acc_den = 0, wp = 0, ipc = 0, mips = 0;
+    for (const auto& name : workload::suite_names()) {
+      auto cfg = core::CoreConfig::paper_4wide_perfect();
+      cfg.bp.kind = row.kind;
+      const auto r = run_benchmark(name, cfg, insts);
+      const auto branches = r.sim.stats.value("fetch.branches");
+      const auto bad = r.sim.stats.value("fetch.mispredicts") +
+                       r.sim.stats.value("fetch.misfetches");
+      acc_num += static_cast<double>(branches - bad);
+      acc_den += static_cast<double>(branches);
+      wp += r.trace_stats.wrong_path_overhead();
+      ipc += r.sim.ipc();
+      mips += core::fpga_throughput(r.sim, v4, 7).mips;
+    }
+    const double n = static_cast<double>(workload::suite_names().size());
+    if (row.kind == bpred::DirKind::kTwoLevel) paper_mips = mips / n;
+    if (row.kind == bpred::DirKind::kPerfect) oracle_mips = mips / n;
+    std::cout << std::left << std::setw(26) << row.name << std::right << std::fixed
+              << std::setprecision(1) << std::setw(12) << 100.0 * acc_num / acc_den
+              << std::setw(13) << 100.0 * wp / n << "%" << std::setprecision(3)
+              << std::setw(12) << ipc / n << std::setprecision(2) << std::setw(12)
+              << mips / n << '\n';
+  }
+  print_rule();
+  std::cout << std::fixed << std::setprecision(1) << "the paper's two-level default gives "
+            << 100.0 * paper_mips / oracle_mips
+            << "% of oracle throughput on this suite\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace resim::bench
+
+int main() { return resim::bench::run(); }

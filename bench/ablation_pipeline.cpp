@@ -1,0 +1,83 @@
+// Ablation of ReSim's design choices (paper §IV):
+//
+//  (a) Internal-pipeline organization: the same architectural simulation
+//      costs 2N+3 / N+4 / N+3 minor cycles per simulated cycle, so the
+//      Optimized variant is the fastest engine — quantified here across
+//      widths on real workload traces.
+//  (b) The serial execution model itself: the paper measured a 4-wide
+//      parallel Fetch at 4x the cost and a 22% slower clock, with no
+//      latency benefit (fetch is off the critical dependence chain).
+//      We model that what-if with our area/frequency model.
+#include "bench_util.hpp"
+#include "fpga/area.hpp"
+#include "fpga/device.hpp"
+
+namespace resim::bench {
+namespace {
+
+int run() {
+  const auto insts = inst_budget();
+  const double v4 = fpga::xc4vlx40().minor_clock_mhz;
+
+  print_header("Ablation (a): pipeline variant vs engine throughput (gzip trace)");
+  std::cout << std::left << std::setw(8) << "N" << std::setw(12) << "variant"
+            << std::right << std::setw(10) << "latency" << std::setw(12) << "IPC"
+            << std::setw(14) << "MIPS @V4" << std::setw(12) << "speedup" << '\n';
+  print_rule();
+
+  for (unsigned width : {2u, 4u, 8u}) {
+    double simple_mips = 0;
+    for (const auto variant : {core::PipelineVariant::kSimple,
+                               core::PipelineVariant::kEfficient,
+                               core::PipelineVariant::kOptimized}) {
+      auto cfg = core::CoreConfig::paper_4wide_perfect();
+      cfg.width = width;
+      cfg.variant = variant;
+      cfg.mem_read_ports = width - 1;
+      const auto r = run_benchmark("gzip", cfg, insts);
+      const unsigned lat = core::PipelineSchedule::latency_of(variant, width);
+      const auto t = core::fpga_throughput(r.sim, v4, lat);
+      if (variant == core::PipelineVariant::kSimple) simple_mips = t.mips;
+      std::cout << std::left << std::setw(8) << width << std::setw(12)
+                << core::variant_name(variant) << std::right << std::setw(10) << lat
+                << std::fixed << std::setprecision(3) << std::setw(12) << r.sim.ipc()
+                << std::setprecision(2) << std::setw(14) << t.mips << std::setw(11)
+                << t.mips / simple_mips << "x" << '\n';
+    }
+  }
+  std::cout << "(architectural cycles are identical across variants; the engine\n"
+               " speedup comes purely from fewer minor cycles per major cycle)\n\n";
+
+  print_header("Ablation (b): serial vs parallel Fetch (paper Section IV what-if)");
+  auto cfg = core::CoreConfig::paper_4wide_perfect();
+  cfg.mem = cache::MemSysConfig::paper_l1();
+  const auto area = fpga::estimate_area(cfg);
+  const double fetch_slices = area.stage("fetch").slices;
+  const double serial_total = area.total_slices();
+
+  // Paper measurement: parallel 4-wide fetch = 4x unit cost, 22% slower
+  // clock, and no major-cycle latency gain (fetch overlaps the critical
+  // chain anyway).
+  const double parallel_total = serial_total + 3.0 * fetch_slices;
+  const double parallel_clock = v4 * (1.0 - 0.22);
+
+  const auto r = run_benchmark("gzip", core::CoreConfig::paper_4wide_perfect(), insts);
+  const auto serial = core::fpga_throughput(r.sim, v4, 7);
+  const auto parallel = core::fpga_throughput(r.sim, parallel_clock, 7);
+
+  std::cout << std::fixed << std::setprecision(2)
+            << "serial fetch:   " << serial_total << " slices, " << v4
+            << " MHz minor clock -> " << serial.mips << " MIPS\n"
+            << "parallel fetch: " << parallel_total << " slices, " << parallel_clock
+            << " MHz minor clock -> " << parallel.mips << " MIPS\n"
+            << "-> parallel costs " << (parallel_total - serial_total)
+            << " extra slices and loses " << serial.mips - parallel.mips
+            << " MIPS: the serial execution model dominates on both axes,\n"
+               "   which is exactly why the paper adopts it (Section IV).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace resim::bench
+
+int main() { return resim::bench::run(); }

@@ -1,0 +1,67 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper. The
+// dynamic instruction budget per benchmark defaults to a laptop-friendly
+// 200k and can be raised with RESIM_BENCH_INSTS for tighter statistics.
+#ifndef RESIM_BENCH_BENCH_UTIL_H
+#define RESIM_BENCH_BENCH_UTIL_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/perf.hpp"
+#include "trace/trace_stats.hpp"
+#include "trace/tracegen.hpp"
+#include "workload/suite.hpp"
+
+namespace resim::bench {
+
+inline std::uint64_t inst_budget() {
+  if (const char* env = std::getenv("RESIM_BENCH_INSTS")) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 200'000;
+}
+
+struct BenchRun {
+  core::SimResult sim;
+  trace::TraceStats trace_stats;
+};
+
+/// Generate the benchmark's trace with the engine's predictor config and
+/// simulate it.
+inline BenchRun run_benchmark(const std::string& name, const core::CoreConfig& cfg,
+                              std::uint64_t insts) {
+  trace::TraceGenConfig g;
+  g.max_insts = insts;
+  g.bp = cfg.bp;
+  g.wrong_path_block = cfg.wrong_path_block();
+  trace::TraceGenerator gen(workload::make_workload(name), g);
+  const trace::Trace t = gen.generate();
+
+  BenchRun r;
+  r.trace_stats = trace::analyze(t);
+  trace::VectorTraceSource src(t);
+  core::ReSimEngine eng(cfg, src);
+  r.sim = eng.run();
+  return r;
+}
+
+inline void print_rule(int width = 100) {
+  std::cout << std::string(static_cast<std::size_t>(width), '-') << '\n';
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::cout << title << '\n';
+  print_rule();
+}
+
+}  // namespace resim::bench
+
+#endif  // RESIM_BENCH_BENCH_UTIL_H

@@ -1,0 +1,79 @@
+// Reproduces paper Table 1: "ReSim's Simulation Performance".
+//
+// Left portion: 4-issue, two-level BP, perfect memory; major-cycle
+// latency N+3 = 7 minor cycles (Optimized pipeline); Virtex-4 (84 MHz)
+// and Virtex-5 (105 MHz).
+// Right portion: 2-issue, perfect BP, 32 KB 8-way 64 B L1 I+D caches;
+// latency N+4 = 6 (Efficient pipeline); plus FAST's published Muops
+// column and the paper's 6.57x ReSim/FAST claim.
+#include "bench_util.hpp"
+#include "fpga/device.hpp"
+#include "fpga/literature.hpp"
+
+namespace resim::bench {
+namespace {
+
+int run() {
+  using core::fpga_throughput;
+
+  const auto insts = inst_budget();
+  const auto v4 = fpga::xc4vlx40().minor_clock_mhz;
+  const auto v5 = fpga::xc5vlx50t().minor_clock_mhz;
+
+  const auto cfg_perfect = core::CoreConfig::paper_4wide_perfect();
+  const auto cfg_cache = core::CoreConfig::paper_2wide_cache();
+  const unsigned lat_perfect = core::PipelineSchedule::latency_of(cfg_perfect.variant, 4);
+  const unsigned lat_cache = core::PipelineSchedule::latency_of(cfg_cache.variant, 2);
+
+  print_header(
+      "Table 1 - ReSim Simulation Performance (MIPS)\n"
+      "left: 4-issue, 2-lev BP, perfect memory, major cycle = N+3 = 7 minors\n"
+      "right: 2-issue, perfect BP, 32KB 8-way 64B L1 I+D, major cycle = N+4 = 6 minors\n"
+      "instruction budget per benchmark: " + std::to_string(insts));
+
+  std::cout << std::left << std::setw(10) << "SPEC"
+            << std::right << std::setw(12) << "perf-V4" << std::setw(12) << "perf-V5"
+            << std::setw(12) << "cache-V4" << std::setw(12) << "cache-V5"
+            << std::setw(14) << "FAST(Muops)" << '\n';
+  print_rule();
+
+  double sum_pv4 = 0, sum_pv5 = 0, sum_cv4 = 0, sum_cv5 = 0;
+  const auto& names = workload::suite_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto perfect = run_benchmark(names[i], cfg_perfect, insts);
+    const auto cache = run_benchmark(names[i], cfg_cache, insts);
+
+    const double pv4 = fpga_throughput(perfect.sim, v4, lat_perfect).mips;
+    const double pv5 = fpga_throughput(perfect.sim, v5, lat_perfect).mips;
+    const double cv4 = fpga_throughput(cache.sim, v4, lat_cache).mips;
+    const double cv5 = fpga_throughput(cache.sim, v5, lat_cache).mips;
+    sum_pv4 += pv4;
+    sum_pv5 += pv5;
+    sum_cv4 += cv4;
+    sum_cv5 += cv5;
+
+    std::cout << std::left << std::setw(10) << names[i] << std::right << std::fixed
+              << std::setprecision(2) << std::setw(12) << pv4 << std::setw(12) << pv5
+              << std::setw(12) << cv4 << std::setw(12) << cv5 << std::setw(14)
+              << fpga::literature::kFastTable1[i].muops << '\n';
+  }
+  const double n = static_cast<double>(names.size());
+  std::cout << std::left << std::setw(10) << "Average" << std::right << std::fixed
+            << std::setprecision(2) << std::setw(12) << sum_pv4 / n << std::setw(12)
+            << sum_pv5 / n << std::setw(12) << sum_cv4 / n << std::setw(12) << sum_cv5 / n
+            << std::setw(14) << fpga::literature::kFastTable1[5].muops << '\n';
+  print_rule();
+
+  std::cout << "paper reference (Table 1 averages): perf-V4 22.94  perf-V5 28.67  "
+               "cache-V4 18.33  cache-V5 22.92\n";
+  const double fast_avg = fpga::literature::kFastTable1[5].muops;
+  std::cout << std::fixed << std::setprecision(2)
+            << "ReSim(cache,V4) / FAST = " << (sum_cv4 / n) / fast_avg
+            << "x   (paper: 18.33 / 2.79 = 6.57x)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace resim::bench
+
+int main() { return resim::bench::run(); }

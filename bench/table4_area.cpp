@@ -1,0 +1,52 @@
+// Reproduces paper Table 4: "Area Cost on a Virtex 4 (xc4vlx40) device".
+//
+// Per-stage slice/LUT/BRAM percentages from the analytical area model at
+// the paper's default configuration, plus the cache-exclusive "~10K
+// slices" figure and the FAST comparison (2.4x slices, 24x BRAMs).
+#include "bench_util.hpp"
+#include "fpga/area.hpp"
+#include "fpga/device.hpp"
+#include "fpga/fit.hpp"
+
+namespace resim::bench {
+namespace {
+
+int run() {
+  auto cfg = core::CoreConfig::paper_4wide_perfect();
+  cfg.mem = cache::MemSysConfig::paper_l1();  // Table 4 includes the cache models
+
+  print_header("Table 4 - Area Cost on a Virtex-4 (xc4vlx40)");
+  const auto a = fpga::estimate_area(cfg);
+  std::cout << a.table() << '\n';
+
+  std::cout << "paper reference:\n"
+            << "  Slices(%)   25  9  5 14  3  2  3 13  6  2 17  1   total 12273\n"
+            << "  4-LUTs(%)   23  5  7 19  4  2  4 14  4  2 15  1   total 17175\n"
+            << "  BRAMs(%)     0  0  0  0  0  0  0  0  0 71  0 29   total 7\n\n";
+
+  std::cout << std::fixed << std::setprecision(0)
+            << "ReSim core excluding caches: " << a.core_slices()
+            << " slices  (paper: \"fits within about 10K Xilinx FPGA slices\")\n";
+
+  const auto fast = fpga::fast_area_reference();
+  std::cout << std::setprecision(2) << "FAST 4-wide on Virtex-4: " << fast.slices
+            << " slices, " << fast.bram18 << " BRAMs -> " << fast.slices / a.total_slices()
+            << "x slices, " << fast.bram18 / a.total_bram18()
+            << "x BRAMs of ReSim (paper: 2.4x and 24x)\n\n";
+
+  // Device fit (paper Section VI: multiple instances -> CMP simulation).
+  for (const auto* dev : {&fpga::xc4vlx40(), &fpga::xc4vlx160(), &fpga::xc5vlx330t()}) {
+    const auto fit = fpga::fit_instances(*dev, a);
+    std::cout << std::left << std::setw(12) << dev->name << " fits " << fit.instances
+              << " ReSim instance(s), "
+              << (fit.slice_limited ? "slice-limited" : "BRAM-limited") << " ("
+              << std::setprecision(0) << 100.0 * fit.slice_utilization << "% slices, "
+              << 100.0 * fit.bram_utilization << "% BRAM)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace resim::bench
+
+int main() { return resim::bench::run(); }

@@ -1,0 +1,24 @@
+#include "baseline/coupled.hpp"
+
+#include <chrono>
+
+namespace resim::baseline {
+
+CoupledResult run_coupled(const workload::Workload& wl, const core::CoreConfig& core_cfg,
+                          const trace::TraceGenConfig& gen_cfg) {
+  trace::TraceGenerator gen(wl, gen_cfg);
+  StreamingTraceSource src(gen);
+  core::ReSimEngine engine(core_cfg, src);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  CoupledResult r;
+  r.sim = engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (r.host_seconds > 0) {
+    r.host_mips = static_cast<double>(r.sim.committed) / r.host_seconds / 1e6;
+  }
+  return r;
+}
+
+}  // namespace resim::baseline

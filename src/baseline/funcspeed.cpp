@@ -1,0 +1,38 @@
+#include "baseline/funcspeed.hpp"
+
+#include <chrono>
+
+#include "funcsim/funcsim.hpp"
+#include "trace/reader.hpp"
+
+namespace resim::baseline {
+
+HostSpeed measure_functional(const workload::Workload& wl, std::uint64_t max_insts) {
+  funcsim::FuncSim fsim(wl.program, wl.fsim);
+  HostSpeed h;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sink = 0;
+  while (!fsim.done() && h.instructions < max_insts) {
+    const auto d = fsim.step();
+    sink ^= d.pc;  // keep the loop from being optimized away
+    ++h.instructions;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  h.seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (sink == 0xDEADBEEF) h.instructions ^= 1;  // defeat dead-code elimination
+  return h;
+}
+
+HostSpeed measure_trace_driven(const trace::Trace& t, const core::CoreConfig& cfg) {
+  trace::VectorTraceSource src(t);
+  core::ReSimEngine engine(cfg, src);
+  HostSpeed h;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  h.instructions = result.committed;
+  h.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return h;
+}
+
+}  // namespace resim::baseline

@@ -1,0 +1,34 @@
+// Host-speed measurement of the software simulation modes (Table 2
+// context): functional-only simulation, trace-driven timing simulation
+// of a prepared in-memory trace, and the coupled execution-driven mode.
+#ifndef RESIM_BASELINE_FUNCSPEED_H
+#define RESIM_BASELINE_FUNCSPEED_H
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "trace/writer.hpp"
+#include "workload/workload.hpp"
+
+namespace resim::baseline {
+
+struct HostSpeed {
+  std::uint64_t instructions = 0;
+  double seconds = 0;
+  [[nodiscard]] double mips() const {
+    return seconds <= 0 ? 0.0 : static_cast<double>(instructions) / seconds / 1e6;
+  }
+};
+
+/// Functional simulation only (the fast mode trace generation relies on).
+[[nodiscard]] HostSpeed measure_functional(const workload::Workload& wl,
+                                           std::uint64_t max_insts);
+
+/// Trace-driven timing simulation of a prepared trace on the host — the
+/// software equivalent of what ReSim executes in hardware.
+[[nodiscard]] HostSpeed measure_trace_driven(const trace::Trace& t,
+                                             const core::CoreConfig& cfg);
+
+}  // namespace resim::baseline
+
+#endif  // RESIM_BASELINE_FUNCSPEED_H

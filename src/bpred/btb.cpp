@@ -1,0 +1,65 @@
+#include "bpred/btb.hpp"
+
+#include "common/numeric.hpp"
+
+namespace resim::bpred {
+
+Btb::Btb(std::uint32_t entries, std::uint32_t assoc)
+    : entries_(entries), assoc_(assoc), sets_(entries / assoc), table_(entries) {
+  require(is_pow2(entries), "Btb: entries must be pow2");
+  require(assoc >= 1 && is_pow2(assoc) && assoc <= entries, "Btb: bad associativity");
+}
+
+std::size_t Btb::set_index(Addr pc) const {
+  return static_cast<std::size_t>((pc >> 3) & (sets_ - 1));
+}
+
+Addr Btb::tag_of(Addr pc) const { return (pc >> 3) / sets_; }
+
+std::optional<Addr> Btb::lookup(Addr pc) {
+  ++lookups_;
+  ++tick_;
+  const std::size_t base = set_index(pc) * assoc_;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    Entry& e = table_[base + w];
+    if (e.valid && e.tag == tag_of(pc)) {
+      ++hits_;
+      e.lru = tick_;
+      return e.target;
+    }
+  }
+  return std::nullopt;
+}
+
+void Btb::update(Addr pc, Addr target) {
+  const std::size_t base = set_index(pc) * assoc_;
+  ++tick_;
+  // Hit: refresh target and recency.
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    Entry& e = table_[base + w];
+    if (e.valid && e.tag == tag_of(pc)) {
+      e.target = target;
+      e.lru = tick_;
+      return;
+    }
+  }
+  // Miss: fill an invalid way, else evict true-LRU.
+  std::size_t victim = base;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    Entry& e = table_[base + w];
+    if (!e.valid) {
+      victim = base + w;
+      break;
+    }
+    if (e.lru < table_[victim].lru) victim = base + w;
+  }
+  table_[victim] = Entry{true, tag_of(pc), target, tick_};
+}
+
+std::uint64_t Btb::storage_bits() const {
+  // 32-bit target + tag bits + valid per entry.
+  const unsigned tag_bits = 32 - 3 - ceil_log2(sets_);
+  return static_cast<std::uint64_t>(entries_) * (32 + tag_bits + 1);
+}
+
+}  // namespace resim::bpred

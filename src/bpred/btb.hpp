@@ -1,0 +1,58 @@
+// Branch Target Buffer: set-associative target cache with LRU replacement
+// (paper default: direct-mapped, 512 entries).
+#ifndef RESIM_BPRED_BTB_H
+#define RESIM_BPRED_BTB_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace resim::bpred {
+
+class Btb {
+ public:
+  Btb(std::uint32_t entries, std::uint32_t assoc);
+
+  /// Predicted target for a control-flow instruction at `pc`, if cached.
+  /// A hit refreshes the entry's recency (true LRU on access).
+  [[nodiscard]] std::optional<Addr> lookup(Addr pc);
+
+  /// Commit-time install/refresh of a taken branch's target.
+  void update(Addr pc, Addr target);
+
+  [[nodiscard]] std::uint32_t entries() const { return entries_; }
+  [[nodiscard]] std::uint32_t assoc() const { return assoc_; }
+  [[nodiscard]] std::uint32_t sets() const { return sets_; }
+
+  /// Storage in bits: tag + target per entry (area model input).
+  [[nodiscard]] std::uint64_t storage_bits() const;
+
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    Addr tag = 0;
+    Addr target = 0;
+    std::uint64_t lru = 0;  ///< larger == more recently used
+  };
+
+  [[nodiscard]] std::size_t set_index(Addr pc) const;
+  [[nodiscard]] Addr tag_of(Addr pc) const;
+
+  std::uint32_t entries_;
+  std::uint32_t assoc_;
+  std::uint32_t sets_;
+  std::vector<Entry> table_;  // sets_ x assoc_, row-major
+  std::uint64_t tick_ = 0;
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t hits_ = 0;
+};
+
+}  // namespace resim::bpred
+
+#endif  // RESIM_BPRED_BTB_H

@@ -1,0 +1,64 @@
+// Branch predictor configuration (paper §III: "The Branch Predictor ...
+// includes a Direction Predictor, Branch Target Buffer (BTB) and a
+// Return Address Stack (RAS)", produced from user parameters).
+#ifndef RESIM_BPRED_CONFIG_H
+#define RESIM_BPRED_CONFIG_H
+
+#include <cstdint>
+
+#include "common/numeric.hpp"
+
+namespace resim::bpred {
+
+enum class DirKind : std::uint8_t {
+  kAlwaysTaken,
+  kAlwaysNotTaken,
+  kBimodal,
+  kGShare,
+  kTwoLevel,   ///< the paper's evaluation predictor
+  kCombined,   ///< SimpleScalar-style chooser between bimodal and two-level
+  kPerfect,    ///< oracle — the paper's "perfect BP" configuration
+};
+
+struct BPredConfig {
+  DirKind kind = DirKind::kTwoLevel;
+
+  // Two-level (paper §V.C: "Branch History Table size, History Register
+  // length and PHT are 4, 8 and 4096 respectively").
+  std::uint32_t l1_entries = 4;      ///< number of history registers (BHT)
+  std::uint32_t hist_bits = 8;       ///< history register length
+  std::uint32_t pht_entries = 4096;  ///< second-level pattern table
+
+  // Bimodal / gshare table size.
+  std::uint32_t bimodal_entries = 2048;
+
+  // BTB (paper: "a direct-mapped BTB with 512 entries").
+  std::uint32_t btb_entries = 512;
+  std::uint32_t btb_assoc = 1;
+
+  // RAS (paper: "a Return Address Stack with 16 entries").
+  std::uint32_t ras_entries = 16;
+
+  void validate() const {
+    require(is_pow2(l1_entries), "BPredConfig: l1_entries must be pow2");
+    require(hist_bits >= 1 && hist_bits <= 30, "BPredConfig: hist_bits in [1,30]");
+    require(is_pow2(pht_entries), "BPredConfig: pht_entries must be pow2");
+    require(is_pow2(bimodal_entries), "BPredConfig: bimodal_entries must be pow2");
+    require(is_pow2(btb_entries), "BPredConfig: btb_entries must be pow2");
+    require(btb_assoc >= 1 && is_pow2(btb_assoc) && btb_assoc <= btb_entries,
+            "BPredConfig: btb_assoc must be pow2 <= entries");
+    require(ras_entries >= 1, "BPredConfig: ras_entries >= 1");
+  }
+
+  [[nodiscard]] static BPredConfig paper_default() { return BPredConfig{}; }
+
+  [[nodiscard]] static BPredConfig perfect() {
+    BPredConfig c;
+    c.kind = DirKind::kPerfect;
+    return c;
+  }
+};
+
+}  // namespace resim::bpred
+
+#endif  // RESIM_BPRED_CONFIG_H

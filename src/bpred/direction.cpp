@@ -1,0 +1,154 @@
+#include "bpred/direction.hpp"
+
+#include <stdexcept>
+
+#include "common/numeric.hpp"
+
+namespace resim::bpred {
+
+namespace {
+/// Branch PCs are kInstBytes-aligned; drop the alignment bits first.
+constexpr Addr pc_bits(Addr pc) { return pc >> 3; }
+}  // namespace
+
+// ---- Bimodal ---------------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(std::uint32_t entries) : table_(entries) {
+  require(is_pow2(entries), "BimodalPredictor: entries must be pow2");
+}
+
+std::size_t BimodalPredictor::index(Addr pc) const {
+  return static_cast<std::size_t>(pc_bits(pc) & (table_.size() - 1));
+}
+
+bool BimodalPredictor::predict(Addr pc, DirSnapshot& snap) const {
+  snap = index(pc);
+  return table_[static_cast<std::size_t>(snap)].taken();
+}
+
+void BimodalPredictor::update(Addr, bool taken, DirSnapshot snap) {
+  table_[static_cast<std::size_t>(snap)].update(taken);
+}
+
+// ---- GShare ----------------------------------------------------------------
+
+GSharePredictor::GSharePredictor(std::uint32_t entries, std::uint32_t hist_bits)
+    : table_(entries), hist_bits_(hist_bits) {
+  require(is_pow2(entries), "GSharePredictor: entries must be pow2");
+  require(hist_bits >= 1 && hist_bits <= 30, "GSharePredictor: hist_bits in [1,30]");
+}
+
+std::size_t GSharePredictor::index(Addr pc) const {
+  const std::uint64_t h = history_ & low_mask(hist_bits_);
+  return static_cast<std::size_t>((pc_bits(pc) ^ h) & (table_.size() - 1));
+}
+
+bool GSharePredictor::predict(Addr pc, DirSnapshot& snap) const {
+  snap = index(pc);  // captures the fetch-time global history
+  return table_[static_cast<std::size_t>(snap)].taken();
+}
+
+void GSharePredictor::update(Addr, bool taken, DirSnapshot snap) {
+  table_[static_cast<std::size_t>(snap)].update(taken);
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & low_mask(hist_bits_);
+}
+
+// ---- Two-level --------------------------------------------------------------
+
+TwoLevelPredictor::TwoLevelPredictor(std::uint32_t l1_entries, std::uint32_t hist_bits,
+                                     std::uint32_t pht_entries)
+    : history_(l1_entries), pht_(pht_entries), hist_bits_(hist_bits) {
+  require(is_pow2(l1_entries), "TwoLevelPredictor: l1_entries must be pow2");
+  require(is_pow2(pht_entries), "TwoLevelPredictor: pht_entries must be pow2");
+  require(hist_bits >= 1 && hist_bits <= 30, "TwoLevelPredictor: hist_bits in [1,30]");
+}
+
+std::size_t TwoLevelPredictor::l1_index(Addr pc) const {
+  return static_cast<std::size_t>(pc_bits(pc) & (history_.size() - 1));
+}
+
+std::size_t TwoLevelPredictor::pht_index(Addr pc) const {
+  const std::uint64_t hist = history_[l1_index(pc)] & low_mask(hist_bits_);
+  // SimpleScalar-style: history forms the low index bits, PC contributes
+  // the high bits when the PHT is larger than 2^hist.
+  const std::uint64_t idx = hist | (pc_bits(pc) << hist_bits_);
+  return static_cast<std::size_t>(idx & (pht_.size() - 1));
+}
+
+bool TwoLevelPredictor::predict(Addr pc, DirSnapshot& snap) const {
+  snap = pht_index(pc);  // captures the fetch-time history register
+  return pht_[static_cast<std::size_t>(snap)].taken();
+}
+
+void TwoLevelPredictor::update(Addr pc, bool taken, DirSnapshot snap) {
+  pht_[static_cast<std::size_t>(snap)].update(taken);
+  auto& h = history_[l1_index(pc)];
+  h = ((h << 1) | (taken ? 1 : 0)) & low_mask(hist_bits_);
+}
+
+// ---- Combined ----------------------------------------------------------------
+
+CombinedPredictor::CombinedPredictor(std::uint32_t chooser_entries,
+                                     std::uint32_t bimodal_entries,
+                                     std::uint32_t l1_entries, std::uint32_t hist_bits,
+                                     std::uint32_t pht_entries)
+    : chooser_(chooser_entries),
+      bimodal_(bimodal_entries),
+      twolevel_(l1_entries, hist_bits, pht_entries) {
+  require(is_pow2(chooser_entries), "CombinedPredictor: chooser must be pow2");
+}
+
+bool CombinedPredictor::predict(Addr pc, DirSnapshot& snap) const {
+  DirSnapshot bi = 0, tl = 0;
+  const bool b = bimodal_.predict(pc, bi);
+  const bool t = twolevel_.predict(pc, tl);
+  const std::size_t ci = static_cast<std::size_t>(pc_bits(pc) & (chooser_.size() - 1));
+  const bool use_twolevel = chooser_[ci].taken();
+  // Pack the three component snapshots plus both component predictions;
+  // table sizes are <= 2^20 entries so 20+20+20 bits fit comfortably.
+  snap = bi | (tl << 20) | (static_cast<DirSnapshot>(ci) << 40) |
+         (static_cast<DirSnapshot>(b) << 61) | (static_cast<DirSnapshot>(t) << 62);
+  return use_twolevel ? t : b;
+}
+
+void CombinedPredictor::update(Addr pc, bool taken, DirSnapshot snap) {
+  const DirSnapshot bi = snap & low_mask(20);
+  const DirSnapshot tl = (snap >> 20) & low_mask(20);
+  const std::size_t ci = static_cast<std::size_t>((snap >> 40) & low_mask(20));
+  const bool b_pred = ((snap >> 61) & 1) != 0;
+  const bool t_pred = ((snap >> 62) & 1) != 0;
+  bimodal_.update(pc, taken, bi);
+  twolevel_.update(pc, taken, tl);
+  if (b_pred != t_pred) {
+    chooser_[ci].update(t_pred == taken);  // train toward the right component
+  }
+}
+
+// ---- factory ---------------------------------------------------------------
+
+std::unique_ptr<DirectionPredictor> make_direction_predictor(const BPredConfig& cfg) {
+  cfg.validate();
+  switch (cfg.kind) {
+    case DirKind::kAlwaysTaken:
+      return std::make_unique<StaticPredictor>(true);
+    case DirKind::kAlwaysNotTaken:
+      return std::make_unique<StaticPredictor>(false);
+    case DirKind::kBimodal:
+      return std::make_unique<BimodalPredictor>(cfg.bimodal_entries);
+    case DirKind::kGShare:
+      return std::make_unique<GSharePredictor>(cfg.pht_entries, cfg.hist_bits);
+    case DirKind::kTwoLevel:
+      return std::make_unique<TwoLevelPredictor>(cfg.l1_entries, cfg.hist_bits,
+                                                 cfg.pht_entries);
+    case DirKind::kCombined:
+      return std::make_unique<CombinedPredictor>(cfg.bimodal_entries, cfg.bimodal_entries,
+                                                 cfg.l1_entries, cfg.hist_bits,
+                                                 cfg.pht_entries);
+    case DirKind::kPerfect:
+      throw std::invalid_argument(
+          "make_direction_predictor: kPerfect is an oracle handled by BranchPredictorUnit");
+  }
+  throw std::invalid_argument("make_direction_predictor: bad kind");
+}
+
+}  // namespace resim::bpred

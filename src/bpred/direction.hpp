@@ -1,0 +1,148 @@
+// Direction predictors.
+//
+// All predictors are updated at commit time (paper §III: "Commit ...
+// updates the Branch Predictor in case of branch"), so `predict` must be
+// side-effect free; speculative state (history) is only advanced by
+// `update`.
+#ifndef RESIM_BPRED_DIRECTION_H
+#define RESIM_BPRED_DIRECTION_H
+
+#include <memory>
+#include <vector>
+
+#include "bpred/config.hpp"
+#include "bpred/saturating.hpp"
+#include "common/types.hpp"
+
+namespace resim::bpred {
+
+/// Predictor-internal state captured at predict time (typically the
+/// indexed table entry). Hardware carries this with the instruction so
+/// commit-time training touches the entry the prediction actually read —
+/// by commit the global/per-set history has moved on (SimpleScalar's
+/// bpred_update record serves the same purpose).
+using DirSnapshot = std::uint64_t;
+
+class DirectionPredictor {
+ public:
+  virtual ~DirectionPredictor() = default;
+
+  /// Predicted direction for a conditional branch at `pc`; fills the
+  /// snapshot that must be passed back to update().
+  [[nodiscard]] virtual bool predict(Addr pc, DirSnapshot& snap) const = 0;
+
+  /// Commit-time training with the architectural outcome.
+  virtual void update(Addr pc, bool taken, DirSnapshot snap) = 0;
+
+  /// Convenience for tests and tools: predict-then-train immediately.
+  bool predict_and_update(Addr pc, bool taken) {
+    DirSnapshot snap = 0;
+    const bool p = predict(pc, snap);
+    update(pc, taken, snap);
+    return p;
+  }
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Table storage in bits (used by the FPGA area model).
+  [[nodiscard]] virtual std::uint64_t storage_bits() const = 0;
+};
+
+/// Static predictors (always-taken / always-not-taken).
+class StaticPredictor final : public DirectionPredictor {
+ public:
+  explicit StaticPredictor(bool taken) : taken_(taken) {}
+  [[nodiscard]] bool predict(Addr, DirSnapshot&) const override { return taken_; }
+  void update(Addr, bool, DirSnapshot) override {}
+  [[nodiscard]] const char* name() const override {
+    return taken_ ? "taken" : "nottaken";
+  }
+  [[nodiscard]] std::uint64_t storage_bits() const override { return 0; }
+
+ private:
+  bool taken_;
+};
+
+/// Classic bimodal table of 2-bit counters indexed by PC.
+class BimodalPredictor final : public DirectionPredictor {
+ public:
+  explicit BimodalPredictor(std::uint32_t entries);
+  [[nodiscard]] bool predict(Addr pc, DirSnapshot& snap) const override;
+  void update(Addr pc, bool taken, DirSnapshot snap) override;
+  [[nodiscard]] const char* name() const override { return "bimodal"; }
+  [[nodiscard]] std::uint64_t storage_bits() const override { return table_.size() * 2; }
+
+ private:
+  [[nodiscard]] std::size_t index(Addr pc) const;
+  std::vector<Counter2> table_;
+};
+
+/// GShare: global history XOR PC indexes a counter table.
+class GSharePredictor final : public DirectionPredictor {
+ public:
+  GSharePredictor(std::uint32_t entries, std::uint32_t hist_bits);
+  [[nodiscard]] bool predict(Addr pc, DirSnapshot& snap) const override;
+  void update(Addr pc, bool taken, DirSnapshot snap) override;
+  [[nodiscard]] const char* name() const override { return "gshare"; }
+  [[nodiscard]] std::uint64_t storage_bits() const override {
+    return table_.size() * 2 + hist_bits_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(Addr pc) const;
+  std::vector<Counter2> table_;
+  std::uint32_t hist_bits_;
+  std::uint64_t history_ = 0;
+};
+
+/// Two-level adaptive predictor (the paper's evaluation configuration):
+/// an L1 table of per-set history registers selects a PHT entry
+/// (GAp/PAp family; with l1_entries=4, hist=8, pht=4096 as in §V.C).
+class TwoLevelPredictor final : public DirectionPredictor {
+ public:
+  TwoLevelPredictor(std::uint32_t l1_entries, std::uint32_t hist_bits,
+                    std::uint32_t pht_entries);
+  [[nodiscard]] bool predict(Addr pc, DirSnapshot& snap) const override;
+  void update(Addr pc, bool taken, DirSnapshot snap) override;
+  [[nodiscard]] const char* name() const override { return "2lev"; }
+  [[nodiscard]] std::uint64_t storage_bits() const override {
+    return history_.size() * hist_bits_ + pht_.size() * 2;
+  }
+
+ private:
+  [[nodiscard]] std::size_t l1_index(Addr pc) const;
+  [[nodiscard]] std::size_t pht_index(Addr pc) const;
+  std::vector<std::uint64_t> history_;
+  std::vector<Counter2> pht_;
+  std::uint32_t hist_bits_;
+};
+
+/// Combined predictor (SimpleScalar "comb"): a bimodal chooser table
+/// selects per-branch between a bimodal and a two-level component; both
+/// components train on every outcome, the chooser trains toward whichever
+/// component was right (when exactly one was).
+class CombinedPredictor final : public DirectionPredictor {
+ public:
+  CombinedPredictor(std::uint32_t chooser_entries, std::uint32_t bimodal_entries,
+                    std::uint32_t l1_entries, std::uint32_t hist_bits,
+                    std::uint32_t pht_entries);
+  [[nodiscard]] bool predict(Addr pc, DirSnapshot& snap) const override;
+  void update(Addr pc, bool taken, DirSnapshot snap) override;
+  [[nodiscard]] const char* name() const override { return "comb"; }
+  [[nodiscard]] std::uint64_t storage_bits() const override {
+    return chooser_.size() * 2 + bimodal_.storage_bits() + twolevel_.storage_bits();
+  }
+
+ private:
+  std::vector<Counter2> chooser_;  ///< taken() == "use the two-level component"
+  BimodalPredictor bimodal_;
+  TwoLevelPredictor twolevel_;
+};
+
+/// Factory for non-oracle predictors; kPerfect is handled by the unit.
+[[nodiscard]] std::unique_ptr<DirectionPredictor> make_direction_predictor(
+    const BPredConfig& cfg);
+
+}  // namespace resim::bpred
+
+#endif  // RESIM_BPRED_DIRECTION_H

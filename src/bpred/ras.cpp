@@ -1,0 +1,41 @@
+#include "bpred/ras.hpp"
+
+#include "common/numeric.hpp"
+
+namespace resim::bpred {
+
+Ras::Ras(std::uint32_t entries) : stack_(entries) {
+  require(entries >= 1, "Ras: entries >= 1");
+}
+
+void Ras::push(Addr return_addr) {
+  stack_[top_] = return_addr;
+  top_ = (top_ + 1) % stack_.size();
+  if (depth_ < stack_.size()) {
+    ++depth_;
+  } else {
+    ++overflows_;  // wrapped: oldest entry overwritten
+  }
+}
+
+std::optional<Addr> Ras::pop() {
+  if (depth_ == 0) {
+    ++underflows_;
+    return std::nullopt;
+  }
+  top_ = (top_ + stack_.size() - 1) % stack_.size();
+  --depth_;
+  return stack_[top_];
+}
+
+std::optional<Addr> Ras::top() const {
+  if (depth_ == 0) return std::nullopt;
+  return stack_[(top_ + stack_.size() - 1) % stack_.size()];
+}
+
+void Ras::clear() {
+  top_ = 0;
+  depth_ = 0;
+}
+
+}  // namespace resim::bpred

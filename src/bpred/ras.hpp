@@ -1,0 +1,42 @@
+// Return Address Stack: fixed-depth circular stack (paper default: 16
+// entries). Overflow wraps (overwrites the oldest entry) and underflow
+// returns an invalid prediction — both behaviours of the real hardware.
+#ifndef RESIM_BPRED_RAS_H
+#define RESIM_BPRED_RAS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace resim::bpred {
+
+class Ras {
+ public:
+  explicit Ras(std::uint32_t entries);
+
+  void push(Addr return_addr);
+  [[nodiscard]] std::optional<Addr> pop();
+  [[nodiscard]] std::optional<Addr> top() const;
+
+  [[nodiscard]] std::uint32_t capacity() const { return static_cast<std::uint32_t>(stack_.size()); }
+  [[nodiscard]] std::uint32_t depth() const { return depth_; }
+  [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
+  [[nodiscard]] std::uint64_t underflows() const { return underflows_; }
+
+  [[nodiscard]] std::uint64_t storage_bits() const { return stack_.size() * 32ull; }
+
+  void clear();
+
+ private:
+  std::vector<Addr> stack_;
+  std::uint32_t top_ = 0;    ///< index of the next push slot
+  std::uint32_t depth_ = 0;  ///< valid entries (<= capacity)
+  std::uint64_t overflows_ = 0;
+  std::uint64_t underflows_ = 0;
+};
+
+}  // namespace resim::bpred
+
+#endif  // RESIM_BPRED_RAS_H

@@ -1,0 +1,39 @@
+// N-bit saturating counter, the basic storage cell of direction predictors.
+#ifndef RESIM_BPRED_SATURATING_H
+#define RESIM_BPRED_SATURATING_H
+
+#include <cstdint>
+
+namespace resim::bpred {
+
+template <unsigned Bits = 2>
+class SaturatingCounter {
+  static_assert(Bits >= 1 && Bits <= 8);
+
+ public:
+  static constexpr std::uint8_t kMax = (1u << Bits) - 1;
+  static constexpr std::uint8_t kWeaklyTaken = 1u << (Bits - 1);
+
+  constexpr SaturatingCounter() = default;
+  explicit constexpr SaturatingCounter(std::uint8_t v) : value_(v > kMax ? kMax : v) {}
+
+  [[nodiscard]] constexpr bool taken() const { return value_ >= kWeaklyTaken; }
+  [[nodiscard]] constexpr std::uint8_t raw() const { return value_; }
+
+  constexpr void update(bool was_taken) {
+    if (was_taken) {
+      if (value_ < kMax) ++value_;
+    } else {
+      if (value_ > 0) --value_;
+    }
+  }
+
+ private:
+  std::uint8_t value_ = kWeaklyTaken;  // initialize weakly taken
+};
+
+using Counter2 = SaturatingCounter<2>;
+
+}  // namespace resim::bpred
+
+#endif  // RESIM_BPRED_SATURATING_H

@@ -1,0 +1,95 @@
+#include "bpred/unit.hpp"
+
+namespace resim::bpred {
+
+using isa::CtrlType;
+
+BranchPredictorUnit::BranchPredictorUnit(const BPredConfig& cfg)
+    : cfg_(cfg),
+      dir_(cfg.kind == DirKind::kPerfect ? nullptr : make_direction_predictor(cfg)),
+      btb_(cfg.btb_entries, cfg.btb_assoc),
+      ras_(cfg.ras_entries) {
+  cfg_.validate();
+}
+
+Prediction BranchPredictorUnit::predict(Addr pc, CtrlType ct, Addr fallthrough,
+                                        bool actual_taken, Addr actual_next) {
+  stats_.counter("bpred.lookups").add();
+  Prediction p;
+
+  if (is_perfect()) {
+    p.dir_taken = actual_taken;
+    p.next_pc = actual_next;
+    p.has_target = true;
+    return p;
+  }
+
+  switch (ct) {
+    case CtrlType::kCond:
+      p.dir_taken = dir_->predict(pc, p.dir_snap);
+      break;
+    case CtrlType::kJump:
+    case CtrlType::kCall:
+    case CtrlType::kRet:
+      p.dir_taken = true;  // unconditional
+      break;
+    case CtrlType::kNone:
+      p.dir_taken = false;
+      break;
+  }
+
+  // Target resolution (paper §III: Fetch "performs target resolution of
+  // control flow instructions").
+  if (p.dir_taken) {
+    if (ct == CtrlType::kRet) {
+      if (const auto t = ras_.pop()) {
+        p.next_pc = *t;
+        p.has_target = true;
+        p.from_ras = true;
+        stats_.counter("bpred.ras_pops").add();
+      }
+    } else {
+      if (const auto t = btb_.lookup(pc)) {
+        p.next_pc = *t;
+        p.has_target = true;
+      }
+    }
+  }
+  if (!p.has_target || !p.dir_taken) {
+    // Without a target (or predicted not-taken) fetch continues sequentially.
+    p.next_pc = fallthrough;
+  }
+
+  if (ct == CtrlType::kCall) {
+    ras_.push(fallthrough);
+    stats_.counter("bpred.ras_pushes").add();
+  }
+  return p;
+}
+
+Outcome BranchPredictorUnit::classify(const Prediction& pred, bool actual_taken,
+                                      Addr actual_next) {
+  if (pred.next_pc == actual_next) return Outcome::kCorrect;
+  if (pred.dir_taken == actual_taken) return Outcome::kMisfetch;
+  return Outcome::kMispredict;
+}
+
+void BranchPredictorUnit::update_commit(Addr pc, CtrlType ct, bool taken, Addr target,
+                                        const Prediction& pred) {
+  stats_.counter("bpred.commits").add();
+  if (is_perfect()) return;
+  if (ct == CtrlType::kCond) {
+    dir_->update(pc, taken, pred.dir_snap);
+  }
+  // BTB caches targets of taken control flow; returns resolve via the RAS.
+  if (taken && ct != CtrlType::kRet) {
+    btb_.update(pc, target);
+  }
+}
+
+std::uint64_t BranchPredictorUnit::storage_bits() const {
+  const std::uint64_t dir_bits = dir_ ? dir_->storage_bits() : 0;
+  return dir_bits + btb_.storage_bits() + ras_.storage_bits();
+}
+
+}  // namespace resim::bpred

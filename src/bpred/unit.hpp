@@ -1,0 +1,82 @@
+// Combined branch predictor unit: direction predictor + BTB + RAS
+// (paper Figure 1 / §III), with SimpleScalar-style outcome classification:
+//
+//  * correct     — predicted next PC equals the architectural next PC
+//  * misfetch    — direction right, target PC wrong ("a control flow
+//                  instruction is predicted taken but the predicted target
+//                  PC is incorrect"; fixed with the misfetch delay penalty,
+//                  fetch continues sequentially)
+//  * mispredict  — direction wrong; fetch goes down the wrong path until
+//                  the branch resolves at Commit (misspeculation penalty)
+//
+// RAS discipline: calls push the fall-through at predict time (fetch),
+// returns pop. Direction and BTB train only at commit (paper §III).
+#ifndef RESIM_BPRED_UNIT_H
+#define RESIM_BPRED_UNIT_H
+
+#include <memory>
+
+#include "bpred/btb.hpp"
+#include "bpred/config.hpp"
+#include "bpred/direction.hpp"
+#include "bpred/ras.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace resim::bpred {
+
+struct Prediction {
+  bool dir_taken = false;  ///< predicted direction
+  Addr next_pc = 0;        ///< effective predicted next PC (target or fall-through)
+  bool has_target = false; ///< a target source (BTB/RAS) supplied next_pc
+  bool from_ras = false;
+  DirSnapshot dir_snap = 0;///< predictor state to train at commit
+};
+
+enum class Outcome : std::uint8_t { kCorrect, kMisfetch, kMispredict };
+
+class BranchPredictorUnit {
+ public:
+  explicit BranchPredictorUnit(const BPredConfig& cfg);
+
+  /// Fetch-time prediction. The architectural outcome is passed in so the
+  /// perfect (oracle) configuration can be expressed; real predictors
+  /// ignore it. Performs speculative RAS push/pop.
+  Prediction predict(Addr pc, isa::CtrlType ct, Addr fallthrough, bool actual_taken,
+                     Addr actual_next);
+
+  /// Classify a prediction against the architectural next PC.
+  [[nodiscard]] static Outcome classify(const Prediction& pred, bool actual_taken,
+                                        Addr actual_next);
+
+  /// Commit-time training (direction + BTB). `pred` is the fetch-time
+  /// prediction carried with the instruction (its snapshot selects the
+  /// direction-predictor entry to train). Also counts outcomes.
+  void update_commit(Addr pc, isa::CtrlType ct, bool taken, Addr target,
+                     const Prediction& pred);
+
+  [[nodiscard]] const BPredConfig& config() const { return cfg_; }
+  [[nodiscard]] bool is_perfect() const { return cfg_.kind == DirKind::kPerfect; }
+
+  [[nodiscard]] const Btb& btb() const { return btb_; }
+  [[nodiscard]] const Ras& ras() const { return ras_; }
+  [[nodiscard]] const DirectionPredictor* direction() const { return dir_.get(); }
+
+  /// Total predictor storage in bits (area model input).
+  [[nodiscard]] std::uint64_t storage_bits() const;
+
+  [[nodiscard]] StatsRegistry& stats() { return stats_; }
+  [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
+
+ private:
+  BPredConfig cfg_;
+  std::unique_ptr<DirectionPredictor> dir_;  ///< null for the perfect oracle
+  Btb btb_;
+  Ras ras_;
+  StatsRegistry stats_;
+};
+
+}  // namespace resim::bpred
+
+#endif  // RESIM_BPRED_UNIT_H

@@ -1,0 +1,81 @@
+#include "cache/cache.hpp"
+
+namespace resim::cache {
+
+TagCache::TagCache(std::string name, const CacheConfig& cfg)
+    : name_(std::move(name)), cfg_(cfg), lines_(cfg.sets() * cfg.assoc) {
+  cfg_.validate();
+}
+
+std::size_t TagCache::set_of(Addr addr) const {
+  return static_cast<std::size_t>((addr / cfg_.block_bytes) & (cfg_.sets() - 1));
+}
+
+Addr TagCache::tag_of(Addr addr) const { return (addr / cfg_.block_bytes) / cfg_.sets(); }
+
+AccessResult TagCache::access(Addr addr, AccessKind kind) {
+  ++accesses_;
+  ++tick_;
+  const std::size_t base = set_of(addr) * cfg_.assoc;
+  const Addr tag = tag_of(addr);
+
+  for (std::size_t w = 0; w < cfg_.assoc; ++w) {
+    Line& l = lines_[base + w];
+    if (l.valid && l.tag == tag) {
+      ++hits_;
+      if (cfg_.repl == ReplPolicy::kLru) l.stamp = tick_;
+      return {true, cfg_.hit_latency};
+    }
+  }
+
+  // Miss. Writes without write-allocate go around the cache.
+  const bool allocate = kind != AccessKind::kWrite || cfg_.write_allocate;
+  if (allocate) {
+    std::size_t victim = base;
+    bool found_invalid = false;
+    for (std::size_t w = 0; w < cfg_.assoc; ++w) {
+      if (!lines_[base + w].valid) {
+        victim = base + w;
+        found_invalid = true;
+        break;
+      }
+    }
+    if (!found_invalid) {
+      switch (cfg_.repl) {
+        case ReplPolicy::kLru:
+        case ReplPolicy::kFifo:
+          for (std::size_t w = 1; w < cfg_.assoc; ++w) {
+            if (lines_[base + w].stamp < lines_[victim].stamp) victim = base + w;
+          }
+          break;
+        case ReplPolicy::kRandom:
+          victim = base + static_cast<std::size_t>(rng_.below(cfg_.assoc));
+          break;
+      }
+    }
+    lines_[victim] = Line{true, tag, tick_};
+  }
+  return {false, cfg_.miss_latency};
+}
+
+bool TagCache::contains(Addr addr) const {
+  const std::size_t base = set_of(addr) * cfg_.assoc;
+  const Addr tag = tag_of(addr);
+  for (std::size_t w = 0; w < cfg_.assoc; ++w) {
+    const Line& l = lines_[base + w];
+    if (l.valid && l.tag == tag) return true;
+  }
+  return false;
+}
+
+void TagCache::invalidate_all() {
+  for (Line& l : lines_) l = Line{};
+}
+
+std::uint64_t TagCache::tag_storage_bits() const {
+  const unsigned tag_bits =
+      32 - ceil_log2(cfg_.block_bytes) - ceil_log2(cfg_.sets());
+  return static_cast<std::uint64_t>(lines_.size()) * (tag_bits + 1);
+}
+
+}  // namespace resim::cache

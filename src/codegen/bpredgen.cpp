@@ -1,0 +1,194 @@
+#include "codegen/bpredgen.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "codegen/vhdl.hpp"
+#include "common/numeric.hpp"
+
+namespace resim::codegen {
+
+namespace {
+
+std::string cfg_params(const bpred::BPredConfig& c) {
+  return std::string("dir=") + (c.kind == bpred::DirKind::kTwoLevel ? "2lev"
+                                : c.kind == bpred::DirKind::kGShare ? "gshare"
+                                : c.kind == bpred::DirKind::kBimodal ? "bimodal"
+                                : c.kind == bpred::DirKind::kPerfect ? "perfect"
+                                                                     : "static") +
+         " l1=" + std::to_string(c.l1_entries) + " hist=" + std::to_string(c.hist_bits) +
+         " pht=" + std::to_string(c.pht_entries) + " btb=" + std::to_string(c.btb_entries) +
+         "x" + std::to_string(c.btb_assoc) + " ras=" + std::to_string(c.ras_entries);
+}
+
+std::string gen_ras(const bpred::BPredConfig& c) {
+  const unsigned depth_bits = std::max(1u, ceil_log2(c.ras_entries));
+  VhdlEntity e("resim_ras");
+  e.generic("RAS_ENTRIES", "integer", std::to_string(c.ras_entries))
+      .generic("ADDR_BITS", "integer", "32")
+      .port("clk", "in", "std_logic")
+      .port("rst", "in", "std_logic")
+      .port("push_en", "in", "std_logic")
+      .port("push_addr", "in", slv(32))
+      .port("pop_en", "in", "std_logic")
+      .port("pop_addr", "out", slv(32))
+      .port("valid", "out", "std_logic");
+  e.declaration("type stack_t is array (0 to RAS_ENTRIES-1) of " + slv(32) + ";")
+      .declaration("signal stack : stack_t;")
+      .declaration("signal sp : unsigned(" + std::to_string(depth_bits - 1) + " downto 0);")
+      .declaration("signal depth : integer range 0 to RAS_ENTRIES;");
+  e.body("-- circular stack: overflow overwrites the oldest entry")
+      .body("process(clk) begin")
+      .body("  if rising_edge(clk) then")
+      .body("    if rst = '1' then sp <= (others => '0'); depth <= 0;")
+      .body("    elsif push_en = '1' then")
+      .body("      stack(to_integer(sp)) <= push_addr;")
+      .body("      sp <= sp + 1;")
+      .body("      if depth < RAS_ENTRIES then depth <= depth + 1; end if;")
+      .body("    elsif pop_en = '1' and depth > 0 then")
+      .body("      sp <= sp - 1; depth <= depth - 1;")
+      .body("    end if;")
+      .body("  end if;")
+      .body("end process;")
+      .body("pop_addr <= stack(to_integer(sp - 1));")
+      .body("valid <= '1' when depth > 0 else '0';");
+  return file_header("resim_ras", cfg_params(c)) + e.emit();
+}
+
+std::string gen_btb(const bpred::BPredConfig& c) {
+  const unsigned sets = c.btb_entries / c.btb_assoc;
+  const unsigned idx_bits = std::max(1u, ceil_log2(sets));
+  const unsigned tag_bits = 32 - 3 - ceil_log2(sets);
+  VhdlEntity e("resim_btb");
+  e.generic("BTB_ENTRIES", "integer", std::to_string(c.btb_entries))
+      .generic("BTB_ASSOC", "integer", std::to_string(c.btb_assoc))
+      .generic("SETS", "integer", std::to_string(sets))
+      .generic("TAG_BITS", "integer", std::to_string(tag_bits))
+      .port("clk", "in", "std_logic")
+      .port("lookup_pc", "in", slv(32))
+      .port("hit", "out", "std_logic")
+      .port("target", "out", slv(32))
+      .port("update_en", "in", "std_logic")
+      .port("update_pc", "in", slv(32))
+      .port("update_target", "in", slv(32));
+  e.declaration("subtype entry_t is std_logic_vector(32 + TAG_BITS downto 0);  -- valid & tag & target")
+      .declaration("type way_t is array (0 to SETS-1) of entry_t;")
+      .declaration("type btb_t is array (0 to BTB_ASSOC-1) of way_t;")
+      .declaration("signal ways : btb_t;  -- maps to block RAM")
+      .declaration("signal idx : unsigned(" + std::to_string(idx_bits - 1) + " downto 0);");
+  e.body("idx <= unsigned(lookup_pc(" + std::to_string(3 + idx_bits - 1) + " downto 3));")
+      .body("-- set-associative lookup with per-way tag compare")
+      .body("process(clk) begin")
+      .body("  if rising_edge(clk) then")
+      .body("    if update_en = '1' then")
+      .body("      -- LRU fill (way selection logic elided to the replacement unit)")
+      .body("      ways(0)(to_integer(unsigned(update_pc(" + std::to_string(3 + idx_bits - 1) +
+            " downto 3)))) <= '1' & update_pc(31 downto 32-TAG_BITS) & update_target;")
+      .body("    end if;")
+      .body("  end if;")
+      .body("end process;");
+  return file_header("resim_btb", cfg_params(c)) + e.emit();
+}
+
+std::string gen_direction(const bpred::BPredConfig& c) {
+  const unsigned l1_bits = std::max(1u, ceil_log2(c.l1_entries));
+  const unsigned pht_bits = std::max(1u, ceil_log2(c.pht_entries));
+  VhdlEntity e("resim_dir_2lev");
+  e.generic("L1_ENTRIES", "integer", std::to_string(c.l1_entries))
+      .generic("HIST_BITS", "integer", std::to_string(c.hist_bits))
+      .generic("PHT_ENTRIES", "integer", std::to_string(c.pht_entries))
+      .port("clk", "in", "std_logic")
+      .port("predict_pc", "in", slv(32))
+      .port("predict_taken", "out", "std_logic")
+      .port("update_en", "in", "std_logic")
+      .port("update_pc", "in", slv(32))
+      .port("update_taken", "in", "std_logic");
+  e.declaration("type hist_t is array (0 to L1_ENTRIES-1) of " + slv(c.hist_bits) + ";")
+      .declaration("signal bht : hist_t;  -- first-level history registers")
+      .declaration("type pht_t is array (0 to PHT_ENTRIES-1) of unsigned(1 downto 0);")
+      .declaration("signal pht : pht_t;  -- maps to block RAM")
+      .declaration("signal l1_idx : unsigned(" + std::to_string(l1_bits - 1) + " downto 0);")
+      .declaration("signal pht_idx : unsigned(" + std::to_string(pht_bits - 1) + " downto 0);");
+  e.body("l1_idx <= unsigned(predict_pc(" + std::to_string(3 + l1_bits - 1) + " downto 3));")
+      .body("pht_idx <= unsigned(bht(to_integer(l1_idx))) & "
+            "unsigned(predict_pc(" + std::to_string(3 + pht_bits - 1) + " downto " +
+            std::to_string(3 + c.hist_bits) + "));  -- history | pc")
+      .body("predict_taken <= pht(to_integer(pht_idx))(1);")
+      .body("process(clk) begin")
+      .body("  if rising_edge(clk) then")
+      .body("    if update_en = '1' then")
+      .body("      -- saturating 2-bit counter and history shift at commit")
+      .body("      if update_taken = '1' then")
+      .body("        if pht(to_integer(pht_idx)) /= \"11\" then pht(to_integer(pht_idx)) <= pht(to_integer(pht_idx)) + 1; end if;")
+      .body("      else")
+      .body("        if pht(to_integer(pht_idx)) /= \"00\" then pht(to_integer(pht_idx)) <= pht(to_integer(pht_idx)) - 1; end if;")
+      .body("      end if;")
+      .body("      bht(to_integer(l1_idx)) <= bht(to_integer(l1_idx))(HIST_BITS-2 downto 0) & update_taken;")
+      .body("    end if;")
+      .body("  end if;")
+      .body("end process;");
+  return file_header("resim_dir_2lev", cfg_params(c)) + e.emit();
+}
+
+std::string gen_top(const bpred::BPredConfig& c) {
+  VhdlEntity e("resim_bpred_top");
+  e.generic("RAS_ENTRIES", "integer", std::to_string(c.ras_entries))
+      .generic("BTB_ENTRIES", "integer", std::to_string(c.btb_entries))
+      .generic("PHT_ENTRIES", "integer", std::to_string(c.pht_entries))
+      .generic("HIST_BITS", "integer", std::to_string(c.hist_bits))
+      .port("clk", "in", "std_logic")
+      .port("rst", "in", "std_logic")
+      .port("fetch_pc", "in", slv(32))
+      .port("ctrl_type", "in", slv(2))
+      .port("pred_taken", "out", "std_logic")
+      .port("pred_target", "out", slv(32))
+      .port("commit_en", "in", "std_logic")
+      .port("commit_pc", "in", slv(32))
+      .port("commit_taken", "in", "std_logic")
+      .port("commit_target", "in", slv(32));
+  e.declaration("signal dir_taken, btb_hit, ras_valid : std_logic;")
+      .declaration("signal btb_target, ras_target : " + slv(32) + ";");
+  e.body("-- component instances: direction predictor, BTB, RAS")
+      .body("u_dir : entity work.resim_dir_2lev")
+      .body("  generic map (L1_ENTRIES => " + std::to_string(c.l1_entries) +
+            ", HIST_BITS => HIST_BITS, PHT_ENTRIES => PHT_ENTRIES)")
+      .body("  port map (clk => clk, predict_pc => fetch_pc, predict_taken => dir_taken,")
+      .body("            update_en => commit_en, update_pc => commit_pc, update_taken => commit_taken);")
+      .body("u_btb : entity work.resim_btb")
+      .body("  generic map (BTB_ENTRIES => BTB_ENTRIES, BTB_ASSOC => " +
+            std::to_string(c.btb_assoc) + ", SETS => " +
+            std::to_string(c.btb_entries / c.btb_assoc) + ", TAG_BITS => " +
+            std::to_string(32 - 3 - ceil_log2(c.btb_entries / c.btb_assoc)) + ")")
+      .body("  port map (clk => clk, lookup_pc => fetch_pc, hit => btb_hit, target => btb_target,")
+      .body("            update_en => commit_en, update_pc => commit_pc, update_target => commit_target);")
+      .body("u_ras : entity work.resim_ras")
+      .body("  generic map (RAS_ENTRIES => RAS_ENTRIES)")
+      .body("  port map (clk => clk, rst => rst, push_en => '0', push_addr => fetch_pc,")
+      .body("            pop_en => '0', pop_addr => ras_target, valid => ras_valid);")
+      .body("-- steer: returns use the RAS, other taken control flow the BTB")
+      .body("pred_taken <= '1' when ctrl_type /= \"00\" else dir_taken;")
+      .body("pred_target <= ras_target when ctrl_type = \"11\" else btb_target;");
+  return file_header("resim_bpred_top", cfg_params(c)) + e.emit();
+}
+
+}  // namespace
+
+VhdlFiles generate_bpred_vhdl(const bpred::BPredConfig& cfg) {
+  cfg.validate();
+  VhdlFiles files;
+  files["resim_ras.vhd"] = gen_ras(cfg);
+  files["resim_btb.vhd"] = gen_btb(cfg);
+  files["resim_dir_2lev.vhd"] = gen_direction(cfg);
+  files["resim_bpred_top.vhd"] = gen_top(cfg);
+  return files;
+}
+
+void write_vhdl_files(const VhdlFiles& files, const std::string& directory) {
+  for (const auto& [name, contents] : files) {
+    std::ofstream os(directory + "/" + name);
+    if (!os) throw std::runtime_error("write_vhdl_files: cannot open " + directory + "/" + name);
+    os << contents;
+  }
+}
+
+}  // namespace resim::codegen

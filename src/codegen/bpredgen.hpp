@@ -1,0 +1,28 @@
+// Branch-predictor VHDL generator (paper §III).
+//
+// From a BPredConfig this produces the RTL a user would synthesize into a
+// custom ReSim build: the direction predictor (two-level/bimodal/gshare),
+// the BTB and the RAS, plus a top-level that wires them together. All
+// index/tag widths are derived from the user parameters, exactly what the
+// paper's generation script automates.
+#ifndef RESIM_CODEGEN_BPREDGEN_H
+#define RESIM_CODEGEN_BPREDGEN_H
+
+#include <map>
+#include <string>
+
+#include "bpred/config.hpp"
+
+namespace resim::codegen {
+
+/// Generated RTL: file name -> VHDL source.
+using VhdlFiles = std::map<std::string, std::string>;
+
+[[nodiscard]] VhdlFiles generate_bpred_vhdl(const bpred::BPredConfig& cfg);
+
+/// Convenience: write the files into a directory (created by the caller).
+void write_vhdl_files(const VhdlFiles& files, const std::string& directory);
+
+}  // namespace resim::codegen
+
+#endif  // RESIM_CODEGEN_BPREDGEN_H

@@ -1,0 +1,56 @@
+// Minimal VHDL emission helpers for the parameterizable-hardware
+// generator (paper §III: "supporting automatic generation of VHDL code
+// whenever possible. ... We use a script to produce VHDL code for the
+// desired Branch Predictor according to the user parameters").
+#ifndef RESIM_CODEGEN_VHDL_H
+#define RESIM_CODEGEN_VHDL_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace resim::codegen {
+
+struct VhdlGeneric {
+  std::string name;
+  std::string type;
+  std::string default_value;
+};
+
+struct VhdlPort {
+  std::string name;
+  std::string direction;  // "in" / "out"
+  std::string type;       // e.g. "std_logic_vector(31 downto 0)"
+};
+
+/// Builds one entity+architecture pair.
+class VhdlEntity {
+ public:
+  explicit VhdlEntity(std::string name) : name_(std::move(name)) {}
+
+  VhdlEntity& generic(std::string name, std::string type, std::string default_value);
+  VhdlEntity& port(std::string name, std::string direction, std::string type);
+  VhdlEntity& declaration(std::string line);  ///< architecture declarative item
+  VhdlEntity& body(std::string line);         ///< architecture statement
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string emit() const;
+
+ private:
+  std::string name_;
+  std::vector<VhdlGeneric> generics_;
+  std::vector<VhdlPort> ports_;
+  std::vector<std::string> decls_;
+  std::vector<std::string> body_;
+};
+
+/// "std_logic_vector(hi downto 0)" with hi = bits-1 (bits >= 1).
+[[nodiscard]] std::string slv(unsigned bits);
+
+/// Standard file header comment with the generator parameters echoed.
+[[nodiscard]] std::string file_header(const std::string& unit, const std::string& params);
+
+}  // namespace resim::codegen
+
+#endif  // RESIM_CODEGEN_VHDL_H

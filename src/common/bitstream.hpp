@@ -1,0 +1,64 @@
+// Bit-granular serialization used by the trace codec.
+//
+// ReSim's trace records are variable-length bit strings (paper §V.A:
+// "Three formats are used: Branch (B), Memory (M) and Other (O), each
+// with its own fields and length"). BitWriter/BitReader pack fields
+// LSB-first into a byte buffer; the writer reports exact bit counts so
+// the bits-per-instruction statistic of Table 3 falls out of the codec.
+#ifndef RESIM_COMMON_BITSTREAM_H
+#define RESIM_COMMON_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace resim {
+
+class BitWriter {
+ public:
+  /// Append the low `bits` bits of `value` (bits in [0,64]).
+  void put(std::uint64_t value, unsigned bits);
+
+  void put_bool(bool b) { put(b ? 1 : 0, 1); }
+
+  /// Pad with zero bits to the next byte boundary.
+  void align_byte();
+
+  [[nodiscard]] std::uint64_t bit_count() const { return bit_count_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() &&;
+
+  void clear();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `bits` bits (in [0,64]); throws std::out_of_range past the end.
+  [[nodiscard]] std::uint64_t get(unsigned bits);
+
+  [[nodiscard]] bool get_bool() { return get(1) != 0; }
+
+  /// Skip to the next byte boundary.
+  void align_byte();
+
+  [[nodiscard]] std::uint64_t bit_pos() const { return bit_pos_; }
+  [[nodiscard]] std::uint64_t bits_remaining() const {
+    return data_.size() * 8 - bit_pos_;
+  }
+  [[nodiscard]] bool exhausted() const { return bits_remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::uint64_t bit_pos_ = 0;
+};
+
+}  // namespace resim
+
+#endif  // RESIM_COMMON_BITSTREAM_H

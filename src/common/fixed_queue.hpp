@@ -1,0 +1,87 @@
+// Fixed-capacity circular FIFO modelling hardware queues (IFQ, decouple
+// buffer, ...). Capacity is a run-time construction parameter because
+// ReSim structures are user-configurable (paper §III: "ReSim is designed
+// to be parameterizable").
+#ifndef RESIM_COMMON_FIXED_QUEUE_H
+#define RESIM_COMMON_FIXED_QUEUE_H
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace resim {
+
+template <typename T>
+class FixedQueue {
+ public:
+  explicit FixedQueue(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("FixedQueue: capacity 0");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  void push(const T& v) {
+    if (full()) throw std::logic_error("FixedQueue::push on full queue");
+    buf_[(head_ + size_) % buf_.size()] = v;
+    ++size_;
+  }
+
+  [[nodiscard]] const T& front() const {
+    if (empty()) throw std::logic_error("FixedQueue::front on empty queue");
+    return buf_[head_];
+  }
+
+  [[nodiscard]] T& front() {
+    if (empty()) throw std::logic_error("FixedQueue::front on empty queue");
+    return buf_[head_];
+  }
+
+  /// Element i positions from the front (0 == front).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("FixedQueue::at");
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  T pop() {
+    if (empty()) throw std::logic_error("FixedQueue::pop on empty queue");
+    T v = buf_[head_];
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return v;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Drop every element for which pred(elem) is true (used for squash).
+  template <typename Pred>
+  std::size_t remove_if(Pred pred) {
+    std::size_t kept = 0, removed = 0;
+    const std::size_t n = size_;
+    for (std::size_t i = 0; i < n; ++i) {
+      T& v = buf_[(head_ + i) % buf_.size()];
+      if (pred(v)) {
+        ++removed;
+      } else {
+        buf_[(head_ + kept) % buf_.size()] = v;
+        ++kept;
+      }
+    }
+    size_ = kept;
+    return removed;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace resim
+
+#endif  // RESIM_COMMON_FIXED_QUEUE_H

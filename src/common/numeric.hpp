@@ -1,0 +1,38 @@
+// Small integer helpers used across structure sizing and codecs.
+#ifndef RESIM_COMMON_NUMERIC_H
+#define RESIM_COMMON_NUMERIC_H
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+namespace resim {
+
+/// ceil(log2(x)) for x >= 1; width of an index that can address x items.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return 64u - static_cast<unsigned>(std::countl_zero(x - 1));
+}
+
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Mask with the low `bits` bits set (bits in [0,64]).
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/// Integer division rounding up.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Throwing validation helper for configuration invariants.
+inline void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+}  // namespace resim
+
+#endif  // RESIM_COMMON_NUMERIC_H

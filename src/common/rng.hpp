@@ -1,0 +1,71 @@
+// Deterministic, seedable PRNG (splitmix64 + xoshiro256**).
+//
+// Every stochastic choice in the workload generators and tests goes
+// through this generator so that a given seed reproduces a run exactly,
+// independent of the standard library implementation.
+#ifndef RESIM_COMMON_RNG_H
+#define RESIM_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace resim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'c0de'd00d'f00dULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 to fill the xoshiro state; avoids the all-zero state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 yields 0.
+  std::uint64_t below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+  /// Uniform double in [0,1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace resim
+
+#endif  // RESIM_COMMON_RNG_H

@@ -1,0 +1,57 @@
+#include "common/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace resim {
+
+Counter& StatsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Occupancy& StatsRegistry::occupancy(std::string_view name) {
+  auto it = occupancies_.find(name);
+  if (it == occupancies_.end()) {
+    it = occupancies_.emplace(std::string(name), Occupancy{}).first;
+  }
+  return it->second;
+}
+
+std::uint64_t StatsRegistry::value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool StatsRegistry::has_counter(std::string_view name) const {
+  return counters_.find(name) != counters_.end();
+}
+
+double StatsRegistry::ratio(std::string_view num, std::string_view den) const {
+  const auto d = value(den);
+  if (d == 0) return 0.0;
+  return static_cast<double>(value(num)) / static_cast<double>(d);
+}
+
+void StatsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, o] : occupancies_) o.reset();
+}
+
+std::string StatsRegistry::report() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << std::left << std::setw(34) << name << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, o] : occupancies_) {
+    os << std::left << std::setw(34) << (name + ".avg") << ' ' << std::fixed
+       << std::setprecision(4) << o.average() << '\n';
+    os << std::left << std::setw(34) << (name + ".max") << ' ' << o.max() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace resim

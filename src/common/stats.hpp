@@ -1,0 +1,82 @@
+// Simulation statistics registry.
+//
+// The paper (§V.B) collects sim-outorder-style statistics in 64-bit
+// hardware registers "to avoid overflow problems". StatsRegistry holds
+// named 64-bit counters plus occupancy accumulators (for IFQ/ROB/LSQ
+// average-occupancy statistics) and renders a sim-outorder-like report.
+#ifndef RESIM_COMMON_STATS_H
+#define RESIM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace resim {
+
+/// A single named 64-bit event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Accumulates per-cycle occupancy samples of a structure.
+class Occupancy {
+ public:
+  void sample(std::uint64_t occupancy) {
+    sum_ += occupancy;
+    ++samples_;
+    if (occupancy > max_) max_ = occupancy;
+  }
+  [[nodiscard]] double average() const {
+    return samples_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(samples_);
+  }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  void reset() { sum_ = samples_ = max_ = 0; }
+
+ private:
+  std::uint64_t sum_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named registry. Counters and occupancy trackers are created on first
+/// use; names are hierarchical by convention ("fetch.insn", "bpred.dir_hits").
+class StatsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Occupancy& occupancy(std::string_view name);
+
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+  [[nodiscard]] bool has_counter(std::string_view name) const;
+
+  /// Ratio of two counters; 0 if the denominator is 0.
+  [[nodiscard]] double ratio(std::string_view num, std::string_view den) const;
+
+  void reset();
+
+  /// sim-outorder style text report, one "name  value" line per stat,
+  /// sorted by name.
+  [[nodiscard]] std::string report() const;
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Occupancy, std::less<>>& occupancies() const {
+    return occupancies_;
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Occupancy, std::less<>> occupancies_;
+};
+
+}  // namespace resim
+
+#endif  // RESIM_COMMON_STATS_H

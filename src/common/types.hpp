@@ -1,0 +1,35 @@
+// Fundamental scalar types shared by every ReSim subsystem.
+#ifndef RESIM_COMMON_TYPES_H
+#define RESIM_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace resim {
+
+/// Byte address in the simulated machine. PISA is a 32-bit ISA; we carry
+/// addresses in 64-bit containers and mask where width matters.
+using Addr = std::uint64_t;
+
+/// Simulated-processor (major) cycle count.
+using Cycle = std::uint64_t;
+
+/// ReSim internal (minor) cycle count.
+using MinorCycle = std::uint64_t;
+
+/// Dynamic instruction sequence number (monotone, program order).
+using InstSeq = std::uint64_t;
+
+/// Architectural register index (r0..r31; r0 is hard-wired zero).
+using Reg = std::uint8_t;
+
+inline constexpr Reg kNumArchRegs = 32;
+inline constexpr Reg kZeroReg = 0;
+inline constexpr Reg kLinkReg = 31;   ///< call/return link register
+inline constexpr Reg kNoReg = 0xFF;   ///< "no operand" marker
+
+/// PISA uses a fixed 8-byte instruction encoding; PCs advance by this.
+inline constexpr Addr kInstBytes = 8;
+
+}  // namespace resim
+
+#endif  // RESIM_COMMON_TYPES_H

@@ -1,0 +1,51 @@
+#include "core/cmp.hpp"
+
+#include <stdexcept>
+
+namespace resim::core {
+
+CmpSimulation::CmpSimulation(const CoreConfig& cfg, std::vector<trace::TraceSource*> sources) {
+  if (sources.empty()) throw std::invalid_argument("CmpSimulation: need >= 1 core");
+  engines_.reserve(sources.size());
+  for (trace::TraceSource* src : sources) {
+    if (src == nullptr) throw std::invalid_argument("CmpSimulation: null trace source");
+    engines_.push_back(std::make_unique<ReSimEngine>(cfg, *src));
+  }
+}
+
+bool CmpSimulation::step_lockstep() {
+  bool any = false;
+  for (auto& e : engines_) {
+    any |= e->step_major_cycle();
+  }
+  if (any) ++cycle_;
+  return any;
+}
+
+CmpResult CmpSimulation::run() {
+  while (step_lockstep()) {
+  }
+  CmpResult r;
+  r.lockstep_cycles = cycle_;
+  r.cores.reserve(engines_.size());
+  for (auto& e : engines_) r.cores.push_back(e->result());
+  return r;
+}
+
+ThroughputReport CmpSimulation::aggregate_throughput(const CmpResult& r,
+                                                     double minor_clock_mhz,
+                                                     unsigned major_latency) {
+  // All cores advance on the shared minor clock; wall time is set by the
+  // lockstep cycle count, work is the sum over cores.
+  SimResult agg;
+  agg.major_cycles = r.lockstep_cycles;
+  agg.committed = r.total_committed();
+  for (const auto& c : r.cores) {
+    agg.trace_records += c.trace_records;
+    agg.trace_bits += c.trace_bits;
+  }
+  agg.minor_cycles = agg.major_cycles * major_latency;
+  return fpga_throughput(agg, minor_clock_mhz, major_latency);
+}
+
+}  // namespace resim::core

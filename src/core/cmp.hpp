@@ -1,0 +1,70 @@
+// Chip-multiprocessor co-simulation (paper §VI, future work):
+//
+//   "Therefore it is possible to fit multiple ReSim instances in a
+//    single FPGA and simulate multi-core systems. We are evaluating the
+//    modifications and extensions that need to be made to ReSim in order
+//    to support multi-core simulation."
+//
+// CmpSimulation steps P independent ReSim engines in lockstep, one major
+// cycle at a time — the FPGA reality, where all instances share the
+// minor-cycle clock. It reports per-core and aggregate results plus the
+// combined input-trace bandwidth (the feasibility concern of §V.C).
+// Cores are independent (private traces and memory models); a coherent
+// shared-memory interconnect is beyond the paper's scope and documented
+// as such.
+#ifndef RESIM_CORE_CMP_H
+#define RESIM_CORE_CMP_H
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/perf.hpp"
+
+namespace resim::core {
+
+struct CmpResult {
+  std::vector<SimResult> cores;
+  Cycle lockstep_cycles = 0;  ///< major cycles until the LAST core finished
+
+  [[nodiscard]] std::uint64_t total_committed() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : cores) sum += c.committed;
+    return sum;
+  }
+  /// Aggregate IPC over the lockstep window.
+  [[nodiscard]] double aggregate_ipc() const {
+    return lockstep_cycles == 0
+               ? 0.0
+               : static_cast<double>(total_committed()) / static_cast<double>(lockstep_cycles);
+  }
+};
+
+class CmpSimulation {
+ public:
+  /// One configuration for all cores; one trace source per core.
+  CmpSimulation(const CoreConfig& cfg, std::vector<trace::TraceSource*> sources);
+
+  /// Advance every unfinished core by one major cycle; returns false
+  /// when all cores have drained.
+  bool step_lockstep();
+
+  [[nodiscard]] CmpResult run();
+
+  [[nodiscard]] unsigned cores() const { return static_cast<unsigned>(engines_.size()); }
+  [[nodiscard]] const ReSimEngine& core(unsigned i) const { return *engines_.at(i); }
+  [[nodiscard]] Cycle cycle() const { return cycle_; }
+
+  /// Aggregate FPGA-side throughput: all cores share the minor clock.
+  [[nodiscard]] static ThroughputReport aggregate_throughput(const CmpResult& r,
+                                                             double minor_clock_mhz,
+                                                             unsigned major_latency);
+
+ private:
+  std::vector<std::unique_ptr<ReSimEngine>> engines_;
+  Cycle cycle_ = 0;
+};
+
+}  // namespace resim::core
+
+#endif  // RESIM_CORE_CMP_H

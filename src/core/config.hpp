@@ -1,0 +1,72 @@
+// Simulated-processor configuration (paper §III, §V.C).
+//
+// ReSim is "designed to be parameterizable"; every structure size below
+// is a free parameter. The named factory functions return the exact
+// configurations evaluated in the paper.
+#ifndef RESIM_CORE_CONFIG_H
+#define RESIM_CORE_CONFIG_H
+
+#include <cstdint>
+
+#include "bpred/config.hpp"
+#include "cache/memsys.hpp"
+#include "core/schedule.hpp"
+
+namespace resim::core {
+
+/// Functional-unit pool (paper §V.C: "four ALUs, one Multiplier and one
+/// Divider with one, three and ten cycle latency respectively").
+struct FuPoolConfig {
+  unsigned alu_count = 4;
+  unsigned alu_latency = 1;
+  bool alu_pipelined = true;
+  unsigned mul_count = 1;
+  unsigned mul_latency = 3;
+  bool mul_pipelined = true;
+  unsigned div_count = 1;
+  unsigned div_latency = 10;
+  bool div_pipelined = false;
+
+  void validate() const {
+    require(alu_count >= 1 && mul_count >= 1 && div_count >= 1,
+            "FuPoolConfig: at least one unit per class");
+    require(alu_latency >= 1 && mul_latency >= 1 && div_latency >= 1,
+            "FuPoolConfig: latencies >= 1");
+  }
+};
+
+struct CoreConfig {
+  unsigned width = 4;       ///< N: fetch/dispatch/issue/writeback/commit width
+  unsigned ifq_size = 8;    ///< instruction fetch queue entries
+  unsigned rob_size = 16;   ///< paper: "16 Reorder Buffer entries"
+  unsigned lsq_size = 8;    ///< paper: "8 LSQ entries"
+  FuPoolConfig fu{};
+
+  unsigned mem_read_ports = 2;   ///< cache read ports available to Issue
+  unsigned mem_write_ports = 1;  ///< memory write ports available to Commit
+
+  unsigned misfetch_penalty = 3;  ///< paper: "set to three"
+  unsigned misspec_penalty = 3;
+
+  bpred::BPredConfig bp{};
+  cache::MemSysConfig mem = cache::MemSysConfig::perfect_memory();
+
+  PipelineVariant variant = PipelineVariant::kOptimized;
+
+  /// Conservative wrong-path window (ROB + IFQ, paper §V.A).
+  [[nodiscard]] unsigned wrong_path_block() const { return rob_size + ifq_size; }
+
+  void validate() const;
+
+  /// Table 1 left: 4-issue, two-level BP, perfect memory, Optimized
+  /// pipeline (major-cycle latency N+3 = 7).
+  [[nodiscard]] static CoreConfig paper_4wide_perfect();
+
+  /// Table 1 right: 2-issue, perfect BP, 32 KB 8-way 64 B L1 I+D caches,
+  /// Efficient pipeline (major-cycle latency N+4 = 6).
+  [[nodiscard]] static CoreConfig paper_2wide_cache();
+};
+
+}  // namespace resim::core
+
+#endif  // RESIM_CORE_CONFIG_H

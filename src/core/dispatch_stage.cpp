@@ -1,0 +1,65 @@
+// Dispatch stage (paper §III): "Dispatch allocates Load/Store Queue (LSQ)
+// and Reorder Buffer (RB) entries, and accesses the Rename Table."
+//
+// Instructions become dispatchable one cycle after fetch (the Decouple
+// Buffer boundary); dispatch stalls on a full ROB or LSQ.
+#include "core/engine.hpp"
+
+namespace resim::core {
+
+void ReSimEngine::stage_dispatch() {
+  for (unsigned slot = 0; slot < cfg_.width; ++slot) {
+    if (ifq_.empty()) break;
+    const FetchedInst& fi = ifq_.front();
+    if (fi.fetched_at >= cycle_) break;  // decouple: fetched this very cycle
+
+    if (rob_.full()) {
+      stats_.counter("dispatch.rob_full").add();
+      break;
+    }
+    if (fi.rec.is_mem() && lsq_.full()) {
+      stats_.counter("dispatch.lsq_full").add();
+      break;
+    }
+
+    FetchedInst inst = ifq_.pop();
+    // Decode normalization: stores write no register. A malformed record
+    // carrying a destination would otherwise rename a register to an
+    // instruction that never broadcasts a result (stores complete through
+    // Lsq_refresh, not Writeback) and strand its consumers.
+    if (inst.rec.is_mem() && inst.rec.is_store) inst.rec.out = kNoReg;
+    const int rob_slot = rob_.allocate();
+    RobEntry& e = rob_.entry(rob_slot);
+    e.fi = inst;
+    e.dispatched_at = cycle_;
+
+    // Rename-table read: source operands either have an in-flight
+    // producer (pending until its writeback) or are architecturally ready.
+    const Reg srcs[2] = {inst.rec.in1, inst.rec.in2};
+    for (int k = 0; k < 2; ++k) {
+      const int producer = rename_.lookup(srcs[k]);
+      if (producer >= 0 && !rob_.entry(producer).completed) {
+        e.src_rob[k] = producer;
+        ++e.src_pending;
+      }
+    }
+
+    // Rename-table write: this entry becomes the newest producer.
+    rename_.set(inst.rec.out, rob_slot);
+
+    if (inst.rec.is_mem()) {
+      const int lsq_slot = lsq_.allocate();
+      LsqEntry& m = lsq_.entry(lsq_slot);
+      m.is_store = inst.rec.is_store;
+      m.rob_slot = rob_slot;
+      m.seq = inst.seq;
+      m.addr = inst.rec.addr;
+      e.lsq_slot = lsq_slot;
+      stats_.counter(inst.rec.is_store ? "dispatch.stores" : "dispatch.loads").add();
+    }
+
+    stats_.counter("dispatch.insts").add();
+  }
+}
+
+}  // namespace resim::core

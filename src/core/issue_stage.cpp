@@ -1,0 +1,142 @@
+// Issue stage (paper §III):
+//
+//   "The Issue stage examines the ready instructions and schedules them
+//    if there are available functional units. Load operations marked as
+//    ready by Lsq_refresh are issued and a read port is allocated if
+//    their value has not been forwarded in the LSQ. Issue also schedules
+//    a Writeback event."
+//
+// Scheduling is oldest-first over the ROB with a total width of N slots
+// per cycle. Memory operations take two issue steps: address generation
+// on an ALU, then (loads) the cache access once Lsq_refresh marks them
+// ready. In the Optimized pipeline, slot 0 may not hold a load memory
+// access (§IV.B) — non-load candidates are preferred for slot 0 and, if
+// none exists, slot 0 stays empty.
+#include "core/engine.hpp"
+
+#include <vector>
+
+namespace resim::core {
+
+namespace {
+
+enum class CandKind : std::uint8_t { kFuOp, kAgen, kLoadMem };
+
+struct Candidate {
+  int rob_slot;
+  CandKind kind;
+};
+
+}  // namespace
+
+void ReSimEngine::stage_issue() {
+  // Collect issue candidates oldest-first against begin-of-stage state.
+  std::vector<Candidate> cands;
+  cands.reserve(rob_.size());
+  for (unsigned i = 0; i < rob_.size(); ++i) {
+    const int slot = rob_.slot_at(i);
+    const RobEntry& e = rob_.entry(slot);
+    if (e.completed || e.dispatched_at >= cycle_) continue;
+
+    if (e.is_mem()) {
+      // Address generation needs only the base register (in1); a store's
+      // data register (in2) is tracked separately (STA/STD split), so an
+      // in-flight store with late data does not hide its address from
+      // Lsq_refresh's dependence checks.
+      if (!e.agen_issued && e.src_rob[0] < 0) {
+        cands.push_back({slot, CandKind::kAgen});
+      } else if (e.is_load() && !e.issued) {
+        const LsqEntry& m = lsq_.entry(e.lsq_slot);
+        if (m.mem_ready && !m.mem_issued) cands.push_back({slot, CandKind::kLoadMem});
+      }
+    } else if (!e.issued && e.src_pending == 0) {
+      cands.push_back({slot, CandKind::kFuOp});
+    }
+  }
+
+  // Optimized pipeline: if the oldest candidate is a load memory access,
+  // pull the first non-load candidate into slot 0 (ages otherwise kept).
+  if (!sched_.load_allowed_in_slot0() && !cands.empty() &&
+      cands.front().kind == CandKind::kLoadMem) {
+    for (std::size_t i = 1; i < cands.size(); ++i) {
+      if (cands[i].kind != CandKind::kLoadMem) {
+        const Candidate c = cands[i];
+        cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(i));
+        cands.insert(cands.begin(), c);
+        break;
+      }
+    }
+  }
+
+  unsigned used_slots = 0;
+  for (const Candidate& c : cands) {
+    if (used_slots >= cfg_.width) break;
+    RobEntry& e = rob_.entry(c.rob_slot);
+
+    switch (c.kind) {
+      case CandKind::kFuOp: {
+        // Branches and O-format ops bind their functional-unit class.
+        const trace::OtherFu fu =
+            e.is_branch() ? trace::OtherFu::kAlu : e.fi.rec.fu;
+        const auto lat = fu_.try_issue(fu, cycle_);
+        if (!lat) {
+          stats_.counter("issue.fu_stalls").add();
+          continue;
+        }
+        e.issued = true;
+        e.complete_at = cycle_ + *lat;
+        ++used_slots;
+        stats_.counter("issue.ops").add();
+        break;
+      }
+
+      case CandKind::kAgen: {
+        // Effective-address computation occupies an ALU for one op.
+        const auto lat = fu_.try_issue_alu(cycle_);
+        if (!lat) {
+          stats_.counter("issue.fu_stalls").add();
+          continue;
+        }
+        e.agen_issued = true;
+        lsq_.entry(e.lsq_slot).addr_ready_at = cycle_ + *lat;
+        ++used_slots;
+        stats_.counter("issue.agen").add();
+        break;
+      }
+
+      case CandKind::kLoadMem: {
+        // Optimized pipeline: no load in the major cycle's first slot.
+        // With only load candidates ready, slot 0 stays empty and loads
+        // occupy slots 1..N-1.
+        if (used_slots == 0 && !sched_.load_allowed_in_slot0()) {
+          stats_.counter("issue.slot0_load_skips").add();
+          used_slots = 1;
+        }
+        LsqEntry& m = lsq_.entry(e.lsq_slot);
+        if (m.forwarded) {
+          // Value satisfied inside the LSQ: one-cycle completion, no port.
+          m.mem_issued = true;
+          e.issued = true;
+          e.complete_at = cycle_ + 1;
+          ++used_slots;
+          stats_.counter("issue.loads_forwarded").add();
+        } else {
+          if (read_ports_used_ >= cfg_.mem_read_ports) {
+            stats_.counter("issue.read_port_stalls").add();
+            continue;
+          }
+          ++read_ports_used_;
+          const auto res = mem_.dread(m.addr);
+          m.mem_issued = true;
+          e.issued = true;
+          e.complete_at = cycle_ + res.latency;
+          ++used_slots;
+          stats_.counter(res.hit ? "issue.load_hits" : "issue.load_misses").add();
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace resim::core

@@ -1,0 +1,37 @@
+#include "core/lsq.hpp"
+
+#include <stdexcept>
+
+#include "common/numeric.hpp"
+
+namespace resim::core {
+
+Lsq::Lsq(unsigned capacity) : entries_(capacity) {
+  require(capacity >= 1, "Lsq: capacity >= 1");
+}
+
+int Lsq::allocate() {
+  if (full()) throw std::logic_error("Lsq::allocate on full LSQ");
+  const unsigned slot = (head_ + count_) % entries_.size();
+  ++count_;
+  entries_[slot] = LsqEntry{};
+  return static_cast<int>(slot);
+}
+
+int Lsq::slot_at(unsigned age_index) const {
+  if (age_index >= count_) throw std::out_of_range("Lsq::slot_at");
+  return static_cast<int>((head_ + age_index) % entries_.size());
+}
+
+void Lsq::pop_head() {
+  if (empty()) throw std::logic_error("Lsq::pop_head on empty LSQ");
+  head_ = (head_ + 1) % static_cast<unsigned>(entries_.size());
+  --count_;
+}
+
+void Lsq::clear() {
+  head_ = 0;
+  count_ = 0;
+}
+
+}  // namespace resim::core

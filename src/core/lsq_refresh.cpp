@@ -1,0 +1,75 @@
+// Lsq_refresh (paper §III): executed once per major cycle.
+//
+//   "Loads can be issued only after their effective address has been
+//    calculated, and there are no unresolved memory dependencies. These
+//    checks are performed by Lsq_refresh."
+//
+// The scan walks the LSQ in program order, tracking older stores:
+//  * a load with a completed address is blocked while any older store's
+//    address is unknown (conservative memory disambiguation);
+//  * an older completed store to the same word forwards its value
+//    (§III: "a read port is allocated if their value has not been
+//    forwarded in the LSQ");
+//  * stores become commit-ready (store_done) once their address
+//    generation — which waits for both base and data registers — has
+//    completed.
+#include "core/engine.hpp"
+
+namespace resim::core {
+
+void ReSimEngine::stage_lsq_refresh() {
+  for (unsigned i = 0; i < lsq_.size(); ++i) {
+    const int slot = lsq_.slot_at(i);
+    LsqEntry& m = lsq_.entry(slot);
+
+    if (m.is_store) {
+      // A store is commit-ready once its address is generated *and* its
+      // data register has resolved (STA/STD split).
+      RobEntry& e = rob_.entry(m.rob_slot);
+      if (!m.store_done && m.addr_ready(cycle_) && e.src_rob[1] < 0) {
+        m.store_done = true;
+        // Stores produce no register value: completion bypasses the
+        // writeback broadcast and the entry waits for Commit.
+        e.completed = true;
+        stats_.counter("lsq.stores_completed").add();
+      }
+      continue;
+    }
+
+    // Loads.
+    if (m.mem_issued || m.mem_ready || !m.addr_ready(cycle_)) continue;
+
+    bool blocked = false;
+    bool forwarded = false;
+    // Scan older memory operations (program order) for conflicts; the
+    // youngest older store to the same word wins the forwarding match.
+    for (unsigned j = 0; j < i; ++j) {
+      const LsqEntry& older = lsq_.entry(lsq_.slot_at(j));
+      if (!older.is_store) continue;
+      if (!older.addr_ready(cycle_)) {
+        blocked = true;  // unresolved memory dependence
+        forwarded = false;
+        continue;
+      }
+      if (older.addr == m.addr) {
+        if (older.store_done) {
+          forwarded = true;
+          blocked = false;
+        } else {
+          blocked = true;  // matching store's data not ready yet
+        }
+      }
+    }
+
+    if (blocked) {
+      stats_.counter("lsq.loads_blocked").add();
+      continue;
+    }
+    m.mem_ready = true;
+    m.forwarded = forwarded;
+    if (forwarded) stats_.counter("lsq.loads_forwarded").add();
+    stats_.counter("lsq.loads_ready").add();
+  }
+}
+
+}  // namespace resim::core

@@ -1,0 +1,28 @@
+#include "core/perf.hpp"
+
+#include "common/numeric.hpp"
+
+namespace resim::core {
+
+ThroughputReport fpga_throughput(const SimResult& r, double minor_clock_mhz,
+                                 unsigned major_latency) {
+  require(minor_clock_mhz > 0, "fpga_throughput: clock must be positive");
+  require(major_latency >= 1, "fpga_throughput: latency >= 1");
+
+  ThroughputReport t;
+  t.minor_clock_mhz = minor_clock_mhz;
+  t.major_latency = major_latency;
+  t.major_rate_mhz = minor_clock_mhz / static_cast<double>(major_latency);
+  if (r.major_cycles == 0) return t;
+
+  const double minor_cycles =
+      static_cast<double>(r.major_cycles) * static_cast<double>(major_latency);
+  t.sim_seconds = minor_cycles / (minor_clock_mhz * 1e6);
+  t.mips = static_cast<double>(r.committed) / t.sim_seconds / 1e6;
+  t.mips_processed = static_cast<double>(r.trace_records) / t.sim_seconds / 1e6;
+  t.trace_mbytes_per_sec = static_cast<double>(r.trace_bits) / 8.0 / t.sim_seconds / 1e6;
+  t.bits_per_inst = r.bits_per_record();
+  return t;
+}
+
+}  // namespace resim::core

@@ -1,0 +1,34 @@
+// FPGA performance model: converts a simulation's cycle counts into the
+// paper's reported metrics.
+//
+//   simulation MIPS      = f_minor / L x IPC             (Table 1)
+//   MIPS incl. wrong path= f_minor / L x records/cycle   (Table 3)
+//   trace MByte/s        = consumed bits / wall time / 8 (Table 3)
+//
+// where f_minor is the device's minor-cycle clock (84 MHz Virtex-4,
+// 105 MHz Virtex-5, paper §V.C) and L the major-cycle latency in minor
+// cycles of the pipeline variant in use.
+#ifndef RESIM_CORE_PERF_H
+#define RESIM_CORE_PERF_H
+
+#include "core/engine.hpp"
+
+namespace resim::core {
+
+struct ThroughputReport {
+  double minor_clock_mhz = 0;
+  unsigned major_latency = 0;     ///< minor cycles per major cycle
+  double major_rate_mhz = 0;      ///< simulated cycles per wall second / 1e6
+  double mips = 0;                ///< committed instructions / s / 1e6 (Table 1)
+  double mips_processed = 0;      ///< trace records / s / 1e6 (Table 3)
+  double trace_mbytes_per_sec = 0;///< input trace bandwidth (Table 3)
+  double bits_per_inst = 0;       ///< average record size on the wire (Table 3)
+  double sim_seconds = 0;         ///< wall time of the run on the FPGA
+};
+
+[[nodiscard]] ThroughputReport fpga_throughput(const SimResult& r, double minor_clock_mhz,
+                                               unsigned major_latency);
+
+}  // namespace resim::core
+
+#endif  // RESIM_CORE_PERF_H

@@ -1,0 +1,4 @@
+#include "core/rename.hpp"
+
+// Header-only; anchors the library target.
+namespace resim::core {}

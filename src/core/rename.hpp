@@ -1,0 +1,43 @@
+// Rename Table: architectural register -> producing ROB slot
+// (paper §III: "Dispatch ... accesses the Rename Table").
+#ifndef RESIM_CORE_RENAME_H
+#define RESIM_CORE_RENAME_H
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace resim::core {
+
+class RenameTable {
+ public:
+  /// Producing ROB slot of `r`, or -1 when the architectural value is
+  /// ready in the register file. r0 and kNoReg are always ready.
+  [[nodiscard]] int lookup(Reg r) const {
+    if (r == kNoReg || r == kZeroReg) return -1;
+    return map_[r];
+  }
+
+  /// Dispatch: `slot` becomes the newest producer of `r`.
+  void set(Reg r, int slot) {
+    if (r != kNoReg && r != kZeroReg) map_[r] = slot;
+  }
+
+  /// Commit: clear the mapping iff it still names the committing slot.
+  void clear_if(Reg r, int slot) {
+    if (r != kNoReg && r != kZeroReg && map_[r] == slot) map_[r] = -1;
+  }
+
+  /// Squash recovery: after a mis-speculation squash the ROB is empty, so
+  /// every mapping is stale.
+  void clear() { map_.fill(-1); }
+
+  RenameTable() { clear(); }
+
+ private:
+  std::array<int, kNumArchRegs> map_{};
+};
+
+}  // namespace resim::core
+
+#endif  // RESIM_CORE_RENAME_H

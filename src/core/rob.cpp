@@ -1,0 +1,37 @@
+#include "core/rob.hpp"
+
+#include <stdexcept>
+
+#include "common/numeric.hpp"
+
+namespace resim::core {
+
+Rob::Rob(unsigned capacity) : entries_(capacity) {
+  require(capacity >= 1, "Rob: capacity >= 1");
+}
+
+int Rob::allocate() {
+  if (full()) throw std::logic_error("Rob::allocate on full ROB");
+  const unsigned slot = (head_ + count_) % entries_.size();
+  ++count_;
+  entries_[slot] = RobEntry{};
+  return static_cast<int>(slot);
+}
+
+int Rob::slot_at(unsigned age_index) const {
+  if (age_index >= count_) throw std::out_of_range("Rob::slot_at");
+  return static_cast<int>((head_ + age_index) % entries_.size());
+}
+
+void Rob::pop_head() {
+  if (empty()) throw std::logic_error("Rob::pop_head on empty ROB");
+  head_ = (head_ + 1) % static_cast<unsigned>(entries_.size());
+  --count_;
+}
+
+void Rob::clear() {
+  head_ = 0;
+  count_ = 0;
+}
+
+}  // namespace resim::core

@@ -1,0 +1,90 @@
+// Reorder Buffer: circular in-order window of in-flight instructions.
+// Dispatch allocates at the tail, Commit releases from the head
+// (paper §III: "Dispatch allocates Load/Store Queue (LSQ) and Reorder
+// Buffer (RB) entries").
+#ifndef RESIM_CORE_ROB_H
+#define RESIM_CORE_ROB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/unit.hpp"
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace resim::core {
+
+/// An instruction as it left Fetch: the pre-decoded record plus the
+/// fetch-time prediction state.
+struct FetchedInst {
+  trace::TraceRecord rec{};
+  Addr pc = 0;
+  InstSeq seq = 0;
+  Cycle fetched_at = 0;
+  bpred::Prediction pred{};
+  bpred::Outcome outcome = bpred::Outcome::kCorrect;
+
+  [[nodiscard]] bool wrong_path() const { return rec.wrong_path; }
+};
+
+struct RobEntry {
+  FetchedInst fi{};
+  Cycle dispatched_at = 0;
+
+  // Dataflow: up to two register sources, tracked as producing ROB slots.
+  int src_rob[2] = {-1, -1};
+  unsigned src_pending = 0;
+
+  // Execution state.
+  bool issued = false;      ///< FU op (or load memory access) scheduled
+  bool agen_issued = false; ///< memory ops: address generation scheduled
+  Cycle complete_at = 0;    ///< valid when issued
+  bool completed = false;   ///< result written back / store done
+
+  int lsq_slot = -1;        ///< -1 for non-memory instructions
+
+  [[nodiscard]] bool is_mem() const { return fi.rec.is_mem(); }
+  [[nodiscard]] bool is_load() const { return fi.rec.is_load(); }
+  [[nodiscard]] bool is_store() const { return fi.rec.is_mem() && fi.rec.is_store; }
+  [[nodiscard]] bool is_branch() const { return fi.rec.is_branch(); }
+};
+
+class Rob {
+ public:
+  explicit Rob(unsigned capacity);
+
+  [[nodiscard]] unsigned capacity() const { return static_cast<unsigned>(entries_.size()); }
+  [[nodiscard]] unsigned size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool full() const { return count_ == entries_.size(); }
+
+  /// Allocate the next entry in program order; returns its physical slot.
+  /// Precondition: !full().
+  int allocate();
+
+  /// Physical slot of the i-th oldest entry (0 == head).
+  [[nodiscard]] int slot_at(unsigned age_index) const;
+
+  [[nodiscard]] RobEntry& entry(int slot) { return entries_.at(static_cast<std::size_t>(slot)); }
+  [[nodiscard]] const RobEntry& entry(int slot) const {
+    return entries_.at(static_cast<std::size_t>(slot));
+  }
+
+  [[nodiscard]] RobEntry& head() { return entry(slot_at(0)); }
+  [[nodiscard]] int head_slot() const { return slot_at(0); }
+
+  /// Release the head entry (commit). Precondition: !empty().
+  void pop_head();
+
+  /// Squash: drop every entry (mis-speculation recovery).
+  void clear();
+
+ private:
+  std::vector<RobEntry> entries_;
+  unsigned head_ = 0;
+  unsigned count_ = 0;
+};
+
+}  // namespace resim::core
+
+#endif  // RESIM_CORE_ROB_H

@@ -1,0 +1,235 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/numeric.hpp"
+
+namespace resim::core {
+
+const char* variant_name(PipelineVariant v) {
+  switch (v) {
+    case PipelineVariant::kSimple: return "simple";
+    case PipelineVariant::kEfficient: return "efficient";
+    case PipelineVariant::kOptimized: return "optimized";
+  }
+  return "?";
+}
+
+const char* stage_unit_name(StageUnit u) {
+  switch (u) {
+    case StageUnit::kFetch: return "F";
+    case StageUnit::kICacheAccess: return "ICA";
+    case StageUnit::kDecouple: return "DPL";
+    case StageUnit::kDispatch: return "D";
+    case StageUnit::kIssue: return "IS";
+    case StageUnit::kDCacheAccess: return "CA";
+    case StageUnit::kWriteback: return "WB";
+    case StageUnit::kLsqRefresh: return "LSQR";
+    case StageUnit::kCommit: return "C";
+    case StageUnit::kStoreCacheAccess: return "SCA";
+    case StageUnit::kBookkeep: return "BK";
+  }
+  return "?";
+}
+
+unsigned PipelineSchedule::latency_of(PipelineVariant v, unsigned width) {
+  switch (v) {
+    case PipelineVariant::kSimple: return 2 * width + 3;     // Figure 2
+    case PipelineVariant::kEfficient: return width + 4;      // Figure 3
+    case PipelineVariant::kOptimized: return width + 3;      // Figure 4
+  }
+  throw std::invalid_argument("latency_of: bad variant");
+}
+
+PipelineSchedule PipelineSchedule::make(PipelineVariant v, unsigned width) {
+  require(width >= 1 && width <= 16, "PipelineSchedule: width in [1,16]");
+  PipelineSchedule s(v, width);
+  const unsigned L = latency_of(v, width);
+  s.minors_.assign(L, {});
+  const int n = static_cast<int>(width);
+
+  auto put = [&s](unsigned minor, StageUnit u, int slot) {
+    s.minors_.at(minor).push_back(MicroOp{u, slot});
+  };
+
+  // --- critical dependence chain ------------------------------------------
+  switch (v) {
+    case PipelineVariant::kSimple:
+      // WB_0..WB_{N-1} | LSQR | IS_0..IS_{N-1} with CA one behind | BK.
+      for (int k = 0; k < n; ++k) put(static_cast<unsigned>(k), StageUnit::kWriteback, k);
+      put(width, StageUnit::kLsqRefresh, -1);
+      for (int k = 0; k < n; ++k) {
+        put(width + 1 + static_cast<unsigned>(k), StageUnit::kIssue, k);
+        put(width + 2 + static_cast<unsigned>(k), StageUnit::kDCacheAccess, k);
+      }
+      put(L - 1, StageUnit::kBookkeep, -1);
+      break;
+
+    case PipelineVariant::kEfficient:
+      // LSQR | IS_k at 1+k | CA_k at 2+k | WB_k at 3+k | BK.
+      put(0, StageUnit::kLsqRefresh, -1);
+      for (int k = 0; k < n; ++k) {
+        put(1 + static_cast<unsigned>(k), StageUnit::kIssue, k);
+        put(2 + static_cast<unsigned>(k), StageUnit::kDCacheAccess, k);
+        put(3 + static_cast<unsigned>(k), StageUnit::kWriteback, k);
+      }
+      put(L - 1, StageUnit::kBookkeep, -1);
+      break;
+
+    case PipelineVariant::kOptimized:
+      // LSQR || IS_0 (no load in slot 0) | IS_k at k | CA_k at 1+k |
+      // WB_k at 2+k | BK.
+      put(0, StageUnit::kLsqRefresh, -1);
+      for (int k = 0; k < n; ++k) {
+        put(static_cast<unsigned>(k), StageUnit::kIssue, k);
+        put(1 + static_cast<unsigned>(k), StageUnit::kDCacheAccess, k);
+        put(2 + static_cast<unsigned>(k), StageUnit::kWriteback, k);
+      }
+      put(L - 1, StageUnit::kBookkeep, -1);
+      break;
+  }
+
+  // --- overlapped lanes (identical across variants) -------------------------
+  // Fetch lane: F_k at minors k, then the I-cache access and the decouple
+  // transfer; dispatch lane one slot behind fetch; commit lane with the
+  // store cache access after the last commit slot.
+  for (int k = 0; k < n; ++k) put(static_cast<unsigned>(k), StageUnit::kFetch, k);
+  put(std::min(L - 1, width), StageUnit::kICacheAccess, -1);
+  put(std::min(L - 1, width + 1), StageUnit::kDecouple, -1);
+  for (int k = 0; k < n; ++k) {
+    put(std::min(L - 1, 1 + static_cast<unsigned>(k)), StageUnit::kDispatch, k);
+  }
+  for (int k = 0; k < n; ++k) put(static_cast<unsigned>(k), StageUnit::kCommit, k);
+  put(std::min(L - 1, width), StageUnit::kStoreCacheAccess, -1);
+
+  s.validate();
+  return s;
+}
+
+int PipelineSchedule::find(StageUnit u, int slot) const {
+  for (unsigned m = 0; m < minors_.size(); ++m) {
+    for (const MicroOp& op : minors_[m]) {
+      if (op.unit == u && op.slot == slot) return static_cast<int>(m);
+    }
+  }
+  return -1;
+}
+
+void PipelineSchedule::validate() const {
+  auto fail = [](const std::string& what) { throw std::logic_error("PipelineSchedule: " + what); };
+
+  if (latency() != latency_of(variant_, width_)) fail("latency formula violated");
+
+  const int n = static_cast<int>(width_);
+
+  // Each serial stage unit processes at most one slot per minor cycle and
+  // slots appear in order.
+  for (StageUnit u : {StageUnit::kFetch, StageUnit::kDispatch, StageUnit::kIssue,
+                      StageUnit::kWriteback, StageUnit::kCommit, StageUnit::kDCacheAccess}) {
+    int prev = -1;
+    for (int k = 0; k < n; ++k) {
+      const int m = find(u, k);
+      if (m < 0) fail("missing stage slot");
+      if (m <= prev && !(u == StageUnit::kIssue && k == 0)) {
+        // (Optimized IS_0 shares minor 0 with LSQR, still ordered.)
+        fail("stage slots out of order");
+      }
+      prev = m;
+    }
+  }
+
+  const int lsqr = find(StageUnit::kLsqRefresh, -1);
+  const int bk = find(StageUnit::kBookkeep, -1);
+  if (lsqr < 0 || bk < 0) fail("missing LSQR/BK");
+  if (bk != static_cast<int>(latency()) - 1) fail("bookkeeping must be the last minor cycle");
+
+  const int is0 = find(StageUnit::kIssue, 0);
+  const int wb_last = find(StageUnit::kWriteback, n - 1);
+  const int wb0 = find(StageUnit::kWriteback, 0);
+
+  switch (variant_) {
+    case PipelineVariant::kSimple:
+      // Dependence chain: all WB before LSQR, LSQR before first Issue.
+      if (!(wb_last < lsqr)) fail("simple: WB must precede Lsq_refresh");
+      if (!(lsqr < is0)) fail("simple: Lsq_refresh must precede Issue");
+      break;
+    case PipelineVariant::kEfficient:
+      if (!(lsqr < is0)) fail("efficient: Lsq_refresh must precede Issue");
+      if (!(is0 < wb0)) fail("efficient: Issue minor-cycle precedes Writeback");
+      break;
+    case PipelineVariant::kOptimized:
+      if (lsqr != is0) fail("optimized: Lsq_refresh must run in parallel with first Issue");
+      if (!(is0 < wb0)) fail("optimized: Issue minor-cycle precedes Writeback");
+      break;
+  }
+
+  // Load cache access follows its issue slot; cache access precedes the
+  // writeback of the same slot (efficient/optimized: "a cache access
+  // occurs before writeback").
+  for (int k = 0; k < n; ++k) {
+    const int is = find(StageUnit::kIssue, k);
+    const int ca = find(StageUnit::kDCacheAccess, k);
+    if (!(is < ca)) fail("cache access must follow its issue slot");
+    if (variant_ != PipelineVariant::kSimple) {
+      const int wb = find(StageUnit::kWriteback, k);
+      if (!(ca < wb)) fail("cache access must precede writeback of the slot");
+    }
+  }
+}
+
+std::string PipelineSchedule::render() const {
+  // Lane per unit class, column per minor cycle.
+  const std::vector<StageUnit> lanes = {
+      StageUnit::kFetch,    StageUnit::kDispatch,   StageUnit::kIssue,
+      StageUnit::kDCacheAccess, StageUnit::kLsqRefresh, StageUnit::kWriteback,
+      StageUnit::kCommit,   StageUnit::kBookkeep};
+
+  std::map<StageUnit, std::vector<std::string>> grid;
+  for (StageUnit u : lanes) grid[u].assign(latency(), "");
+  auto cell_of = [&](StageUnit u) -> std::vector<std::string>* {
+    switch (u) {
+      case StageUnit::kICacheAccess: return &grid[StageUnit::kFetch];
+      case StageUnit::kDecouple: return &grid[StageUnit::kFetch];
+      case StageUnit::kStoreCacheAccess: return &grid[StageUnit::kCommit];
+      default: {
+        auto it = grid.find(u);
+        return it == grid.end() ? nullptr : &it->second;
+      }
+    }
+  };
+
+  for (unsigned m = 0; m < latency(); ++m) {
+    for (const MicroOp& op : minors_[m]) {
+      auto* lane = cell_of(op.unit);
+      if (lane == nullptr) continue;
+      std::string label = stage_unit_name(op.unit);
+      if (op.slot >= 0) label += std::to_string(op.slot);
+      auto& cell = (*lane)[m];
+      cell = cell.empty() ? label : cell + "+" + label;
+    }
+  }
+
+  std::ostringstream os;
+  os << "ReSim " << variant_name(variant_) << " pipeline, N=" << width_
+     << ": major cycle = " << latency() << " minor cycles\n";
+  os << std::left << std::setw(10) << "minor";
+  for (unsigned m = 0; m < latency(); ++m) os << std::setw(9) << m;
+  os << '\n';
+  const std::map<StageUnit, std::string> lane_names = {
+      {StageUnit::kFetch, "fetch"},       {StageUnit::kDispatch, "dispatch"},
+      {StageUnit::kIssue, "issue"},       {StageUnit::kDCacheAccess, "d-cache"},
+      {StageUnit::kLsqRefresh, "lsqref"}, {StageUnit::kWriteback, "wback"},
+      {StageUnit::kCommit, "commit"},     {StageUnit::kBookkeep, "bookkeep"}};
+  for (StageUnit u : lanes) {
+    os << std::setw(10) << lane_names.at(u);
+    for (unsigned m = 0; m < latency(); ++m) os << std::setw(9) << grid[u][m];
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace resim::core

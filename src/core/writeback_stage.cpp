@@ -1,0 +1,29 @@
+// Writeback stage (paper §III): "Writeback selects the oldest completed
+// instruction(s) and broadcasts their results and wakes up all their
+// dependent instructions."
+//
+// An instruction issued at cycle C with latency L completes at C+L; the
+// writeback of cycle C+L broadcasts it, so a dependent can issue in the
+// same major cycle (Issue runs after Writeback in the engine's stage
+// order). Because Commit runs *before* Writeback, a completion only
+// becomes commit-eligible one cycle later — the architectural effect of
+// the paper's §IV.B commit-blocking flag.
+#include "core/engine.hpp"
+
+namespace resim::core {
+
+void ReSimEngine::stage_writeback() {
+  unsigned broadcast = 0;
+  for (unsigned i = 0; i < rob_.size() && broadcast < cfg_.width; ++i) {
+    const int slot = rob_.slot_at(i);
+    RobEntry& e = rob_.entry(slot);
+    if (!e.issued || e.completed || e.complete_at > cycle_) continue;
+
+    e.completed = true;
+    ++broadcast;
+    stats_.counter("wb.broadcasts").add();
+    wake_dependents(slot);
+  }
+}
+
+}  // namespace resim::core

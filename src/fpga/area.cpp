@@ -1,0 +1,186 @@
+#include "fpga/area.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/numeric.hpp"
+
+namespace resim::fpga {
+
+namespace {
+
+// LUT->slice packing ratios per stage, derived from Table 4's two rows
+// (slices% x 12273) / (LUTs% x 17175). Register-heavy stages pack worse
+// (ratio > 0.715 = the design average), mux/logic-heavy ones better.
+struct Packing {
+  const char* name;
+  double ratio;
+};
+constexpr Packing kPacking[] = {
+    {"fetch", 0.7767}, {"disp", 1.2864}, {"issue", 0.5108}, {"lsq", 0.5265},
+    {"wb", 0.5355},    {"cmt", 0.7122},  {"RT", 0.5355},    {"RB", 0.6635},
+    {"LSQ", 1.0713},   {"BP", 0.7122},   {"D-C", 0.8097},   {"I-C", 0.7151},
+};
+
+double packing(std::string_view name) {
+  for (const Packing& p : kPacking) {
+    if (name == p.name) return p.ratio;
+  }
+  throw std::invalid_argument("packing: unknown stage");
+}
+
+/// 18 Kb BRAM blocks for a table of `entries` x `width_bits`, duplicated
+/// into `banks` (e.g. simultaneous fetch-lookup + commit-update banks).
+/// Aspect ratios follow the Virtex-4 primitive (depth 512 at width 36,
+/// scaling deeper as width halves).
+double bram_blocks_for(std::uint64_t entries, unsigned width_bits, unsigned banks) {
+  if (entries == 0 || width_bits == 0) return 0;
+  double per_bank;
+  if (width_bits > 36) {
+    per_bank = std::ceil(width_bits / 36.0) * std::ceil(entries / 512.0);
+  } else {
+    // depth at width w: 512 * (36 / next_pow2_width)
+    unsigned w = 36;
+    std::uint64_t depth = 512;
+    while (w / 2 >= width_bits && depth < (1u << 14)) {
+      w /= 2;
+      depth *= 2;
+    }
+    per_bank = std::ceil(static_cast<double>(entries) / static_cast<double>(depth));
+  }
+  return per_bank * banks;
+}
+
+}  // namespace
+
+AreaBreakdown estimate_area(const core::CoreConfig& cfg) {
+  cfg.validate();
+  const double n = cfg.width;
+  const double ifq = cfg.ifq_size;
+  const double rob = cfg.rob_size;
+  const double lsq = cfg.lsq_size;
+  const double robbits = ceil_log2(cfg.rob_size);
+
+  AreaBreakdown a;
+  auto add = [&a](const char* name, double lut4, double bram = 0.0) {
+    a.stages.push_back(StageArea{name, lut4, lut4 * packing(name), bram});
+  };
+
+  // --- pipeline stage logic (constants calibrated to Table 4; drivers are
+  // the structural parameters each block actually scales with) -----------
+  // Fetch: IFQ storage (distributed RAM, ~90-bit pre-decoded records),
+  // per-slot steering muxes, BP interface.
+  add("fetch", 1150 + 150.0 * ifq + 400.0 * n);
+  // Dispatch: decouple buffer + 2 rename reads / 1 write per slot.
+  add("disp", 283 + 144.0 * n);
+  // Issue: ready-picker over the window + FU binding per slot.
+  const double fu_units = cfg.fu.alu_count + cfg.fu.mul_count + cfg.fu.div_count;
+  add("issue", 346 + 164.0 * n + 33.0 * fu_units);
+  // Lsq_refresh: O(L^2) address comparators (the forwarding/conflict CAM).
+  add("lsq", 703 + 40.0 * lsq * lsq);
+  // Writeback: N result broadcasts + wakeup drivers.
+  add("wb", 175 + 128.0 * n);
+  // Commit: head picker + store release.
+  add("cmt", 88 + 64.0 * n);
+  // Rename table: 32 architectural registers x log2(ROB) bits, 3N ports.
+  add("RT", 32.0 * robbits * 3.0 * n / 2.24);
+  // Reorder buffer: per-entry record storage + status, multiported.
+  add("RB", rob * 150.3);
+  // LSQ storage: address + status per entry, CAM-visible.
+  add("LSQ", lsq * 85.9);
+
+  // --- branch predictor: logic in LUTs, tables in BRAM ----------------------
+  const double ras_luts = cfg.bp.ras_entries * 9.0;
+  add("BP", 200 + ras_luts,
+      bram_blocks_for(cfg.bp.pht_entries, 2, 1) +
+          bram_blocks_for(cfg.bp.btb_entries,
+                          32 + (32 - 3 - ceil_log2(cfg.bp.btb_entries / cfg.bp.btb_assoc)) + 1,
+                          2));
+
+  // --- cache models: tag-only (paper: "the actual cache requirements are
+  // in the range of 1000 slices plus a few memory blocks for the tags").
+  // D-cache tags live in distributed RAM, I-cache tags in BRAM.
+  if (cfg.mem.perfect) {
+    add("D-C", 0);
+    add("I-C", 0);
+  } else {
+    const auto dblocks = static_cast<double>(cfg.mem.l1d.size_bytes / cfg.mem.l1d.block_bytes);
+    const auto iblocks = static_cast<double>(cfg.mem.l1i.size_bytes / cfg.mem.l1i.block_bytes);
+    add("D-C", 760 + dblocks * 21.0 / 16.0 * 2.7);
+    add("I-C", 100 + 18.0 * n, bram_blocks_for(static_cast<std::uint64_t>(iblocks), 18, 2));
+  }
+
+  return a;
+}
+
+double AreaBreakdown::total_lut4() const {
+  double t = 0;
+  for (const auto& s : stages) t += s.lut4;
+  return t;
+}
+
+double AreaBreakdown::total_slices() const {
+  double t = 0;
+  for (const auto& s : stages) t += s.slices;
+  return t;
+}
+
+double AreaBreakdown::total_bram18() const {
+  double t = 0;
+  for (const auto& s : stages) t += s.bram18;
+  return t;
+}
+
+double AreaBreakdown::core_slices() const {
+  double t = 0;
+  for (const auto& s : stages) {
+    if (s.name != "D-C" && s.name != "I-C") t += s.slices;
+  }
+  return t;
+}
+
+const StageArea& AreaBreakdown::stage(std::string_view name) const {
+  for (const auto& s : stages) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("AreaBreakdown::stage: unknown " + std::string(name));
+}
+
+double AreaBreakdown::slice_percent(std::string_view name) const {
+  const double t = total_slices();
+  return t == 0 ? 0 : 100.0 * stage(name).slices / t;
+}
+
+double AreaBreakdown::lut_percent(std::string_view name) const {
+  const double t = total_lut4();
+  return t == 0 ? 0 : 100.0 * stage(name).lut4 / t;
+}
+
+double AreaBreakdown::bram_percent(std::string_view name) const {
+  const double t = total_bram18();
+  return t == 0 ? 0 : 100.0 * stage(name).bram18 / t;
+}
+
+std::string AreaBreakdown::table() const {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "resource";
+  for (const auto& s : stages) os << std::right << std::setw(7) << s.name;
+  os << std::setw(10) << "total" << '\n';
+
+  auto row = [&](const char* label, auto getter, double total) {
+    os << std::left << std::setw(14) << label;
+    for (const auto& s : stages) {
+      const double pct = total == 0 ? 0 : 100.0 * getter(s) / total;
+      os << std::right << std::setw(7) << static_cast<int>(std::lround(pct));
+    }
+    os << std::setw(10) << static_cast<long>(std::lround(total)) << '\n';
+  };
+  row("Slices(%)", [](const StageArea& s) { return s.slices; }, total_slices());
+  row("4-LUTs(%)", [](const StageArea& s) { return s.lut4; }, total_lut4());
+  row("BRAMs(%)", [](const StageArea& s) { return s.bram18; }, total_bram18());
+  return os.str();
+}
+
+}  // namespace resim::fpga

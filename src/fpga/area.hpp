@@ -1,0 +1,66 @@
+// Analytical FPGA area model (paper Table 4).
+//
+// Xilinx ISE is obviously not available here; instead each stage and
+// structure of Figure 1 gets a structural cost function (entries x entry
+// widths for RAM structures, O(N) picker/port logic, O(L^2) address-CAM
+// comparators for Lsq_refresh) whose constants are calibrated so the
+// paper's default configuration (4-wide, ROB 16, LSQ 8, 2-level BP,
+// 512-entry BTB, 16-entry RAS, 32 KB caches) reproduces Table 4:
+// 12 273 slices / 17 175 4-input LUTs / 7 BRAMs with the published
+// per-stage percentages. The model stays monotone in every parameter so
+// design-space exploration is meaningful.
+//
+// BRAM policy follows the paper exactly: "We used Block RAMs only in the
+// Branch Predictor, and used distributed RAMs ... for other structures";
+// the I-cache tag array also maps to BRAM (Table 4: BP 71%, I-C 29%).
+#ifndef RESIM_FPGA_AREA_H
+#define RESIM_FPGA_AREA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace resim::fpga {
+
+struct StageArea {
+  std::string name;       ///< Table 4 column name
+  double lut4 = 0;        ///< 4-input LUTs
+  double slices = 0;      ///< Virtex-4 slices
+  double bram18 = 0;      ///< 18 Kb block RAMs
+};
+
+struct AreaBreakdown {
+  std::vector<StageArea> stages;
+
+  [[nodiscard]] double total_lut4() const;
+  [[nodiscard]] double total_slices() const;
+  [[nodiscard]] double total_bram18() const;
+
+  /// Totals excluding the cache models (the paper quotes "about 10K
+  /// Xilinx FPGA slices" for ReSim proper, caches excluded).
+  [[nodiscard]] double core_slices() const;
+
+  [[nodiscard]] const StageArea& stage(std::string_view name) const;
+  [[nodiscard]] double slice_percent(std::string_view name) const;
+  [[nodiscard]] double lut_percent(std::string_view name) const;
+  [[nodiscard]] double bram_percent(std::string_view name) const;
+
+  [[nodiscard]] std::string table() const;  ///< Table 4-style rendering
+};
+
+/// Estimate the area of one ReSim instance for a core configuration.
+[[nodiscard]] AreaBreakdown estimate_area(const core::CoreConfig& cfg);
+
+/// FAST's published cost (paper §V: "29230 Slices and 172 BRAMs, which is
+/// 2.4 times and 24 times larger than ReSim").
+struct FastAreaReference {
+  double slices = 29230;
+  double bram18 = 172;
+};
+[[nodiscard]] constexpr FastAreaReference fast_area_reference() { return {}; }
+
+}  // namespace resim::fpga
+
+#endif  // RESIM_FPGA_AREA_H

@@ -1,0 +1,34 @@
+#include "fpga/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/numeric.hpp"
+
+namespace resim::fpga {
+
+FitReport fit_instances(const Device& dev, const AreaBreakdown& breakdown,
+                        double max_utilization) {
+  require(max_utilization > 0 && max_utilization <= 1.0, "fit: utilization in (0,1]");
+  FitReport r;
+  const double slices = breakdown.total_slices();
+  const double brams = breakdown.total_bram18();
+  const double slice_cap = dev.v4_equivalent_slices() * max_utilization;
+  const double bram_cap = dev.bram18_equivalents() * max_utilization;
+
+  const double by_slices = slices == 0 ? 1e9 : slice_cap / slices;
+  const double by_brams = brams == 0 ? 1e9 : bram_cap / brams;
+  r.instances = static_cast<unsigned>(std::max(0.0, std::floor(std::min(by_slices, by_brams))));
+  r.slice_limited = by_slices <= by_brams;
+  if (r.instances > 0) {
+    r.slice_utilization = r.instances * slices / dev.v4_equivalent_slices();
+    r.bram_utilization = brams == 0 ? 0 : r.instances * brams / dev.bram18_equivalents();
+  }
+  return r;
+}
+
+double cmp_throughput_mips(unsigned instances, double per_instance_mips) {
+  return instances * per_instance_mips;
+}
+
+}  // namespace resim::fpga

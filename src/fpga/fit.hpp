@@ -1,0 +1,31 @@
+// Multi-instance fit: how many ReSim cores fit on a device (paper §VI:
+// "it is possible to fit multiple ReSim instances in a single FPGA and
+// simulate multi-core systems").
+#ifndef RESIM_FPGA_FIT_H
+#define RESIM_FPGA_FIT_H
+
+#include "fpga/area.hpp"
+#include "fpga/device.hpp"
+
+namespace resim::fpga {
+
+struct FitReport {
+  unsigned instances = 0;        ///< ReSim cores that fit
+  double slice_utilization = 0;  ///< at `instances` (0..1)
+  double bram_utilization = 0;
+  bool slice_limited = false;    ///< which resource binds first
+};
+
+/// Fit `breakdown`-sized instances on `dev`, keeping utilization below
+/// `max_utilization` (routing/overhead headroom).
+[[nodiscard]] FitReport fit_instances(const Device& dev, const AreaBreakdown& breakdown,
+                                      double max_utilization = 0.9);
+
+/// Aggregate simulation throughput of a CMP simulation with `instances`
+/// engines, each sustaining `per_instance_mips` (instances are
+/// independent in the paper's proposal).
+[[nodiscard]] double cmp_throughput_mips(unsigned instances, double per_instance_mips);
+
+}  // namespace resim::fpga
+
+#endif  // RESIM_FPGA_FIT_H

@@ -1,0 +1,116 @@
+#include "funcsim/funcsim.hpp"
+
+#include <stdexcept>
+
+namespace resim::funcsim {
+
+using isa::Opcode;
+
+FuncSim::FuncSim(const isa::Program& program, const FuncSimConfig& cfg)
+    : program_(program), mem_(cfg.mem_size_bytes, cfg.mem_seed), pc_(program.base()) {
+  if (program.empty()) throw std::invalid_argument("FuncSim: empty program");
+}
+
+void FuncSim::reset() {
+  regs_.fill(0);
+  mem_.reset();
+  pc_ = program_.base();
+  seq_ = 0;
+  done_ = false;
+}
+
+DynInst FuncSim::step() {
+  if (done_) throw std::logic_error("FuncSim::step after halt");
+  const isa::StaticInst* si = program_.fetch(pc_);
+  if (si == nullptr) {
+    // Fell off the code image: architecturally treat as halt.
+    done_ = true;
+    return DynInst{nullptr, pc_, pc_, false, 0, seq_};
+  }
+
+  DynInst d;
+  d.si = si;
+  d.pc = pc_;
+  d.seq = seq_++;
+
+  const std::uint64_t a = si->rs1 == kNoReg ? 0 : regs_[si->rs1];
+  const std::uint64_t b = si->rs2 == kNoReg ? 0 : regs_[si->rs2];
+  const auto sa = static_cast<std::int64_t>(a);
+  const auto sb = static_cast<std::int64_t>(b);
+  const std::int32_t imm = si->imm;
+
+  Addr next = pc_ + kInstBytes;
+  std::uint64_t result = 0;
+  bool writes = si->writes_reg();
+
+  switch (si->op) {
+    case Opcode::kAdd: result = a + b; break;
+    case Opcode::kSub: result = a - b; break;
+    case Opcode::kAnd: result = a & b; break;
+    case Opcode::kOr: result = a | b; break;
+    case Opcode::kXor: result = a ^ b; break;
+    case Opcode::kSll: result = a << (b & 63); break;
+    case Opcode::kSrl: result = a >> (b & 63); break;
+    case Opcode::kSlt: result = sa < sb ? 1 : 0; break;
+    case Opcode::kAddI: result = a + static_cast<std::uint64_t>(static_cast<std::int64_t>(imm)); break;
+    case Opcode::kAndI: result = a & static_cast<std::uint64_t>(static_cast<std::int64_t>(imm)); break;
+    case Opcode::kOrI: result = a | static_cast<std::uint64_t>(static_cast<std::int64_t>(imm)); break;
+    case Opcode::kXorI: result = a ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(imm)); break;
+    case Opcode::kSllI: result = a << (static_cast<unsigned>(imm) & 63); break;
+    case Opcode::kSrlI: result = a >> (static_cast<unsigned>(imm) & 63); break;
+    case Opcode::kSltI: result = sa < static_cast<std::int64_t>(imm) ? 1 : 0; break;
+    case Opcode::kLui: result = static_cast<std::uint64_t>(static_cast<std::uint32_t>(imm)) << 16; break;
+    case Opcode::kMul: result = a * b; break;
+    case Opcode::kDiv: result = b == 0 ? 0 : a / b; break;
+
+    case Opcode::kLw: {
+      d.mem_addr = mem_.normalize(a + static_cast<std::uint64_t>(static_cast<std::int64_t>(imm)));
+      result = mem_.load(d.mem_addr);
+      break;
+    }
+    case Opcode::kSw: {
+      d.mem_addr = mem_.normalize(a + static_cast<std::uint64_t>(static_cast<std::int64_t>(imm)));
+      mem_.store(d.mem_addr, b);
+      writes = false;
+      break;
+    }
+
+    case Opcode::kBeq: d.taken = a == b; break;
+    case Opcode::kBne: d.taken = a != b; break;
+    case Opcode::kBlt: d.taken = sa < sb; break;
+    case Opcode::kBge: d.taken = sa >= sb; break;
+
+    case Opcode::kJump:
+      d.taken = true;
+      next = program_.pc_of(static_cast<std::size_t>(imm));
+      break;
+    case Opcode::kCall:
+      d.taken = true;
+      result = pc_ + kInstBytes;  // link
+      next = program_.pc_of(static_cast<std::size_t>(imm));
+      break;
+    case Opcode::kRet:
+      d.taken = true;
+      next = a;
+      break;
+
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      done_ = true;
+      break;
+  }
+
+  if (si->ctrl() == isa::CtrlType::kCond && d.taken) {
+    next = pc_ + static_cast<Addr>(static_cast<std::int64_t>(imm) * static_cast<std::int64_t>(kInstBytes));
+  }
+
+  if (writes) regs_[si->rd] = result;
+  regs_[kZeroReg] = 0;
+
+  d.next_pc = next;
+  pc_ = next;
+  return d;
+}
+
+}  // namespace resim::funcsim

@@ -1,0 +1,5 @@
+#include "funcsim/memory_image.hpp"
+
+// MemoryImage is header-only today; this translation unit anchors the
+// library target and keeps room for file-backed images later.
+namespace resim::funcsim {}

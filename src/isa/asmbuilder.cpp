@@ -1,0 +1,69 @@
+#include "isa/asmbuilder.hpp"
+
+#include <stdexcept>
+
+namespace resim::isa {
+
+void AsmBuilder::label(const std::string& name) {
+  if (!labels_.emplace(name, code_.size()).second) {
+    throw std::invalid_argument("AsmBuilder: duplicate label " + name);
+  }
+}
+
+void AsmBuilder::alu(Opcode op, Reg rd, Reg rs1, Reg rs2) {
+  code_.push_back(StaticInst{op, rd, rs1, rs2, 0});
+}
+
+void AsmBuilder::alui(Opcode op, Reg rd, Reg rs1, std::int32_t imm) {
+  code_.push_back(StaticInst{op, rd, rs1, kNoReg, imm});
+}
+
+void AsmBuilder::lw(Reg rd, Reg base, std::int32_t imm) {
+  code_.push_back(StaticInst{Opcode::kLw, rd, base, kNoReg, imm});
+}
+
+void AsmBuilder::sw(Reg src, Reg base, std::int32_t imm) {
+  code_.push_back(StaticInst{Opcode::kSw, kNoReg, base, src, imm});
+}
+
+void AsmBuilder::branch(Opcode op, Reg rs1, Reg rs2, const std::string& target) {
+  fixups_.push_back(Fixup{code_.size(), target, /*relative=*/true});
+  code_.push_back(StaticInst{op, kNoReg, rs1, rs2, 0});
+}
+
+void AsmBuilder::jump(const std::string& target) {
+  fixups_.push_back(Fixup{code_.size(), target, /*relative=*/false});
+  code_.push_back(StaticInst{Opcode::kJump, kNoReg, kNoReg, kNoReg, 0});
+}
+
+void AsmBuilder::call(const std::string& target) {
+  fixups_.push_back(Fixup{code_.size(), target, /*relative=*/false});
+  code_.push_back(StaticInst{Opcode::kCall, kLinkReg, kNoReg, kNoReg, 0});
+}
+
+void AsmBuilder::ret() {
+  code_.push_back(StaticInst{Opcode::kRet, kNoReg, kLinkReg, kNoReg, 0});
+}
+
+void AsmBuilder::nop() { code_.push_back(StaticInst{Opcode::kNop, kNoReg, kNoReg, kNoReg, 0}); }
+
+void AsmBuilder::halt() { code_.push_back(StaticInst{Opcode::kHalt, kNoReg, kNoReg, kNoReg, 0}); }
+
+Program AsmBuilder::build(Addr base) {
+  for (const Fixup& f : fixups_) {
+    const auto it = labels_.find(f.label);
+    if (it == labels_.end()) {
+      throw std::invalid_argument("AsmBuilder: unresolved label " + f.label);
+    }
+    const auto target = static_cast<std::int64_t>(it->second);
+    if (f.relative) {
+      code_[f.index].imm = static_cast<std::int32_t>(target - static_cast<std::int64_t>(f.index));
+    } else {
+      code_[f.index].imm = static_cast<std::int32_t>(target);
+    }
+  }
+  fixups_.clear();
+  return Program(name_, std::move(code_), base);
+}
+
+}  // namespace resim::isa

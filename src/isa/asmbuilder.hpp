@@ -1,0 +1,86 @@
+// Label-based program builder ("assembler") used by workload generators.
+//
+// Supports forward label references for branch/jump/call targets; all
+// fixups are resolved in build().
+#ifndef RESIM_ISA_ASMBUILDER_H
+#define RESIM_ISA_ASMBUILDER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace resim::isa {
+
+class AsmBuilder {
+ public:
+  explicit AsmBuilder(std::string program_name) : name_(std::move(program_name)) {}
+
+  /// Define a label at the current position. Labels are unique.
+  void label(const std::string& name);
+
+  /// Index the next emitted instruction will occupy.
+  [[nodiscard]] std::size_t here() const { return code_.size(); }
+
+  // --- raw emission -------------------------------------------------------
+  void emit(const StaticInst& si) { code_.push_back(si); }
+
+  // --- ALU ----------------------------------------------------------------
+  void alu(Opcode op, Reg rd, Reg rs1, Reg rs2);
+  void alui(Opcode op, Reg rd, Reg rs1, std::int32_t imm);
+  void add(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kAdd, rd, rs1, rs2); }
+  void sub(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kSub, rd, rs1, rs2); }
+  void xor_(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kXor, rd, rs1, rs2); }
+  void and_(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kAnd, rd, rs1, rs2); }
+  void or_(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kOr, rd, rs1, rs2); }
+  void sll(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kSll, rd, rs1, rs2); }
+  void srl(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kSrl, rd, rs1, rs2); }
+  void slt(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kSlt, rd, rs1, rs2); }
+  void addi(Reg rd, Reg rs1, std::int32_t imm) { alui(Opcode::kAddI, rd, rs1, imm); }
+  void andi(Reg rd, Reg rs1, std::int32_t imm) { alui(Opcode::kAndI, rd, rs1, imm); }
+  void ori(Reg rd, Reg rs1, std::int32_t imm) { alui(Opcode::kOrI, rd, rs1, imm); }
+  void xori(Reg rd, Reg rs1, std::int32_t imm) { alui(Opcode::kXorI, rd, rs1, imm); }
+  void slli(Reg rd, Reg rs1, std::int32_t imm) { alui(Opcode::kSllI, rd, rs1, imm); }
+  void srli(Reg rd, Reg rs1, std::int32_t imm) { alui(Opcode::kSrlI, rd, rs1, imm); }
+  void slti(Reg rd, Reg rs1, std::int32_t imm) { alui(Opcode::kSltI, rd, rs1, imm); }
+  void li(Reg rd, std::int32_t imm) { alui(Opcode::kAddI, rd, kZeroReg, imm); }
+  void mul(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kMul, rd, rs1, rs2); }
+  void div(Reg rd, Reg rs1, Reg rs2) { alu(Opcode::kDiv, rd, rs1, rs2); }
+
+  // --- memory ---------------------------------------------------------------
+  void lw(Reg rd, Reg base, std::int32_t imm);
+  void sw(Reg src, Reg base, std::int32_t imm);
+
+  // --- control flow -----------------------------------------------------------
+  void branch(Opcode op, Reg rs1, Reg rs2, const std::string& target);
+  void beq(Reg rs1, Reg rs2, const std::string& t) { branch(Opcode::kBeq, rs1, rs2, t); }
+  void bne(Reg rs1, Reg rs2, const std::string& t) { branch(Opcode::kBne, rs1, rs2, t); }
+  void blt(Reg rs1, Reg rs2, const std::string& t) { branch(Opcode::kBlt, rs1, rs2, t); }
+  void bge(Reg rs1, Reg rs2, const std::string& t) { branch(Opcode::kBge, rs1, rs2, t); }
+  void jump(const std::string& target);
+  void call(const std::string& target);
+  void ret();
+  void nop();
+  void halt();
+
+  /// Resolve fixups and produce the program. Throws on unresolved labels.
+  [[nodiscard]] Program build(Addr base = Program::kDefaultBase);
+
+ private:
+  struct Fixup {
+    std::size_t index;   ///< instruction slot needing a target
+    std::string label;
+    bool relative;       ///< true: imm = target - (index); false: imm = target slot
+  };
+
+  std::string name_;
+  std::vector<StaticInst> code_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace resim::isa
+
+#endif  // RESIM_ISA_ASMBUILDER_H

@@ -1,0 +1,35 @@
+// Static (decoded) instruction representation.
+#ifndef RESIM_ISA_INST_H
+#define RESIM_ISA_INST_H
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace resim::isa {
+
+/// One decoded instruction slot in a program image.
+///
+/// Register convention (MIPS-like):
+///   rd  — destination; rs1, rs2 — sources (kNoReg when absent)
+///   Lw  rd,  imm(rs1)          — loads mem[rs1+imm] into rd
+///   Sw  rs2, imm(rs1)          — stores rs2 to mem[rs1+imm]
+///   Bxx rs1, rs2, imm          — PC-relative, target = pc + imm*8
+///   Jump/Call imm              — absolute instruction-slot index
+///   Ret                        — indirect through rs1 (the link register)
+struct StaticInst {
+  Opcode op = Opcode::kNop;
+  Reg rd = kNoReg;
+  Reg rs1 = kNoReg;
+  Reg rs2 = kNoReg;
+  std::int32_t imm = 0;
+
+  [[nodiscard]] FuClass fu() const { return fu_class(op); }
+  [[nodiscard]] CtrlType ctrl() const { return ctrl_type(op); }
+  [[nodiscard]] bool writes_reg() const { return rd != kNoReg && rd != kZeroReg; }
+};
+
+}  // namespace resim::isa
+
+#endif  // RESIM_ISA_INST_H

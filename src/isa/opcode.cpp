@@ -1,0 +1,115 @@
+#include "isa/opcode.hpp"
+
+namespace resim::isa {
+
+FuClass fu_class(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+      return FuClass::kIntMult;
+    case Opcode::kDiv:
+      return FuClass::kIntDiv;
+    case Opcode::kLw:
+      return FuClass::kMemRead;
+    case Opcode::kSw:
+      return FuClass::kMemWrite;
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return FuClass::kNone;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kJump:
+    case Opcode::kCall:
+    case Opcode::kRet:
+      // Branch condition/target evaluation uses an ALU slot.
+      return FuClass::kIntAlu;
+    default:
+      return FuClass::kIntAlu;
+  }
+}
+
+CtrlType ctrl_type(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+      return CtrlType::kCond;
+    case Opcode::kJump:
+      return CtrlType::kJump;
+    case Opcode::kCall:
+      return CtrlType::kCall;
+    case Opcode::kRet:
+      return CtrlType::kRet;
+    default:
+      return CtrlType::kNone;
+  }
+}
+
+bool is_branch(Opcode op) { return ctrl_type(op) != CtrlType::kNone; }
+
+bool is_mem(Opcode op) { return op == Opcode::kLw || op == Opcode::kSw; }
+bool is_load(Opcode op) { return op == Opcode::kLw; }
+bool is_store(Opcode op) { return op == Opcode::kSw; }
+
+bool has_immediate(Opcode op) {
+  switch (op) {
+    case Opcode::kAddI:
+    case Opcode::kAndI:
+    case Opcode::kOrI:
+    case Opcode::kXorI:
+    case Opcode::kSllI:
+    case Opcode::kSrlI:
+    case Opcode::kSltI:
+    case Opcode::kLui:
+    case Opcode::kLw:
+    case Opcode::kSw:
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kJump:
+    case Opcode::kCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kSll: return "sll";
+    case Opcode::kSrl: return "srl";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kAddI: return "addi";
+    case Opcode::kAndI: return "andi";
+    case Opcode::kOrI: return "ori";
+    case Opcode::kXorI: return "xori";
+    case Opcode::kSllI: return "slli";
+    case Opcode::kSrlI: return "srli";
+    case Opcode::kSltI: return "slti";
+    case Opcode::kLui: return "lui";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kLw: return "lw";
+    case Opcode::kSw: return "sw";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kJump: return "j";
+    case Opcode::kCall: return "jal";
+    case Opcode::kRet: return "jr";
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace resim::isa

@@ -1,0 +1,64 @@
+// PISA-like instruction set definition.
+//
+// ReSim is "almost ISA independent" (paper abstract): the engine only
+// sees pre-decoded trace records. This module defines the concrete ISA
+// our functional simulator executes and the decode attributes (FU class,
+// control type) that the trace generator pre-decodes into records.
+#ifndef RESIM_ISA_OPCODE_H
+#define RESIM_ISA_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace resim::isa {
+
+enum class Opcode : std::uint8_t {
+  // Integer ALU (latency 1)
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSlt,
+  kAddI, kAndI, kOrI, kXorI, kSllI, kSrlI, kSltI, kLui,
+  // Integer multiply / divide
+  kMul, kDiv,
+  // Memory
+  kLw, kSw,
+  // Control flow
+  kBeq, kBne, kBlt, kBge,
+  kJump, kCall, kRet,
+  // Misc
+  kNop, kHalt,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kHalt) + 1;
+
+/// Functional-unit class, matching the paper's evaluation configuration
+/// ("four ALUs, one Multiplier and one Divider with one, three and ten
+/// cycle latency respectively") plus memory ports.
+enum class FuClass : std::uint8_t {
+  kNone,     ///< NOP/HALT — occupies a slot, needs no FU
+  kIntAlu,
+  kIntMult,
+  kIntDiv,
+  kMemRead,  ///< load: agen on an ALU, then a cache read port
+  kMemWrite, ///< store: agen on an ALU, write port at commit
+};
+
+/// Control-flow type used by the branch predictor unit and B records.
+enum class CtrlType : std::uint8_t {
+  kNone,
+  kCond,  ///< conditional PC-relative branch
+  kJump,  ///< unconditional direct jump
+  kCall,  ///< direct call, pushes the return address on the RAS
+  kRet,   ///< indirect return through the link register, pops the RAS
+};
+
+[[nodiscard]] FuClass fu_class(Opcode op);
+[[nodiscard]] CtrlType ctrl_type(Opcode op);
+[[nodiscard]] bool is_branch(Opcode op);
+[[nodiscard]] bool is_mem(Opcode op);
+[[nodiscard]] bool is_load(Opcode op);
+[[nodiscard]] bool is_store(Opcode op);
+[[nodiscard]] bool has_immediate(Opcode op);
+[[nodiscard]] std::string_view mnemonic(Opcode op);
+
+}  // namespace resim::isa
+
+#endif  // RESIM_ISA_OPCODE_H

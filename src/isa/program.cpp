@@ -1,0 +1,23 @@
+#include "isa/program.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace resim::isa {
+
+std::string Program::disassemble() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const StaticInst& si = code_[i];
+    os << std::hex << std::setw(8) << std::setfill('0') << pc_of(i) << std::dec
+       << std::setfill(' ') << "  " << mnemonic(si.op);
+    if (si.rd != kNoReg) os << " r" << int(si.rd);
+    if (si.rs1 != kNoReg) os << ", r" << int(si.rs1);
+    if (si.rs2 != kNoReg) os << ", r" << int(si.rs2);
+    if (has_immediate(si.op)) os << ", " << si.imm;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace resim::isa

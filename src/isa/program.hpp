@@ -1,0 +1,62 @@
+// Program image: a contiguous code region of fixed-size instructions.
+#ifndef RESIM_ISA_PROGRAM_H
+#define RESIM_ISA_PROGRAM_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+
+namespace resim::isa {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<StaticInst> code, Addr base = kDefaultBase)
+      : name_(std::move(name)), code_(std::move(code)), base_(base) {}
+
+  static constexpr Addr kDefaultBase = 0x0040'0000;  // SimpleScalar text base
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Addr base() const { return base_; }
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+  [[nodiscard]] bool empty() const { return code_.empty(); }
+
+  [[nodiscard]] Addr pc_of(std::size_t index) const { return base_ + index * kInstBytes; }
+
+  /// Instruction-slot index of a PC, if it falls inside the image.
+  [[nodiscard]] std::optional<std::size_t> index_of(Addr pc) const {
+    if (pc < base_) return std::nullopt;
+    const Addr off = pc - base_;
+    if (off % kInstBytes != 0) return std::nullopt;
+    const std::size_t idx = static_cast<std::size_t>(off / kInstBytes);
+    if (idx >= code_.size()) return std::nullopt;
+    return idx;
+  }
+
+  [[nodiscard]] const StaticInst& at(std::size_t index) const { return code_.at(index); }
+
+  /// Decoded instruction at a PC; nullptr when the PC is outside the image
+  /// (wrong-path fetch can run off the end of the code region).
+  [[nodiscard]] const StaticInst* fetch(Addr pc) const {
+    const auto idx = index_of(pc);
+    return idx ? &code_[*idx] : nullptr;
+  }
+
+  [[nodiscard]] const std::vector<StaticInst>& code() const { return code_; }
+
+  /// Text disassembly (for examples / debugging).
+  [[nodiscard]] std::string disassemble() const;
+
+ private:
+  std::string name_;
+  std::vector<StaticInst> code_;
+  Addr base_ = kDefaultBase;
+};
+
+}  // namespace resim::isa
+
+#endif  // RESIM_ISA_PROGRAM_H

@@ -1,0 +1,88 @@
+#include "trace/format.hpp"
+
+#include <stdexcept>
+
+namespace resim::trace {
+
+namespace {
+constexpr unsigned kRegBits = 6;
+constexpr std::uint64_t kRegNone = 63;  // wire encoding of kNoReg
+
+std::uint64_t reg_to_wire(Reg r) { return r == kNoReg ? kRegNone : r; }
+Reg reg_from_wire(std::uint64_t v) {
+  return v == kRegNone ? kNoReg : static_cast<Reg>(v);
+}
+}  // namespace
+
+unsigned encoded_bits(const TraceRecord& r) {
+  switch (r.fmt) {
+    case RecFormat::kOther: return kOtherBits;
+    case RecFormat::kMem: return kMemBits;
+    case RecFormat::kBranch: return kBranchBits;
+  }
+  throw std::invalid_argument("encoded_bits: bad format");
+}
+
+void encode(const TraceRecord& r, BitWriter& w) {
+  w.put(static_cast<std::uint64_t>(r.fmt), 2);
+  w.put_bool(r.wrong_path);
+  switch (r.fmt) {
+    case RecFormat::kOther:
+      w.put(static_cast<std::uint64_t>(r.fu), 2);
+      w.put(reg_to_wire(r.out), kRegBits);
+      w.put(reg_to_wire(r.in1), kRegBits);
+      w.put(reg_to_wire(r.in2), kRegBits);
+      break;
+    case RecFormat::kMem:
+      w.put_bool(r.is_store);
+      w.put(reg_to_wire(r.out), kRegBits);
+      w.put(reg_to_wire(r.in1), kRegBits);
+      w.put(reg_to_wire(r.in2), kRegBits);
+      w.put(r.addr, 32);
+      break;
+    case RecFormat::kBranch:
+      w.put(static_cast<std::uint64_t>(r.ctrl) - 1, 2);  // kCond..kRet -> 0..3
+      w.put_bool(r.taken);
+      w.put(reg_to_wire(r.in1), kRegBits);
+      w.put(reg_to_wire(r.in2), kRegBits);
+      w.put(r.pc, 32);
+      w.put(r.target, 32);
+      break;
+  }
+}
+
+TraceRecord decode(BitReader& br) {
+  TraceRecord r;
+  r.fmt = static_cast<RecFormat>(br.get(2));
+  r.wrong_path = br.get_bool();
+  switch (r.fmt) {
+    case RecFormat::kOther:
+      r.fu = static_cast<OtherFu>(br.get(2));
+      r.out = reg_from_wire(br.get(kRegBits));
+      r.in1 = reg_from_wire(br.get(kRegBits));
+      r.in2 = reg_from_wire(br.get(kRegBits));
+      break;
+    case RecFormat::kMem:
+      r.is_store = br.get_bool();
+      r.out = reg_from_wire(br.get(kRegBits));
+      r.in1 = reg_from_wire(br.get(kRegBits));
+      r.in2 = reg_from_wire(br.get(kRegBits));
+      r.addr = br.get(32);
+      break;
+    case RecFormat::kBranch:
+      r.ctrl = static_cast<isa::CtrlType>(br.get(2) + 1);
+      r.taken = br.get_bool();
+      r.in1 = reg_from_wire(br.get(kRegBits));
+      r.in2 = reg_from_wire(br.get(kRegBits));
+      r.pc = br.get(32);
+      r.target = br.get(32);
+      // A call's link destination travels implicitly.
+      r.out = r.ctrl == isa::CtrlType::kCall ? kLinkReg : kNoReg;
+      break;
+    default:
+      throw std::out_of_range("decode: bad record format");
+  }
+  return r;
+}
+
+}  // namespace resim::trace

@@ -1,0 +1,4 @@
+#include "trace/reader.hpp"
+
+// TraceSource implementations are header-only; this TU anchors the target.
+namespace resim::trace {}

@@ -1,0 +1,65 @@
+// TraceSource: the engine's pull interface to a record stream.
+//
+// Implementations: in-memory vector (bulk simulation of prepared traces,
+// paper §I "traces prepared off-line"), and the streaming source fed by
+// a live trace generator (the on-the-fly FAST-style coupling of §I/§VI)
+// in src/baseline/coupled.hpp.
+#ifndef RESIM_TRACE_READER_H
+#define RESIM_TRACE_READER_H
+
+#include <cstdint>
+
+#include "trace/format.hpp"
+#include "trace/writer.hpp"
+
+namespace resim::trace {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Next record without consuming it; nullptr at end of stream.
+  [[nodiscard]] virtual const TraceRecord* peek() = 0;
+
+  /// Consume and return the next record. Precondition: peek() != nullptr.
+  virtual TraceRecord next() = 0;
+
+  /// Wire bits consumed so far (trace-throughput statistic, Table 3).
+  [[nodiscard]] virtual std::uint64_t bits_consumed() const = 0;
+
+  /// Records consumed so far.
+  [[nodiscard]] virtual std::uint64_t records_consumed() const = 0;
+};
+
+/// In-memory source over a Trace (does not own it).
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(const Trace& trace) : trace_(trace) {}
+
+  [[nodiscard]] const TraceRecord* peek() override {
+    return pos_ < trace_.records.size() ? &trace_.records[pos_] : nullptr;
+  }
+
+  TraceRecord next() override {
+    const TraceRecord& r = trace_.records.at(pos_++);
+    bits_ += encoded_bits(r);
+    return r;
+  }
+
+  [[nodiscard]] std::uint64_t bits_consumed() const override { return bits_; }
+  [[nodiscard]] std::uint64_t records_consumed() const override { return pos_; }
+
+  void rewind() {
+    pos_ = 0;
+    bits_ = 0;
+  }
+
+ private:
+  const Trace& trace_;
+  std::size_t pos_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace resim::trace
+
+#endif  // RESIM_TRACE_READER_H

@@ -1,0 +1,92 @@
+// Trace record formats (paper §V.A):
+//
+//   "ReSim's input trace consists of a record for each dynamic
+//    instruction in a pre-decoded format. Three formats are used:
+//    Branch (B), Memory (M) and Other (O), each with its own fields and
+//    length. ... all formats include a Tag Bit field used for
+//    mis-speculation handling."
+//
+// Because the format is pre-decoded and generic, the engine is ISA
+// independent — it sees only FU classes, register indices, addresses and
+// control outcomes.
+#ifndef RESIM_TRACE_RECORD_H
+#define RESIM_TRACE_RECORD_H
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace resim::trace {
+
+enum class RecFormat : std::uint8_t { kOther = 0, kMem = 1, kBranch = 2 };
+
+/// FU class as encoded in O records (2 bits).
+enum class OtherFu : std::uint8_t { kAlu = 0, kMul = 1, kDiv = 2, kNone = 3 };
+
+struct TraceRecord {
+  RecFormat fmt = RecFormat::kOther;
+  bool wrong_path = false;  ///< the Tag Bit
+
+  // Register operands (kNoReg encoded as 63). out unused for B/stores.
+  Reg out = kNoReg;
+  Reg in1 = kNoReg;
+  Reg in2 = kNoReg;
+
+  // O fields
+  OtherFu fu = OtherFu::kAlu;
+
+  // M fields
+  bool is_store = false;
+  Addr addr = 0;  ///< effective address (32 bits on the wire)
+
+  // B fields
+  isa::CtrlType ctrl = isa::CtrlType::kNone;
+  bool taken = false;
+  Addr pc = 0;      ///< branch PC (predictor indexing)
+  Addr target = 0;  ///< destination when taken (static target when not)
+
+  [[nodiscard]] bool is_branch() const { return fmt == RecFormat::kBranch; }
+  [[nodiscard]] bool is_mem() const { return fmt == RecFormat::kMem; }
+  [[nodiscard]] bool is_load() const { return is_mem() && !is_store; }
+
+  // ---- convenience constructors -------------------------------------------
+  [[nodiscard]] static TraceRecord other(OtherFu fu, Reg out, Reg in1, Reg in2) {
+    TraceRecord r;
+    r.fmt = RecFormat::kOther;
+    r.fu = fu;
+    r.out = out;
+    r.in1 = in1;
+    r.in2 = in2;
+    return r;
+  }
+
+  [[nodiscard]] static TraceRecord mem(bool is_store, Addr addr, Reg out, Reg in1, Reg in2) {
+    TraceRecord r;
+    r.fmt = RecFormat::kMem;
+    r.is_store = is_store;
+    r.addr = addr;
+    r.out = out;
+    r.in1 = in1;
+    r.in2 = in2;
+    return r;
+  }
+
+  [[nodiscard]] static TraceRecord branch(isa::CtrlType ctrl, bool taken, Addr pc, Addr target,
+                                          Reg in1, Reg in2, Reg out = kNoReg) {
+    TraceRecord r;
+    r.fmt = RecFormat::kBranch;
+    r.ctrl = ctrl;
+    r.taken = taken;
+    r.pc = pc;
+    r.target = target;
+    r.in1 = in1;
+    r.in2 = in2;
+    r.out = out;
+    return r;
+  }
+};
+
+}  // namespace resim::trace
+
+#endif  // RESIM_TRACE_RECORD_H

@@ -1,0 +1,55 @@
+// Trace-stream statistics: record mix, Tag-bit (wrong-path) fraction and
+// exact wire-format size — the inputs to the paper's Table 3
+// ("bits/Instr" and "Trace Throughput").
+#ifndef RESIM_TRACE_TRACE_STATS_H
+#define RESIM_TRACE_TRACE_STATS_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/writer.hpp"
+
+namespace resim::trace {
+
+struct TraceStats {
+  std::uint64_t total_records = 0;
+  std::uint64_t wrong_path_records = 0;
+  std::uint64_t other_records = 0;
+  std::uint64_t mem_records = 0;
+  std::uint64_t branch_records = 0;
+  std::uint64_t load_records = 0;
+  std::uint64_t store_records = 0;
+  std::uint64_t total_bits = 0;
+
+  [[nodiscard]] std::uint64_t correct_path_records() const {
+    return total_records - wrong_path_records;
+  }
+  /// Average record size over the whole stream (Table 3 "bits /Instr.").
+  [[nodiscard]] double bits_per_inst() const {
+    return total_records == 0 ? 0.0
+                              : static_cast<double>(total_bits) / static_cast<double>(total_records);
+  }
+  [[nodiscard]] double branch_fraction() const {
+    return total_records == 0 ? 0.0
+                              : static_cast<double>(branch_records) / static_cast<double>(total_records);
+  }
+  [[nodiscard]] double mem_fraction() const {
+    return total_records == 0 ? 0.0
+                              : static_cast<double>(mem_records) / static_cast<double>(total_records);
+  }
+  /// Wrong-path overhead relative to correct-path instructions (~10% in §V.C).
+  [[nodiscard]] double wrong_path_overhead() const {
+    return correct_path_records() == 0
+               ? 0.0
+               : static_cast<double>(wrong_path_records) /
+                     static_cast<double>(correct_path_records());
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] TraceStats analyze(const Trace& t);
+
+}  // namespace resim::trace
+
+#endif  // RESIM_TRACE_TRACE_STATS_H

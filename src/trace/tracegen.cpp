@@ -1,0 +1,164 @@
+#include "trace/tracegen.hpp"
+
+#include <stdexcept>
+
+namespace resim::trace {
+
+using funcsim::DynInst;
+using isa::CtrlType;
+using isa::FuClass;
+using isa::Opcode;
+using isa::StaticInst;
+
+namespace {
+
+OtherFu other_fu_of(FuClass fc) {
+  switch (fc) {
+    case FuClass::kIntAlu: return OtherFu::kAlu;
+    case FuClass::kIntMult: return OtherFu::kMul;
+    case FuClass::kIntDiv: return OtherFu::kDiv;
+    case FuClass::kNone: return OtherFu::kNone;
+    case FuClass::kMemRead:
+    case FuClass::kMemWrite:
+      break;
+  }
+  throw std::logic_error("other_fu_of: memory class in O record");
+}
+
+/// Static (instruction-encoded) target of a control instruction, used for
+/// B records of not-taken branches and wrong-path branch records.
+Addr static_target(const StaticInst& si, Addr pc, const isa::Program& prog) {
+  switch (si.ctrl()) {
+    case CtrlType::kCond:
+      return pc + static_cast<Addr>(static_cast<std::int64_t>(si.imm) *
+                                    static_cast<std::int64_t>(kInstBytes));
+    case CtrlType::kJump:
+    case CtrlType::kCall:
+      return prog.pc_of(static_cast<std::size_t>(si.imm));
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(workload::Workload wl, const TraceGenConfig& cfg)
+    : wl_(std::move(wl)), cfg_(cfg), fsim_(wl_.program, wl_.fsim), bp_(cfg.bp) {
+  if (cfg_.wrong_path_block == 0 && cfg_.emit_wrong_path) {
+    throw std::invalid_argument("TraceGenConfig: wrong_path_block must be > 0");
+  }
+}
+
+bool TraceGenerator::done() const {
+  return fsim_.done() || correct_insts_ >= cfg_.max_insts;
+}
+
+TraceRecord TraceGenerator::record_of(const DynInst& d) {
+  const StaticInst& si = *d.si;
+  if (isa::is_branch(si.op)) {
+    // Not-taken conditionals carry the static target (harmless: the BTB
+    // trains only on taken branches).
+    const Addr tgt = d.taken ? d.next_pc : d.pc;  // filled properly by caller
+    TraceRecord r = TraceRecord::branch(si.ctrl(), d.taken, d.pc, tgt, si.rs1, si.rs2,
+                                        si.ctrl() == CtrlType::kCall ? kLinkReg : kNoReg);
+    return r;
+  }
+  if (isa::is_mem(si.op)) {
+    if (isa::is_store(si.op)) {
+      return TraceRecord::mem(true, d.mem_addr, kNoReg, si.rs1, si.rs2);
+    }
+    return TraceRecord::mem(false, d.mem_addr, si.rd, si.rs1, kNoReg);
+  }
+  return TraceRecord::other(other_fu_of(si.fu()), si.writes_reg() ? si.rd : kNoReg,
+                            si.rs1, si.rs2);
+}
+
+TraceRecord TraceGenerator::wrong_path_record(Addr wpc) const {
+  const isa::Program& prog = wl_.program;
+  const StaticInst* si = prog.fetch(wpc);
+  TraceRecord r;
+  if (si == nullptr) {
+    // Outside the code image: synthesize a plausible ALU filler so the
+    // block still occupies pipeline resources deterministically.
+    const Reg reg = static_cast<Reg>(1 + ((wpc >> 3) % 30));
+    r = TraceRecord::other(OtherFu::kAlu, reg, reg, kNoReg);
+  } else if (isa::is_branch(si->op)) {
+    // Wrong-path branches are recorded not-taken: the block is a
+    // straight-line conservative window (paper §V.A).
+    r = TraceRecord::branch(si->ctrl(), false, wpc, static_target(*si, wpc, prog),
+                            si->rs1, si->rs2,
+                            si->ctrl() == CtrlType::kCall ? kLinkReg : kNoReg);
+  } else if (isa::is_mem(si->op)) {
+    // Effective address from the *current* architectural registers — the
+    // exact state wrong-path execution would observe at the mispredicted
+    // branch.
+    const std::uint64_t base = si->rs1 == kNoReg ? 0 : fsim_.reg(si->rs1);
+    const Addr addr = fsim_.memory().normalize(
+        base + static_cast<std::uint64_t>(static_cast<std::int64_t>(si->imm)));
+    r = isa::is_store(si->op) ? TraceRecord::mem(true, addr, kNoReg, si->rs1, si->rs2)
+                              : TraceRecord::mem(false, addr, si->rd, si->rs1, kNoReg);
+  } else {
+    r = TraceRecord::other(other_fu_of(si->fu()), si->writes_reg() ? si->rd : kNoReg,
+                           si->rs1, si->rs2);
+  }
+  r.wrong_path = true;
+  return r;
+}
+
+void TraceGenerator::emit_wrong_path_block(Addr wrong_pc, std::vector<TraceRecord>& out) {
+  Addr wpc = wrong_pc;
+  for (std::uint32_t i = 0; i < cfg_.wrong_path_block; ++i) {
+    out.push_back(wrong_path_record(wpc));
+    stats_.counter("tracegen.wrong_path_insts").add();
+    wpc += kInstBytes;
+  }
+}
+
+std::size_t TraceGenerator::step(std::vector<TraceRecord>& out) {
+  if (done()) return 0;
+  const DynInst d = fsim_.step();
+  if (d.si == nullptr) return 0;  // ran off the image: treat as end of trace
+
+  const std::size_t before = out.size();
+  TraceRecord rec = record_of(d);
+  if (rec.is_branch() && !d.taken) {
+    rec.target = static_target(*d.si, d.pc, wl_.program);
+  }
+  out.push_back(rec);
+  ++correct_insts_;
+  stats_.counter("tracegen.insts").add();
+
+  if (d.is_branch()) {
+    stats_.counter("tracegen.branches").add();
+    const auto pred =
+        bp_.predict(d.pc, d.si->ctrl(), d.pc + kInstBytes, d.taken, d.next_pc);
+    const auto outcome = bpred::BranchPredictorUnit::classify(pred, d.taken, d.next_pc);
+    switch (outcome) {
+      case bpred::Outcome::kCorrect:
+        stats_.counter("tracegen.correct").add();
+        break;
+      case bpred::Outcome::kMisfetch:
+        stats_.counter("tracegen.misfetches").add();
+        break;
+      case bpred::Outcome::kMispredict:
+        stats_.counter("tracegen.mispredicts").add();
+        if (cfg_.emit_wrong_path) emit_wrong_path_block(pred.next_pc, out);
+        break;
+    }
+    // sim-bpred trains immediately; commit order equals trace order here.
+    bp_.update_commit(d.pc, d.si->ctrl(), d.taken, d.next_pc, pred);
+  }
+  return out.size() - before;
+}
+
+Trace TraceGenerator::generate() {
+  Trace t;
+  t.name = wl_.name;
+  t.start_pc = wl_.program.base();
+  t.records.reserve(cfg_.max_insts + cfg_.max_insts / 8);
+  while (step(t.records) != 0) {
+  }
+  return t;
+}
+
+}  // namespace resim::trace

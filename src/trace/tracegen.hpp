@@ -1,0 +1,73 @@
+// Trace generation: functional simulation + branch predictor + wrong-path
+// injection (paper §V.A).
+//
+//   "To produce a trace that includes incorrect path instructions and
+//    simulate the effects of mis-speculation we use a functional
+//    simulator which includes branch predictor (sim-bpred). ... our trace
+//    generation code inserts in the trace a number of incorrectly fetched
+//    instructions called wrong path block after each mis-predicted branch
+//    instruction. These instructions are tagged as mis-speculated. ...
+//    A very conservative assumption for the wrong path block size is
+//    equal to Reorder Buffer size plus IFQ size."
+//
+// The generator runs the same BranchPredictorUnit configuration as the
+// timing engine, so the engine's fetch-time mispredictions line up with
+// the tagged blocks in the common case; the engine tolerates (and counts)
+// residual disagreements caused by commit-time update lag.
+#ifndef RESIM_TRACE_TRACEGEN_H
+#define RESIM_TRACE_TRACEGEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/unit.hpp"
+#include "common/stats.hpp"
+#include "funcsim/funcsim.hpp"
+#include "trace/writer.hpp"
+#include "workload/workload.hpp"
+
+namespace resim::trace {
+
+struct TraceGenConfig {
+  bpred::BPredConfig bp{};               ///< must match the engine's predictor
+  std::uint32_t wrong_path_block = 24;   ///< ROB(16) + IFQ(8), the paper's conservative size
+  bool emit_wrong_path = true;
+  std::uint64_t max_insts = 1'000'000;   ///< correct-path dynamic instruction budget
+};
+
+class TraceGenerator {
+ public:
+  TraceGenerator(workload::Workload wl, const TraceGenConfig& cfg);
+
+  /// Emit the records of one correct-path instruction (plus a tagged
+  /// wrong-path block after a mispredicted branch). Returns the number of
+  /// records appended; 0 means the stream has ended.
+  std::size_t step(std::vector<TraceRecord>& out);
+
+  /// Run to the instruction budget (or program halt) and return the trace.
+  [[nodiscard]] Trace generate();
+
+  [[nodiscard]] bool done() const;
+  [[nodiscard]] std::uint64_t correct_path_insts() const { return correct_insts_; }
+  [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
+  [[nodiscard]] const bpred::BranchPredictorUnit& predictor() const { return bp_; }
+  [[nodiscard]] const workload::Workload& workload() const { return wl_; }
+
+  /// Pre-decode one dynamic instruction into its trace record.
+  [[nodiscard]] static TraceRecord record_of(const funcsim::DynInst& d);
+
+ private:
+  void emit_wrong_path_block(Addr wrong_pc, std::vector<TraceRecord>& out);
+  [[nodiscard]] TraceRecord wrong_path_record(Addr wpc) const;
+
+  workload::Workload wl_;  // owned: keeps the Program alive for fsim_
+  TraceGenConfig cfg_;
+  funcsim::FuncSim fsim_;
+  bpred::BranchPredictorUnit bp_;
+  StatsRegistry stats_;
+  std::uint64_t correct_insts_ = 0;
+};
+
+}  // namespace resim::trace
+
+#endif  // RESIM_TRACE_TRACEGEN_H

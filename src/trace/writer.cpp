@@ -1,0 +1,89 @@
+#include "trace/writer.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace resim::trace {
+
+namespace {
+constexpr char kMagic[4] = {'R', 'S', 'I', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ofstream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+std::uint32_t read_u32(std::ifstream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+}  // namespace
+
+std::vector<std::uint8_t> Trace::encode_payload() const {
+  BitWriter w;
+  for (const auto& r : records) encode(r, w);
+  w.align_byte();
+  return std::move(w).take();
+}
+
+std::vector<TraceRecord> Trace::decode_payload(std::span<const std::uint8_t> payload,
+                                               std::uint64_t count) {
+  BitReader br(payload);
+  std::vector<TraceRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(decode(br));
+  return out;
+}
+
+void save_trace(const Trace& t, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_trace: cannot open " + path);
+  os.write(kMagic, sizeof kMagic);
+  write_u32(os, kVersion);
+  write_u32(os, static_cast<std::uint32_t>(t.name.size()));
+  os.write(t.name.data(), static_cast<std::streamsize>(t.name.size()));
+  write_u64(os, t.start_pc);
+  write_u64(os, t.records.size());
+  const auto payload = t.encode_payload();
+  write_u64(os, payload.size());
+  os.write(reinterpret_cast<const char*>(payload.data()),
+           static_cast<std::streamsize>(payload.size()));
+  if (!os) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_trace: cannot open " + path);
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("load_trace: bad magic in " + path);
+  }
+  const std::uint32_t version = read_u32(is);
+  if (version != kVersion) throw std::runtime_error("load_trace: unsupported version");
+  const std::uint32_t name_len = read_u32(is);
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  Trace t;
+  t.name = std::move(name);
+  t.start_pc = read_u64(is);
+  const std::uint64_t count = read_u64(is);
+  const std::uint64_t payload_len = read_u64(is);
+  std::vector<std::uint8_t> payload(payload_len);
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload_len));
+  if (!is) throw std::runtime_error("load_trace: truncated file " + path);
+  t.records = Trace::decode_payload(payload, count);
+  return t;
+}
+
+}  // namespace resim::trace

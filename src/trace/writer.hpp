@@ -1,0 +1,46 @@
+// Trace container and writer.
+//
+// A Trace owns the record stream for a benchmark run, both as decoded
+// records (fast in-memory simulation) and, on demand, in the encoded
+// wire format (file exchange, throughput accounting — paper Table 3).
+#ifndef RESIM_TRACE_WRITER_H
+#define RESIM_TRACE_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+#include "trace/record.hpp"
+
+namespace resim::trace {
+
+struct Trace {
+  std::string name;       ///< benchmark name
+  Addr start_pc = 0;      ///< first correct-path PC
+  std::vector<TraceRecord> records;
+
+  [[nodiscard]] std::uint64_t size() const { return records.size(); }
+
+  /// Exact wire size in bits of the whole stream.
+  [[nodiscard]] std::uint64_t total_bits() const {
+    std::uint64_t bits = 0;
+    for (const auto& r : records) bits += encoded_bits(r);
+    return bits;
+  }
+
+  /// Encode to the wire format (byte-aligned at the end only).
+  [[nodiscard]] std::vector<std::uint8_t> encode_payload() const;
+
+  /// Decode a payload of `count` records.
+  [[nodiscard]] static std::vector<TraceRecord> decode_payload(
+      std::span<const std::uint8_t> payload, std::uint64_t count);
+};
+
+/// File container: magic, version, name, start PC, record count, payload.
+void save_trace(const Trace& t, const std::string& path);
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+}  // namespace resim::trace
+
+#endif  // RESIM_TRACE_WRITER_H

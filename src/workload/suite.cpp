@@ -1,0 +1,28 @@
+#include "workload/suite.hpp"
+
+#include <stdexcept>
+
+namespace resim::workload {
+
+const std::vector<std::string>& suite_names() {
+  static const std::vector<std::string> kNames = {"gzip", "bzip2", "parser", "vortex", "vpr"};
+  return kNames;
+}
+
+Workload make_workload(std::string_view name, const WorkloadParams& p) {
+  if (name == "gzip") return make_gzip_like(p);
+  if (name == "bzip2") return make_bzip2_like(p);
+  if (name == "parser") return make_parser_like(p);
+  if (name == "vortex") return make_vortex_like(p);
+  if (name == "vpr") return make_vpr_like(p);
+  throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+std::vector<Workload> make_suite(const WorkloadParams& p) {
+  std::vector<Workload> out;
+  out.reserve(suite_names().size());
+  for (const auto& n : suite_names()) out.push_back(make_workload(n, p));
+  return out;
+}
+
+}  // namespace resim::workload

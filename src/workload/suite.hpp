@@ -1,0 +1,23 @@
+// Registry of the SPECINT-like benchmark suite (paper Tables 1 and 3).
+#ifndef RESIM_WORKLOAD_SUITE_H
+#define RESIM_WORKLOAD_SUITE_H
+
+#include <string_view>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace resim::workload {
+
+/// Names in the paper's table order: gzip, bzip2, parser, vortex, vpr.
+[[nodiscard]] const std::vector<std::string>& suite_names();
+
+/// Factory by name; throws std::invalid_argument for unknown names.
+[[nodiscard]] Workload make_workload(std::string_view name, const WorkloadParams& p = {});
+
+/// The whole suite.
+[[nodiscard]] std::vector<Workload> make_suite(const WorkloadParams& p = {});
+
+}  // namespace resim::workload
+
+#endif  // RESIM_WORKLOAD_SUITE_H

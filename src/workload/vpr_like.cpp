@@ -1,0 +1,84 @@
+// vpr-like workload: FPGA place-and-route (simulated annealing) character.
+//
+// Character reproduced (vs SPECINT vpr): an inline xorshift RNG chain
+// (serial ALU dependence), coordinate loads and wirelength-style cost
+// arithmetic with a multiply and an occasional divide on the slow
+// unpipelined unit, a biased accept/reject branch (taken 7/8), and a
+// ~512 KiB placement array (moderate footprint: second-best with 32 KiB
+// L1s in the paper). Distance arithmetic is branchless (xor/mask), so
+// the only hard branch is the annealing accept — mid-pack accuracy.
+#include "workload/workload.hpp"
+
+namespace resim::workload {
+
+using detail::kBase;
+using detail::li32;
+using isa::AsmBuilder;
+
+Workload make_vpr_like(const WorkloadParams& p) {
+  AsmBuilder a("vpr");
+  detail::outer_prologue(a, p.iterations);
+
+  // r2 rng state   r3 placement mask (512 KiB)
+  li32(a, 2, 0x1234'5677);
+  li32(a, 3, 0x0007'FFF8);
+
+  a.label("loop");
+  // xorshift RNG, two rounds: serial 9-op chain (vpr's RNG-heavy moves).
+  a.slli(4, 2, 13);
+  a.xor_(2, 2, 4);
+  a.srli(4, 2, 7);
+  a.xor_(2, 2, 4);
+  a.slli(4, 2, 17);
+  a.xor_(2, 2, 4);
+  a.srli(4, 2, 5);
+  a.xor_(2, 2, 4);
+  a.slli(4, 2, 23);
+  a.xor_(2, 2, 4);
+  // Pick two cells (addresses ready as soon as the RNG settles).
+  a.and_(14, 2, 3);
+  a.srli(5, 2, 19);
+  a.and_(15, 5, 3);
+  a.add(6, kBase, 14);
+  a.lw(7, 6, 0);               // L1: x1
+  a.lw(8, 6, 8);               // L2: y1
+  a.add(9, kBase, 15);
+  a.lw(10, 9, 0);              // L3: x2
+  a.lw(11, 9, 8);              // L4: y2
+  // Branchless wirelength proxy plus a quadratic congestion term.
+  a.xor_(12, 7, 10);
+  a.andi(12, 12, 0xFFFF);
+  a.sub(17, 8, 11);
+  a.mul(18, 17, 17);
+  a.add(19, 12, 18);
+  // Every 16th move: normalization divide (slow unpipelined unit).
+  a.andi(20, 2, 15);
+  a.bne(20, kZeroReg, "nodiv");  // taken 15/16: predictable
+  a.ori(21, kZeroReg, 7);
+  a.div(19, 19, 21);
+  a.label("nodiv");
+  a.lw(22, 6, 16);             // L5: current cost of cell 1
+  a.lw(26, 9, 16);             // L6: current cost of cell 2
+  a.lw(27, 6, 24);             // L7: congestion entry
+  a.add(23, 19, 22);
+  a.sub(29, 23, 26);
+  a.add(25, 25, 27);
+  // Annealing accept/reject: taken 7/8 (the hard vpr branch).
+  a.andi(24, 2, 7);
+  a.bne(24, kZeroReg, "reject");
+  a.sw(10, 6, 0);              // accept: swap x coordinates
+  a.sw(7, 9, 0);
+  a.label("reject");
+  a.sw(23, 6, 16);             // S: cost writeback (early-known address)
+  a.add(25, 25, 19);
+  detail::outer_epilogue(a, "loop");
+
+  Workload w;
+  w.name = "vpr";
+  w.program = a.build();
+  w.fsim.mem_seed = p.seed;
+  w.fsim.mem_size_bytes = 1 << 22;
+  return w;
+}
+
+}  // namespace resim::workload

@@ -1,0 +1,29 @@
+#include "workload/workload.hpp"
+
+namespace resim::workload::detail {
+
+using isa::AsmBuilder;
+
+void li32(AsmBuilder& a, Reg rd, std::uint32_t value) {
+  const std::uint32_t hi = value >> 16;
+  const std::uint32_t lo = value & 0xFFFFu;
+  if (hi == 0) {
+    a.li(rd, static_cast<std::int32_t>(lo));
+  } else {
+    a.alui(isa::Opcode::kLui, rd, kZeroReg, static_cast<std::int32_t>(hi));
+    if (lo != 0) a.ori(rd, rd, static_cast<std::int32_t>(lo));
+  }
+}
+
+void outer_prologue(AsmBuilder& a, std::uint32_t iterations) {
+  li32(a, kBase, static_cast<std::uint32_t>(funcsim::MemoryImage::kDataBase));
+  li32(a, kIter, iterations);
+}
+
+void outer_epilogue(AsmBuilder& a, const std::string& loop_label) {
+  a.addi(kIter, kIter, -1);
+  a.bne(kIter, kZeroReg, loop_label);
+  a.halt();
+}
+
+}  // namespace resim::workload::detail

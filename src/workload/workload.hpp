@@ -1,0 +1,66 @@
+// Workload generation: synthetic programs standing in for the paper's
+// SPECINT CPU2000 benchmarks (gzip, bzip2, parser, vortex, vpr).
+//
+// ReSim consumes *traces*, so what matters to every reproduced result is
+// the dynamic stream's statistical character: instruction mix (drives
+// trace bits/instruction, Table 3), branch predictability, ILP and
+// memory behaviour (drive IPC and hence simulated MIPS, Table 1).
+// Each generator builds a real program for our PISA-like ISA whose
+// behaviour is data-dependent through the seeded memory image, not a
+// stochastic fake; predictability and locality emerge from the code.
+#ifndef RESIM_WORKLOAD_WORKLOAD_H
+#define RESIM_WORKLOAD_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+
+#include "funcsim/funcsim.hpp"
+#include "isa/asmbuilder.hpp"
+#include "isa/program.hpp"
+
+namespace resim::workload {
+
+struct WorkloadParams {
+  /// Outer-loop iteration bound. The default is effectively unbounded;
+  /// consumers stop after a dynamic instruction budget.
+  std::uint32_t iterations = 0x7FFF'FFFF;
+  /// Seed for the data memory image (input data).
+  std::uint64_t seed = 42;
+};
+
+/// A generated benchmark: program plus the functional-sim configuration
+/// (memory size/seed) it expects.
+struct Workload {
+  std::string name;
+  isa::Program program;
+  funcsim::FuncSimConfig fsim;
+};
+
+// The five SPECINT-like generators (one translation unit each).
+[[nodiscard]] Workload make_gzip_like(const WorkloadParams& p = {});
+[[nodiscard]] Workload make_bzip2_like(const WorkloadParams& p = {});
+[[nodiscard]] Workload make_parser_like(const WorkloadParams& p = {});
+[[nodiscard]] Workload make_vortex_like(const WorkloadParams& p = {});
+[[nodiscard]] Workload make_vpr_like(const WorkloadParams& p = {});
+
+namespace detail {
+
+/// Load an arbitrary 32-bit constant (lui/ori pair when needed).
+void li32(isa::AsmBuilder& a, Reg rd, std::uint32_t value);
+
+/// Emit the canonical outer-loop prologue: r1 = data base, r30 = iteration
+/// count-down. Returns nothing; callers place the "outer" label after it.
+void outer_prologue(isa::AsmBuilder& a, std::uint32_t iterations);
+
+/// Emit the canonical outer-loop epilogue: decrement r30, branch to
+/// `loop_label` while r30 != 0, then halt.
+void outer_epilogue(isa::AsmBuilder& a, const std::string& loop_label);
+
+inline constexpr Reg kBase = 1;   ///< r1: data-segment base pointer
+inline constexpr Reg kIter = 30;  ///< r30: outer-loop countdown
+
+}  // namespace detail
+
+}  // namespace resim::workload
+
+#endif  // RESIM_WORKLOAD_WORKLOAD_H

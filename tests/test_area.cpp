@@ -1,0 +1,161 @@
+// FPGA area model (Table 4) and device/fit calculations.
+#include <gtest/gtest.h>
+
+#include "fpga/area.hpp"
+#include "fpga/device.hpp"
+#include "fpga/fit.hpp"
+
+namespace resim::fpga {
+namespace {
+
+core::CoreConfig table4_cfg() {
+  // Table 4 reports the cache-inclusive breakdown: default core + 32K L1s.
+  auto c = core::CoreConfig::paper_4wide_perfect();
+  c.mem = cache::MemSysConfig::paper_l1();
+  return c;
+}
+
+TEST(Area, TotalsMatchPaperTable4) {
+  const auto a = estimate_area(table4_cfg());
+  // Paper: 12273 slices, 17175 4-input LUTs, 7 BRAMs.
+  EXPECT_NEAR(a.total_slices(), 12273, 12273 * 0.05);
+  EXPECT_NEAR(a.total_lut4(), 17175, 17175 * 0.05);
+  EXPECT_NEAR(a.total_bram18(), 7, 0.5);
+}
+
+TEST(Area, StagePercentagesMatchPaper) {
+  const auto a = estimate_area(table4_cfg());
+  // Paper Table 4 slice percentages.
+  const std::pair<const char*, double> kSlicePct[] = {
+      {"fetch", 25}, {"disp", 9}, {"issue", 5}, {"lsq", 14}, {"wb", 3}, {"cmt", 2},
+      {"RT", 3},     {"RB", 13},  {"LSQ", 6},   {"BP", 2},   {"D-C", 17}, {"I-C", 1}};
+  for (const auto& [name, pct] : kSlicePct) {
+    EXPECT_NEAR(a.slice_percent(name), pct, 2.5) << name;
+  }
+  const std::pair<const char*, double> kLutPct[] = {
+      {"fetch", 23}, {"disp", 5}, {"issue", 7}, {"lsq", 19}, {"wb", 4}, {"cmt", 2},
+      {"RT", 4},     {"RB", 14},  {"LSQ", 4},   {"BP", 2},   {"D-C", 15}, {"I-C", 1}};
+  for (const auto& [name, pct] : kLutPct) {
+    EXPECT_NEAR(a.lut_percent(name), pct, 2.5) << name;
+  }
+}
+
+TEST(Area, BramSplitMatchesPaper) {
+  // Paper: BRAMs only in the BP (71%) and I-cache (29%) of 7 blocks.
+  const auto a = estimate_area(table4_cfg());
+  EXPECT_NEAR(a.bram_percent("BP"), 71, 8);
+  EXPECT_NEAR(a.bram_percent("I-C"), 29, 8);
+  EXPECT_DOUBLE_EQ(a.stage("D-C").bram18, 0.0);  // D-cache tags distributed
+  EXPECT_DOUBLE_EQ(a.stage("RB").bram18, 0.0);
+}
+
+TEST(Area, CoreExcludingCachesNearTenThousandSlices) {
+  // §VI: "fits within about 10K Xilinx FPGA slices" excluding caches.
+  const auto a = estimate_area(table4_cfg());
+  EXPECT_NEAR(a.core_slices(), 10064, 10064 * 0.06);
+}
+
+TEST(Area, FastComparisonRatios) {
+  // §V: FAST is 29230 slices / 172 BRAMs = 2.4x / 24x ReSim.
+  const auto a = estimate_area(table4_cfg());
+  const auto fast = fast_area_reference();
+  EXPECT_NEAR(fast.slices / a.total_slices(), 2.4, 0.25);
+  EXPECT_NEAR(fast.bram18 / a.total_bram18(), 24, 3.0);
+}
+
+TEST(Area, MonotoneInRobSize) {
+  auto small = table4_cfg();
+  small.rob_size = 8;
+  auto big = table4_cfg();
+  big.rob_size = 64;
+  EXPECT_LT(estimate_area(small).stage("RB").slices, estimate_area(big).stage("RB").slices);
+  EXPECT_LT(estimate_area(small).total_slices(), estimate_area(big).total_slices());
+}
+
+TEST(Area, MonotoneInWidth) {
+  auto narrow = table4_cfg();
+  narrow.width = 2;
+  narrow.mem_read_ports = 1;
+  const auto a2 = estimate_area(narrow);
+  const auto a4 = estimate_area(table4_cfg());
+  EXPECT_LT(a2.stage("fetch").lut4, a4.stage("fetch").lut4);
+  EXPECT_LT(a2.stage("wb").lut4, a4.stage("wb").lut4);
+}
+
+TEST(Area, LsqRefreshScalesQuadratically) {
+  auto small = table4_cfg();
+  small.lsq_size = 4;
+  auto big = table4_cfg();
+  big.lsq_size = 16;
+  const double s = estimate_area(small).stage("lsq").lut4;
+  const double b = estimate_area(big).stage("lsq").lut4;
+  EXPECT_GT(b - 703, (s - 703) * 8);  // 16^2 / 4^2 = 16x the CAM
+}
+
+TEST(Area, PerfectMemoryDropsCacheCost) {
+  const auto a = estimate_area(core::CoreConfig::paper_4wide_perfect());
+  EXPECT_DOUBLE_EQ(a.stage("D-C").slices, 0.0);
+  EXPECT_DOUBLE_EQ(a.stage("I-C").bram18, 0.0);
+}
+
+TEST(Area, TableRendersAllStages) {
+  const auto txt = estimate_area(table4_cfg()).table();
+  for (const char* s : {"fetch", "disp", "issue", "lsq", "wb", "cmt", "RT", "RB",
+                        "LSQ", "BP", "D-C", "I-C", "Slices", "BRAMs"}) {
+    EXPECT_NE(txt.find(s), std::string::npos) << s;
+  }
+}
+
+TEST(Area, UnknownStageThrows) {
+  const auto a = estimate_area(table4_cfg());
+  EXPECT_THROW((void)a.stage("nope"), std::invalid_argument);
+}
+
+// ---- devices -----------------------------------------------------------------
+
+TEST(Device, CatalogHasPaperParts) {
+  EXPECT_EQ(xc4vlx40().minor_clock_mhz, 84.0);   // §V.C
+  EXPECT_EQ(xc5vlx50t().minor_clock_mhz, 105.0);
+  EXPECT_EQ(xc4vlx40().slices, 18432u);
+  EXPECT_THROW((void)device_by_name("xc9000"), std::invalid_argument);
+}
+
+TEST(Device, Virtex5EquivalentCapacity) {
+  EXPECT_GT(xc5vlx50t().v4_equivalent_slices(), xc5vlx50t().slices);
+  EXPECT_EQ(xc4vlx40().v4_equivalent_slices(), 18432.0);
+  EXPECT_EQ(xc5vlx50t().bram18_equivalents(), 120.0);  // 60 x 36Kb blocks
+}
+
+// ---- fit ---------------------------------------------------------------------
+
+TEST(Fit, OneInstanceOnPaperDevice) {
+  // ReSim (with caches) occupies ~12.3K of the xc4vlx40's 18.4K slices:
+  // exactly one instance fits.
+  const auto a = estimate_area(table4_cfg());
+  const auto f = fit_instances(xc4vlx40(), a);
+  EXPECT_EQ(f.instances, 1u);
+  EXPECT_TRUE(f.slice_limited);
+}
+
+TEST(Fit, LargerDeviceHostsMultipleCores) {
+  // §VI: "it is possible to fit multiple ReSim instances in a single
+  // FPGA and simulate multi-core systems".
+  const auto a = estimate_area(table4_cfg());
+  const auto f = fit_instances(xc4vlx160(), a);
+  EXPECT_GE(f.instances, 4u);
+  EXPECT_LE(f.slice_utilization, 0.9);
+}
+
+TEST(Fit, CmpThroughputScalesLinearly) {
+  EXPECT_DOUBLE_EQ(cmp_throughput_mips(4, 22.94), 4 * 22.94);
+}
+
+TEST(Fit, UtilizationBoundRespected) {
+  const auto a = estimate_area(table4_cfg());
+  const auto f = fit_instances(xc4vlx160(), a, 0.5);
+  EXPECT_LE(f.slice_utilization, 0.5 + 1e-9);
+  EXPECT_THROW(fit_instances(xc4vlx160(), a, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resim::fpga

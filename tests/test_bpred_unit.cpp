@@ -1,0 +1,213 @@
+// BTB, RAS and the combined branch predictor unit (misfetch/mispredict
+// classification of paper §III).
+#include <gtest/gtest.h>
+
+#include "bpred/btb.hpp"
+#include "bpred/ras.hpp"
+#include "bpred/unit.hpp"
+
+namespace resim::bpred {
+namespace {
+
+using isa::CtrlType;
+
+// ---- BTB -----------------------------------------------------------------
+
+TEST(Btb, MissThenHitAfterUpdate) {
+  Btb b(512, 1);
+  EXPECT_FALSE(b.lookup(0x400100).has_value());
+  b.update(0x400100, 0x400800);
+  const auto t = b.lookup(0x400100);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 0x400800u);
+}
+
+TEST(Btb, DirectMappedConflictEvicts) {
+  Btb b(8, 1);  // 8 sets
+  const Addr a = 0x400000;
+  const Addr conflicting = a + 8 * 8;  // same set, different tag
+  b.update(a, 0x1111);
+  b.update(conflicting, 0x2222);
+  EXPECT_FALSE(b.lookup(a).has_value());
+  EXPECT_TRUE(b.lookup(conflicting).has_value());
+}
+
+TEST(Btb, AssociativityAvoidsConflict) {
+  Btb b(8, 2);  // 4 sets x 2 ways
+  const Addr a = 0x400000;
+  const Addr conflicting = a + 4 * 8;
+  b.update(a, 0x1111);
+  b.update(conflicting, 0x2222);
+  EXPECT_TRUE(b.lookup(a).has_value());
+  EXPECT_TRUE(b.lookup(conflicting).has_value());
+}
+
+TEST(Btb, LruEvictsOldest) {
+  Btb b(4, 2);  // 2 sets x 2 ways
+  const Addr s0a = 0x400000, s0b = s0a + 2 * 8, s0c = s0a + 4 * 8;  // same set
+  b.update(s0a, 1);
+  b.update(s0b, 2);
+  (void)b.lookup(s0a);   // refresh a
+  b.update(s0c, 3);      // evicts b (LRU)
+  EXPECT_TRUE(b.lookup(s0a).has_value());
+  EXPECT_FALSE(b.lookup(s0b).has_value());
+  EXPECT_TRUE(b.lookup(s0c).has_value());
+}
+
+TEST(Btb, UpdateRefreshesTarget) {
+  Btb b(512, 1);
+  b.update(0x400100, 0x1000);
+  b.update(0x400100, 0x2000);
+  EXPECT_EQ(*b.lookup(0x400100), 0x2000u);
+}
+
+TEST(Btb, CountsLookupsAndHits) {
+  Btb b(512, 1);
+  (void)b.lookup(0x400100);
+  b.update(0x400100, 1);
+  (void)b.lookup(0x400100);
+  EXPECT_EQ(b.lookups(), 2u);
+  EXPECT_EQ(b.hits(), 1u);
+}
+
+TEST(Btb, RejectsBadGeometry) {
+  EXPECT_THROW(Btb(100, 1), std::invalid_argument);
+  EXPECT_THROW(Btb(8, 16), std::invalid_argument);
+}
+
+// ---- RAS -----------------------------------------------------------------
+
+TEST(Ras, LifoOrder) {
+  Ras r(16);
+  r.push(0x100);
+  r.push(0x200);
+  r.push(0x300);
+  EXPECT_EQ(*r.pop(), 0x300u);
+  EXPECT_EQ(*r.pop(), 0x200u);
+  EXPECT_EQ(*r.pop(), 0x100u);
+}
+
+TEST(Ras, UnderflowReturnsNulloptAndCounts) {
+  Ras r(4);
+  EXPECT_FALSE(r.pop().has_value());
+  EXPECT_EQ(r.underflows(), 1u);
+}
+
+TEST(Ras, OverflowWrapsOverwritingOldest) {
+  Ras r(2);
+  r.push(1);
+  r.push(2);
+  r.push(3);  // overwrites 1
+  EXPECT_EQ(r.overflows(), 1u);
+  EXPECT_EQ(*r.pop(), 3u);
+  EXPECT_EQ(*r.pop(), 2u);
+  // Depth exhausted: the overwritten entry is gone.
+  EXPECT_FALSE(r.pop().has_value());
+}
+
+TEST(Ras, TopPeeksWithoutPopping) {
+  Ras r(4);
+  r.push(7);
+  EXPECT_EQ(*r.top(), 7u);
+  EXPECT_EQ(r.depth(), 1u);
+}
+
+TEST(Ras, ClearEmpties) {
+  Ras r(4);
+  r.push(1);
+  r.clear();
+  EXPECT_EQ(r.depth(), 0u);
+  EXPECT_FALSE(r.top().has_value());
+}
+
+// ---- BranchPredictorUnit ----------------------------------------------------
+
+BPredConfig unit_cfg() { return BPredConfig::paper_default(); }
+
+TEST(Unit, PerfectOracleAlwaysCorrect) {
+  BranchPredictorUnit u(BPredConfig::perfect());
+  for (int i = 0; i < 100; ++i) {
+    const bool taken = i % 3 == 0;
+    const Addr pc = 0x400000 + i * 8;
+    const Addr next = taken ? 0x500000 : pc + 8;
+    const auto pred = u.predict(pc, CtrlType::kCond, pc + 8, taken, next);
+    EXPECT_EQ(BranchPredictorUnit::classify(pred, taken, next), Outcome::kCorrect);
+  }
+}
+
+TEST(Unit, ClassifyRules) {
+  Prediction p;
+  // predicted not-taken, actually not-taken -> correct
+  p.dir_taken = false;
+  p.next_pc = 0x408;
+  EXPECT_EQ(BranchPredictorUnit::classify(p, false, 0x408), Outcome::kCorrect);
+  // predicted not-taken, actually taken -> mispredict
+  EXPECT_EQ(BranchPredictorUnit::classify(p, true, 0x800), Outcome::kMispredict);
+  // predicted taken to right target -> correct
+  p.dir_taken = true;
+  p.next_pc = 0x800;
+  p.has_target = true;
+  EXPECT_EQ(BranchPredictorUnit::classify(p, true, 0x800), Outcome::kCorrect);
+  // predicted taken, wrong target, direction right -> misfetch
+  EXPECT_EQ(BranchPredictorUnit::classify(p, true, 0x900), Outcome::kMisfetch);
+  // predicted taken, actually not-taken -> mispredict
+  EXPECT_EQ(BranchPredictorUnit::classify(p, false, 0x408), Outcome::kMispredict);
+}
+
+TEST(Unit, ColdDirectJumpIsMisfetchThenCorrect) {
+  BranchPredictorUnit u(unit_cfg());
+  const Addr pc = 0x400100, target = 0x400800;
+  auto pred = u.predict(pc, CtrlType::kJump, pc + 8, true, target);
+  EXPECT_EQ(BranchPredictorUnit::classify(pred, true, target), Outcome::kMisfetch);
+  u.update_commit(pc, CtrlType::kJump, true, target, pred);
+  pred = u.predict(pc, CtrlType::kJump, pc + 8, true, target);
+  EXPECT_EQ(BranchPredictorUnit::classify(pred, true, target), Outcome::kCorrect);
+}
+
+TEST(Unit, CallPushesRasAndReturnPops) {
+  BranchPredictorUnit u(unit_cfg());
+  const Addr call_pc = 0x400100, fn = 0x400800, ret_pc = 0x400810;
+  auto cp = u.predict(call_pc, CtrlType::kCall, call_pc + 8, true, fn);
+  u.update_commit(call_pc, CtrlType::kCall, true, fn, cp);
+  // The return's target comes from the RAS: correct immediately, no BTB needed.
+  auto rp = u.predict(ret_pc, CtrlType::kRet, ret_pc + 8, true, call_pc + 8);
+  EXPECT_TRUE(rp.from_ras);
+  EXPECT_EQ(BranchPredictorUnit::classify(rp, true, call_pc + 8), Outcome::kCorrect);
+}
+
+TEST(Unit, ReturnWithEmptyRasFallsThrough) {
+  BranchPredictorUnit u(unit_cfg());
+  const Addr ret_pc = 0x400810;
+  auto rp = u.predict(ret_pc, CtrlType::kRet, ret_pc + 8, true, 0x400200);
+  EXPECT_FALSE(rp.from_ras);
+  // Direction right (taken) but no target -> misfetch, not mispredict.
+  EXPECT_EQ(BranchPredictorUnit::classify(rp, true, 0x400200), Outcome::kMisfetch);
+}
+
+TEST(Unit, ConditionalLearnsThroughCommitUpdates) {
+  BranchPredictorUnit u(unit_cfg());
+  const Addr pc = 0x400100, target = 0x400300;
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto pred = u.predict(pc, CtrlType::kCond, pc + 8, true, target);
+    correct +=
+        BranchPredictorUnit::classify(pred, true, target) == Outcome::kCorrect;
+    u.update_commit(pc, CtrlType::kCond, true, target, pred);
+  }
+  EXPECT_GT(correct, 180);  // warms up quickly on an always-taken branch
+}
+
+TEST(Unit, StorageBitsSumsComponents) {
+  BranchPredictorUnit u(unit_cfg());
+  EXPECT_EQ(u.storage_bits(), u.direction()->storage_bits() + u.btb().storage_bits() +
+                                  u.ras().storage_bits());
+}
+
+TEST(Unit, PerfectHasNoDirectionTables) {
+  BranchPredictorUnit u(BPredConfig::perfect());
+  EXPECT_TRUE(u.is_perfect());
+  EXPECT_EQ(u.direction(), nullptr);
+}
+
+}  // namespace
+}  // namespace resim::bpred

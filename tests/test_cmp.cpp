@@ -1,0 +1,100 @@
+// Multi-core lockstep co-simulation (paper §VI extension).
+#include <gtest/gtest.h>
+
+#include "core/cmp.hpp"
+#include "trace/tracegen.hpp"
+#include "workload/suite.hpp"
+
+namespace resim::core {
+namespace {
+
+trace::Trace make_trace(const std::string& name, std::uint64_t insts) {
+  trace::TraceGenConfig g;
+  g.max_insts = insts;
+  return trace::TraceGenerator(workload::make_workload(name), g).generate();
+}
+
+TEST(Cmp, SingleCoreMatchesPlainEngine) {
+  const auto t = make_trace("gzip", 8000);
+  const auto cfg = CoreConfig::paper_4wide_perfect();
+
+  trace::VectorTraceSource solo_src(t);
+  ReSimEngine solo(cfg, solo_src);
+  const auto solo_r = solo.run();
+
+  trace::VectorTraceSource cmp_src(t);
+  CmpSimulation cmp(cfg, {&cmp_src});
+  const auto r = cmp.run();
+  ASSERT_EQ(r.cores.size(), 1u);
+  EXPECT_EQ(r.cores[0].major_cycles, solo_r.major_cycles);
+  EXPECT_EQ(r.cores[0].committed, solo_r.committed);
+  EXPECT_EQ(r.lockstep_cycles, solo_r.major_cycles);
+}
+
+TEST(Cmp, LockstepRunsUntilSlowestCore) {
+  const auto short_t = make_trace("gzip", 2000);
+  const auto long_t = make_trace("parser", 10000);
+  const auto cfg = CoreConfig::paper_4wide_perfect();
+
+  trace::VectorTraceSource s1(short_t), s2(long_t);
+  CmpSimulation cmp(cfg, {&s1, &s2});
+  const auto r = cmp.run();
+  EXPECT_EQ(r.lockstep_cycles, std::max(r.cores[0].major_cycles, r.cores[1].major_cycles));
+  EXPECT_EQ(r.cores[0].committed, 2000u);
+  EXPECT_EQ(r.cores[1].committed, 10000u);
+}
+
+TEST(Cmp, CoresAreIndependent) {
+  // Same trace on both cores: identical per-core results.
+  const auto t = make_trace("vpr", 6000);
+  const auto cfg = CoreConfig::paper_4wide_perfect();
+  trace::VectorTraceSource s1(t), s2(t);
+  CmpSimulation cmp(cfg, {&s1, &s2});
+  const auto r = cmp.run();
+  EXPECT_EQ(r.cores[0].major_cycles, r.cores[1].major_cycles);
+  EXPECT_EQ(r.cores[0].committed, r.cores[1].committed);
+}
+
+TEST(Cmp, AggregateIpcSumsCores) {
+  const auto t = make_trace("bzip2", 6000);
+  const auto cfg = CoreConfig::paper_4wide_perfect();
+  trace::VectorTraceSource s1(t), s2(t), s3(t), s4(t);
+  CmpSimulation cmp(cfg, {&s1, &s2, &s3, &s4});
+  const auto r = cmp.run();
+  EXPECT_EQ(r.total_committed(), 4u * 6000u);
+  // Identical cores finish together: aggregate IPC = 4x single-core IPC.
+  EXPECT_NEAR(r.aggregate_ipc(), 4.0 * r.cores[0].ipc(), 1e-9);
+}
+
+TEST(Cmp, AggregateThroughputScalesWithCores) {
+  const auto t = make_trace("gzip", 5000);
+  const auto cfg = CoreConfig::paper_4wide_perfect();
+  trace::VectorTraceSource s1(t), s2(t);
+  CmpSimulation cmp(cfg, {&s1, &s2});
+  const auto r = cmp.run();
+  const auto agg = CmpSimulation::aggregate_throughput(r, 84.0, 7);
+  trace::VectorTraceSource solo_src(t);
+  ReSimEngine solo_eng(cfg, solo_src);
+  const auto solo = fpga_throughput(solo_eng.run(), 84.0, 7);
+  EXPECT_NEAR(agg.mips, 2.0 * solo.mips, solo.mips * 0.01);
+}
+
+TEST(Cmp, StepLockstepAdvancesAllCores) {
+  const auto t = make_trace("gzip", 1000);
+  const auto cfg = CoreConfig::paper_4wide_perfect();
+  trace::VectorTraceSource s1(t), s2(t);
+  CmpSimulation cmp(cfg, {&s1, &s2});
+  EXPECT_TRUE(cmp.step_lockstep());
+  EXPECT_EQ(cmp.cycle(), 1u);
+  EXPECT_EQ(cmp.core(0).cycle(), 1u);
+  EXPECT_EQ(cmp.core(1).cycle(), 1u);
+}
+
+TEST(Cmp, RejectsEmptyAndNull) {
+  const auto cfg = CoreConfig::paper_4wide_perfect();
+  EXPECT_THROW(CmpSimulation(cfg, {}), std::invalid_argument);
+  EXPECT_THROW(CmpSimulation(cfg, {nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resim::core

@@ -1,0 +1,212 @@
+// FixedQueue, StatsRegistry, Rng and numeric helpers.
+#include <gtest/gtest.h>
+
+#include "common/fixed_queue.hpp"
+#include "common/numeric.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace resim {
+namespace {
+
+// ---- numeric -----------------------------------------------------------------
+
+TEST(Numeric, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(512), 9u);
+  EXPECT_EQ(ceil_log2(513), 10u);
+}
+
+TEST(Numeric, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+}
+
+TEST(Numeric, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(3), 0x7u);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Numeric, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+}
+
+TEST(Numeric, RequireThrows) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), std::invalid_argument);
+}
+
+// ---- FixedQueue ---------------------------------------------------------------
+
+TEST(FixedQueue, BasicFifoOrder) {
+  FixedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, FullAndEmptyGuards) {
+  FixedQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  EXPECT_TRUE(q.full());
+  EXPECT_THROW(q.push(3), std::logic_error);
+  q.pop();
+  q.pop();
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.front(), std::logic_error);
+}
+
+TEST(FixedQueue, WrapAround) {
+  FixedQueue<int> q(3);
+  for (int round = 0; round < 10; ++round) {
+    q.push(round);
+    EXPECT_EQ(q.pop(), round);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, AtIndexesFromFront) {
+  FixedQueue<int> q(4);
+  q.push(10);
+  q.push(20);
+  q.push(30);
+  EXPECT_EQ(q.at(0), 10);
+  EXPECT_EQ(q.at(2), 30);
+  EXPECT_THROW(q.at(3), std::out_of_range);
+}
+
+TEST(FixedQueue, RemoveIfKeepsOrder) {
+  FixedQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) q.push(i);
+  const auto removed = q.remove_if([](int v) { return v % 2 == 0; });
+  EXPECT_EQ(removed, 4u);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 5);
+  EXPECT_EQ(q.pop(), 7);
+}
+
+TEST(FixedQueue, ZeroCapacityRejected) {
+  EXPECT_THROW(FixedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(FixedQueue, ClearEmpties) {
+  FixedQueue<int> q(4);
+  q.push(1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push(2);
+  EXPECT_EQ(q.front(), 2);
+}
+
+// ---- StatsRegistry -------------------------------------------------------------
+
+TEST(Stats, CountersStartAtZeroAndAccumulate) {
+  StatsRegistry s;
+  EXPECT_EQ(s.value("x"), 0u);
+  s.counter("x").add();
+  s.counter("x").add(41);
+  EXPECT_EQ(s.value("x"), 42u);
+  EXPECT_TRUE(s.has_counter("x"));
+  EXPECT_FALSE(s.has_counter("y"));
+}
+
+TEST(Stats, RatioHandlesZeroDenominator) {
+  StatsRegistry s;
+  s.counter("num").add(10);
+  EXPECT_DOUBLE_EQ(s.ratio("num", "den"), 0.0);
+  s.counter("den").add(4);
+  EXPECT_DOUBLE_EQ(s.ratio("num", "den"), 2.5);
+}
+
+TEST(Stats, OccupancyAverageAndMax) {
+  StatsRegistry s;
+  auto& o = s.occupancy("rob");
+  o.sample(4);
+  o.sample(8);
+  o.sample(12);
+  EXPECT_DOUBLE_EQ(o.average(), 8.0);
+  EXPECT_EQ(o.max(), 12u);
+  EXPECT_EQ(o.samples(), 3u);
+}
+
+TEST(Stats, ResetClearsEverything) {
+  StatsRegistry s;
+  s.counter("a").add(7);
+  s.occupancy("b").sample(3);
+  s.reset();
+  EXPECT_EQ(s.value("a"), 0u);
+  EXPECT_EQ(s.occupancy("b").samples(), 0u);
+}
+
+TEST(Stats, ReportContainsEntries) {
+  StatsRegistry s;
+  s.counter("fetch.insts").add(123);
+  const auto rep = s.report();
+  EXPECT_NE(rep.find("fetch.insts"), std::string::npos);
+  EXPECT_NE(rep.find("123"), std::string::npos);
+}
+
+// ---- Rng ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsBounded) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.range(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(1, 4);
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+}  // namespace
+}  // namespace resim

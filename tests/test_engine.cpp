@@ -1,0 +1,178 @@
+// ReSimEngine invariants on real workload traces.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "trace/tracegen.hpp"
+#include "workload/suite.hpp"
+
+namespace resim::core {
+namespace {
+
+trace::Trace make_trace(const std::string& name, std::uint64_t insts,
+                        const bpred::BPredConfig& bp = {}) {
+  trace::TraceGenConfig g;
+  g.max_insts = insts;
+  g.bp = bp;
+  return trace::TraceGenerator(workload::make_workload(name), g).generate();
+}
+
+SimResult run_engine(const trace::Trace& t, const CoreConfig& cfg) {
+  trace::VectorTraceSource src(t);
+  ReSimEngine eng(cfg, src);
+  return eng.run();
+}
+
+class EngineOnSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineOnSuite, CommitsEveryCorrectPathInstruction) {
+  const auto t = make_trace(GetParam(), 20000);
+  const auto r = run_engine(t, CoreConfig::paper_4wide_perfect());
+  EXPECT_EQ(r.committed, 20000u);
+}
+
+TEST_P(EngineOnSuite, FetchBalanceHolds) {
+  // Every fetched instruction either commits (correct path) or is
+  // squashed (wrong path) — nothing is lost or double-counted.
+  const auto t = make_trace(GetParam(), 20000);
+  const auto r = run_engine(t, CoreConfig::paper_4wide_perfect());
+  EXPECT_EQ(r.fetched, r.committed + r.squashed);
+  EXPECT_EQ(r.squashed, r.wrong_path_fetched);
+}
+
+TEST_P(EngineOnSuite, IpcBounds) {
+  const auto t = make_trace(GetParam(), 20000);
+  const auto r = run_engine(t, CoreConfig::paper_4wide_perfect());
+  EXPECT_GT(r.ipc(), 0.2);
+  EXPECT_LE(r.ipc(), 4.0);  // never exceeds the machine width
+}
+
+TEST_P(EngineOnSuite, OccupancyNeverExceedsCapacity) {
+  const auto t = make_trace(GetParam(), 10000);
+  const auto cfg = CoreConfig::paper_4wide_perfect();
+  trace::VectorTraceSource src(t);
+  ReSimEngine eng(cfg, src);
+  const auto r = eng.run();
+  const auto& occ = r.stats.occupancies();
+  EXPECT_LE(occ.at("occ.rob").max(), cfg.rob_size);
+  EXPECT_LE(occ.at("occ.lsq").max(), cfg.lsq_size);
+  EXPECT_LE(occ.at("occ.ifq").max(), cfg.ifq_size);
+}
+
+TEST_P(EngineOnSuite, MinorCyclesAreMajorTimesLatency) {
+  const auto t = make_trace(GetParam(), 5000);
+  const auto cfg = CoreConfig::paper_4wide_perfect();
+  const auto r = run_engine(t, cfg);
+  EXPECT_EQ(r.minor_cycles, r.major_cycles * 7u);  // N+3 at N=4
+}
+
+TEST_P(EngineOnSuite, DeterministicAcrossRuns) {
+  const auto t = make_trace(GetParam(), 8000);
+  const auto a = run_engine(t, CoreConfig::paper_4wide_perfect());
+  const auto b = run_engine(t, CoreConfig::paper_4wide_perfect());
+  EXPECT_EQ(a.major_cycles, b.major_cycles);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.stats.value("fetch.mispredicts"), b.stats.value("fetch.mispredicts"));
+}
+
+TEST_P(EngineOnSuite, TraceConsumedCompletely) {
+  const auto t = make_trace(GetParam(), 5000);
+  const auto r = run_engine(t, CoreConfig::paper_4wide_perfect());
+  EXPECT_EQ(r.trace_records, t.records.size());
+  EXPECT_EQ(r.trace_bits, t.total_bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EngineOnSuite,
+                         ::testing::Values("gzip", "bzip2", "parser", "vortex", "vpr"));
+
+TEST(Engine, PerfectBpHasNoMispredicts) {
+  const auto t = make_trace("parser", 10000, bpred::BPredConfig::perfect());
+  auto cfg = CoreConfig::paper_4wide_perfect();
+  cfg.bp = bpred::BPredConfig::perfect();
+  const auto r = run_engine(t, cfg);
+  EXPECT_EQ(r.stats.value("fetch.mispredicts"), 0u);
+  EXPECT_EQ(r.squashed, 0u);
+  EXPECT_EQ(r.stats.value("commit.squashes"), 0u);
+}
+
+TEST(Engine, PerfectBpIsNeverSlower) {
+  const auto imperfect = run_engine(make_trace("parser", 10000),
+                                    CoreConfig::paper_4wide_perfect());
+  auto cfg = CoreConfig::paper_4wide_perfect();
+  cfg.bp = bpred::BPredConfig::perfect();
+  const auto perfect =
+      run_engine(make_trace("parser", 10000, bpred::BPredConfig::perfect()), cfg);
+  EXPECT_LT(perfect.major_cycles, imperfect.major_cycles);
+}
+
+TEST(Engine, CacheConfigSlowerThanPerfectMemory) {
+  // The same 2-wide core with 32K L1s cannot beat perfect memory.
+  auto cache_cfg = CoreConfig::paper_2wide_cache();
+  auto perfect_cfg = cache_cfg;
+  perfect_cfg.mem = cache::MemSysConfig::perfect_memory();
+
+  const auto t = make_trace("bzip2", 15000, bpred::BPredConfig::perfect());
+  const auto with_cache = run_engine(t, cache_cfg);
+  const auto with_perfect = run_engine(t, perfect_cfg);
+  EXPECT_GT(with_cache.major_cycles, with_perfect.major_cycles);
+  EXPECT_GT(with_cache.stats.value("dl1.misses"), 0u);
+}
+
+TEST(Engine, WiderMachineIsFaster) {
+  const auto t = make_trace("bzip2", 15000);
+  auto narrow = CoreConfig::paper_4wide_perfect();
+  narrow.width = 2;
+  narrow.mem_read_ports = 1;
+  const auto r2 = run_engine(t, narrow);
+  const auto r4 = run_engine(t, CoreConfig::paper_4wide_perfect());
+  EXPECT_LT(r4.major_cycles, r2.major_cycles);
+}
+
+TEST(Engine, BiggerRobNeverHurts) {
+  const auto t = make_trace("gzip", 15000);
+  auto small = CoreConfig::paper_4wide_perfect();
+  small.rob_size = 8;
+  auto big = CoreConfig::paper_4wide_perfect();
+  big.rob_size = 64;
+  EXPECT_LE(run_engine(t, big).major_cycles, run_engine(t, small).major_cycles);
+}
+
+TEST(Engine, MispredictsTriggerSquashes) {
+  const auto t = make_trace("parser", 15000);
+  const auto r = run_engine(t, CoreConfig::paper_4wide_perfect());
+  EXPECT_GT(r.stats.value("fetch.mispredicts"), 0u);
+  EXPECT_EQ(r.stats.value("commit.squashes"),
+            r.stats.value("fetch.mispredicts"));
+  EXPECT_GT(r.squashed, 0u);
+}
+
+TEST(Engine, EmptyTraceFinishesImmediately) {
+  trace::Trace t;
+  t.name = "empty";
+  trace::VectorTraceSource src(t);
+  ReSimEngine eng(CoreConfig::paper_4wide_perfect(), src);
+  EXPECT_TRUE(eng.finished());
+  const auto r = eng.run();
+  EXPECT_EQ(r.committed, 0u);
+  EXPECT_EQ(r.major_cycles, 0u);
+}
+
+TEST(Engine, StepApiAdvancesOneCycle) {
+  const auto t = make_trace("gzip", 100);
+  trace::VectorTraceSource src(t);
+  ReSimEngine eng(CoreConfig::paper_4wide_perfect(), src);
+  EXPECT_TRUE(eng.step_major_cycle());
+  EXPECT_EQ(eng.cycle(), 1u);
+  EXPECT_TRUE(eng.step_major_cycle());
+  EXPECT_EQ(eng.cycle(), 2u);
+}
+
+TEST(Engine, StatsIncludePredictorAndOccupancy) {
+  const auto t = make_trace("vortex", 5000);
+  const auto r = run_engine(t, CoreConfig::paper_4wide_perfect());
+  EXPECT_GT(r.stats.value("bpred.lookups"), 0u);
+  EXPECT_GT(r.stats.value("commit.branches"), 0u);
+  EXPECT_GT(r.stats.occupancies().at("occ.rob").average(), 1.0);
+}
+
+}  // namespace
+}  // namespace resim::core

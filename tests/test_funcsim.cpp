@@ -1,0 +1,256 @@
+// Functional simulator: architectural semantics.
+#include <gtest/gtest.h>
+
+#include "funcsim/funcsim.hpp"
+#include "isa/asmbuilder.hpp"
+
+namespace resim::funcsim {
+namespace {
+
+using isa::AsmBuilder;
+using isa::Opcode;
+using isa::Program;
+
+Program prog(void (*body)(AsmBuilder&)) {
+  AsmBuilder a("t");
+  body(a);
+  return a.build();
+}
+
+std::uint64_t run_and_read(const Program& p, Reg r, int max_steps = 10000) {
+  FuncSim f(p);
+  for (int i = 0; i < max_steps && !f.done(); ++i) f.step();
+  EXPECT_TRUE(f.done()) << "program did not halt";
+  return f.reg(r);
+}
+
+TEST(FuncSim, ArithmeticBasics) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.li(1, 20);
+    a.li(2, 22);
+    a.add(3, 1, 2);
+    a.sub(4, 3, 1);
+    a.mul(5, 1, 2);
+    a.div(6, 5, 2);  // 440 / 22
+    a.halt();
+  });
+  FuncSim f(p);
+  while (!f.done()) f.step();
+  EXPECT_EQ(f.reg(3), 42u);
+  EXPECT_EQ(f.reg(4), 22u);
+  EXPECT_EQ(f.reg(5), 440u);
+  EXPECT_EQ(f.reg(6), 20u);
+}
+
+TEST(FuncSim, LogicalAndShifts) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.li(1, 0b1100);
+    a.li(2, 0b1010);
+    a.and_(3, 1, 2);
+    a.or_(4, 1, 2);
+    a.xor_(5, 1, 2);
+    a.slli(6, 1, 4);
+    a.srli(7, 1, 2);
+    a.halt();
+  });
+  FuncSim f(p);
+  while (!f.done()) f.step();
+  EXPECT_EQ(f.reg(3), 0b1000u);
+  EXPECT_EQ(f.reg(4), 0b1110u);
+  EXPECT_EQ(f.reg(5), 0b0110u);
+  EXPECT_EQ(f.reg(6), 0b11000000u);
+  EXPECT_EQ(f.reg(7), 0b11u);
+}
+
+TEST(FuncSim, SignedComparisons) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.li(1, -5);
+    a.li(2, 3);
+    a.slt(3, 1, 2);   // -5 < 3 -> 1
+    a.slt(4, 2, 1);   // 3 < -5 -> 0
+    a.slti(5, 1, 0);  // -5 < 0 -> 1
+    a.halt();
+  });
+  FuncSim f(p);
+  while (!f.done()) f.step();
+  EXPECT_EQ(f.reg(3), 1u);
+  EXPECT_EQ(f.reg(4), 0u);
+  EXPECT_EQ(f.reg(5), 1u);
+}
+
+TEST(FuncSim, DivideByZeroYieldsZero) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.li(1, 7);
+    a.div(2, 1, 0);  // r0 is zero
+    a.halt();
+  });
+  EXPECT_EQ(run_and_read(p, 2), 0u);
+}
+
+TEST(FuncSim, ZeroRegisterIsImmutable) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.li(0, 99);
+    a.add(1, 0, 0);
+    a.halt();
+  });
+  EXPECT_EQ(run_and_read(p, 1), 0u);
+}
+
+TEST(FuncSim, LuiBuildsHighBits) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.alui(Opcode::kLui, 1, kZeroReg, 0x1000);
+    a.ori(1, 1, 0x234);
+    a.halt();
+  });
+  EXPECT_EQ(run_and_read(p, 1), 0x1000'0234u);
+}
+
+TEST(FuncSim, StoreThenLoadRoundTrips) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.alui(Opcode::kLui, 1, kZeroReg, 0x1000);  // data base
+    a.li(2, 1234);
+    a.sw(2, 1, 64);
+    a.lw(3, 1, 64);
+    a.halt();
+  });
+  EXPECT_EQ(run_and_read(p, 3), 1234u);
+}
+
+TEST(FuncSim, LoadsAreDeterministicBySeed) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.alui(Opcode::kLui, 1, kZeroReg, 0x1000);
+    a.lw(2, 1, 128);
+    a.halt();
+  });
+  FuncSimConfig cfg;
+  cfg.mem_seed = 77;
+  FuncSim f1(p, cfg), f2(p, cfg);
+  while (!f1.done()) f1.step();
+  while (!f2.done()) f2.step();
+  EXPECT_EQ(f1.reg(2), f2.reg(2));
+
+  FuncSimConfig other;
+  other.mem_seed = 78;
+  FuncSim f3(p, other);
+  while (!f3.done()) f3.step();
+  EXPECT_NE(f1.reg(2), f3.reg(2));  // different input data
+}
+
+TEST(FuncSim, BranchTakenAndNotTaken) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.li(1, 1);
+    a.beq(1, kZeroReg, "skip");  // not taken
+    a.li(2, 7);
+    a.label("skip");
+    a.bne(1, kZeroReg, "end");   // taken
+    a.li(2, 9);                  // skipped
+    a.label("end");
+    a.halt();
+  });
+  EXPECT_EQ(run_and_read(p, 2), 7u);
+}
+
+TEST(FuncSim, BranchOutcomesReported) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.li(1, 1);
+    a.bne(1, kZeroReg, "t");
+    a.nop();
+    a.label("t");
+    a.halt();
+  });
+  FuncSim f(p);
+  f.step();  // li
+  const auto d = f.step();  // bne
+  EXPECT_TRUE(d.taken);
+  EXPECT_EQ(d.next_pc, p.pc_of(3));
+}
+
+TEST(FuncSim, CallLinksAndRetReturns) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.call("fn");
+    a.li(2, 5);
+    a.halt();
+    a.label("fn");
+    a.li(3, 6);
+    a.ret();
+  });
+  FuncSim f(p);
+  while (!f.done()) f.step();
+  EXPECT_EQ(f.reg(2), 5u);
+  EXPECT_EQ(f.reg(3), 6u);
+  EXPECT_EQ(f.reg(kLinkReg), p.pc_of(1));
+}
+
+TEST(FuncSim, MemAddrReportedAndNormalized) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.alui(Opcode::kLui, 1, kZeroReg, 0x1000);
+    a.lw(2, 1, 12);  // misaligned offset -> normalized to 8B
+    a.halt();
+  });
+  FuncSim f(p);
+  f.step();
+  const auto d = f.step();
+  EXPECT_EQ(d.mem_addr % 8, 0u);
+  EXPECT_GE(d.mem_addr, MemoryImage::kDataBase);
+}
+
+TEST(FuncSim, RunsOffImageHalts) {
+  const Program p = prog(+[](AsmBuilder& a) { a.nop(); });
+  FuncSim f(p);
+  f.step();            // nop
+  const auto d = f.step();  // falls off
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(d.si, nullptr);
+}
+
+TEST(FuncSim, StepAfterHaltThrows) {
+  const Program p = prog(+[](AsmBuilder& a) { a.halt(); });
+  FuncSim f(p);
+  f.step();
+  EXPECT_TRUE(f.done());
+  EXPECT_THROW(f.step(), std::logic_error);
+}
+
+TEST(FuncSim, ResetRestoresInitialState) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.li(1, 3);
+    a.halt();
+  });
+  FuncSim f(p);
+  while (!f.done()) f.step();
+  f.reset();
+  EXPECT_FALSE(f.done());
+  EXPECT_EQ(f.reg(1), 0u);
+  EXPECT_EQ(f.pc(), p.base());
+  EXPECT_EQ(f.executed(), 0u);
+}
+
+TEST(FuncSim, SequenceNumbersMonotone) {
+  const Program p = prog(+[](AsmBuilder& a) {
+    a.nop();
+    a.nop();
+    a.halt();
+  });
+  FuncSim f(p);
+  EXPECT_EQ(f.step().seq, 0u);
+  EXPECT_EQ(f.step().seq, 1u);
+  EXPECT_EQ(f.step().seq, 2u);
+}
+
+TEST(MemoryImage, NormalizeStaysInRegion) {
+  MemoryImage m(1 << 16, 1);
+  for (Addr a : {Addr{0}, Addr{0xFFFF'FFFF}, MemoryImage::kDataBase + (1 << 20)}) {
+    const Addr n = m.normalize(a);
+    EXPECT_GE(n, MemoryImage::kDataBase);
+    EXPECT_LT(n, MemoryImage::kDataBase + (1 << 16));
+    EXPECT_EQ(n % 8, 0u);
+  }
+}
+
+TEST(MemoryImage, RejectsBadSize) {
+  EXPECT_THROW(MemoryImage(100, 1), std::invalid_argument);  // not pow2
+  EXPECT_THROW(MemoryImage(32, 1), std::invalid_argument);   // too small
+}
+
+}  // namespace
+}  // namespace resim::funcsim

@@ -1,0 +1,149 @@
+// Cross-module integration: trace-driven vs execution-driven equivalence,
+// file round-trips through the engine, end-to-end paper configurations.
+#include <cstdio>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "baseline/coupled.hpp"
+#include "core/engine.hpp"
+#include "core/perf.hpp"
+#include "fpga/device.hpp"
+#include "trace/tracegen.hpp"
+#include "workload/suite.hpp"
+
+namespace resim {
+namespace {
+
+class IntegrationOnSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IntegrationOnSuite, TraceDrivenEqualsExecutionDriven) {
+  // The FAST-style coupled mode (functional sim feeding the engine on the
+  // fly) must be cycle-exact against simulating the materialized trace.
+  const auto cfg = core::CoreConfig::paper_4wide_perfect();
+  trace::TraceGenConfig g;
+  g.max_insts = 10000;
+
+  trace::TraceGenerator gen(workload::make_workload(GetParam()), g);
+  const auto t = gen.generate();
+  trace::VectorTraceSource src(t);
+  core::ReSimEngine eng(cfg, src);
+  const auto offline = eng.run();
+
+  const auto coupled = baseline::run_coupled(workload::make_workload(GetParam()), cfg, g);
+  EXPECT_EQ(coupled.sim.major_cycles, offline.major_cycles);
+  EXPECT_EQ(coupled.sim.committed, offline.committed);
+  EXPECT_EQ(coupled.sim.trace_records, offline.trace_records);
+}
+
+TEST_P(IntegrationOnSuite, TraceFileRoundTripPreservesSimulation) {
+  trace::TraceGenConfig g;
+  g.max_insts = 5000;
+  trace::TraceGenerator gen(workload::make_workload(GetParam()), g);
+  const auto t = gen.generate();
+
+  const std::string path = ::testing::TempDir() + "/" + GetParam() + ".rsim";
+  trace::save_trace(t, path);
+  const auto loaded = trace::load_trace(path);
+  std::remove(path.c_str());
+
+  const auto cfg = core::CoreConfig::paper_4wide_perfect();
+  trace::VectorTraceSource s1(t), s2(loaded);
+  core::ReSimEngine e1(cfg, s1), e2(cfg, s2);
+  const auto r1 = e1.run(), r2 = e2.run();
+  EXPECT_EQ(r1.major_cycles, r2.major_cycles);
+  EXPECT_EQ(r1.committed, r2.committed);
+  EXPECT_EQ(r1.trace_bits, r2.trace_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, IntegrationOnSuite,
+                         ::testing::Values("gzip", "bzip2", "parser", "vortex", "vpr"));
+
+TEST(Integration, Table1LeftConfigurationInPaperBand) {
+  // 4-issue, 2-level BP, perfect memory on Virtex-4: the paper reports
+  // 19.94-27.55 MIPS across the suite (avg 22.94). Allow a generous band.
+  trace::TraceGenConfig g;
+  g.max_insts = 30000;
+  double sum = 0;
+  int n = 0;
+  for (const auto& name : workload::suite_names()) {
+    trace::TraceGenerator gen(workload::make_workload(name), g);
+    const auto t = gen.generate();
+    trace::VectorTraceSource src(t);
+    core::ReSimEngine eng(core::CoreConfig::paper_4wide_perfect(), src);
+    const auto r = eng.run();
+    const auto rep =
+        core::fpga_throughput(r, fpga::xc4vlx40().minor_clock_mhz, eng.schedule().latency());
+    EXPECT_GT(rep.mips, 14.0) << name;
+    EXPECT_LT(rep.mips, 34.0) << name;
+    sum += rep.mips;
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 22.94, 4.0);  // paper average
+}
+
+TEST(Integration, Bzip2FastestParserSlowestOnPerfectMemory) {
+  trace::TraceGenConfig g;
+  g.max_insts = 30000;
+  std::map<std::string, double> ipc;
+  for (const auto& name : workload::suite_names()) {
+    trace::TraceGenerator gen(workload::make_workload(name), g);
+    const auto t = gen.generate();
+    trace::VectorTraceSource src(t);
+    core::ReSimEngine eng(core::CoreConfig::paper_4wide_perfect(), src);
+    ipc[name] = eng.run().ipc();
+  }
+  for (const auto& [name, v] : ipc) {
+    if (name != "bzip2") EXPECT_GT(ipc["bzip2"], v) << name;
+    if (name != "parser") EXPECT_LT(ipc["parser"], v) << name;
+  }
+}
+
+TEST(Integration, Virtex5Is25PercentFasterThanVirtex4) {
+  // Same simulation, different minor clocks: 105/84 = 1.25 exactly.
+  trace::TraceGenConfig g;
+  g.max_insts = 10000;
+  trace::TraceGenerator gen(workload::make_workload("gzip"), g);
+  const auto t = gen.generate();
+  trace::VectorTraceSource src(t);
+  core::ReSimEngine eng(core::CoreConfig::paper_4wide_perfect(), src);
+  const auto r = eng.run();
+  const auto v4 = core::fpga_throughput(r, fpga::xc4vlx40().minor_clock_mhz, 7);
+  const auto v5 = core::fpga_throughput(r, fpga::xc5vlx50t().minor_clock_mhz, 7);
+  EXPECT_NEAR(v5.mips / v4.mips, 105.0 / 84.0, 1e-9);
+}
+
+TEST(Integration, Table3IdentityMBpsEqualsMipsTimesBits) {
+  trace::TraceGenConfig g;
+  g.max_insts = 10000;
+  trace::TraceGenerator gen(workload::make_workload("vpr"), g);
+  const auto t = gen.generate();
+  trace::VectorTraceSource src(t);
+  core::ReSimEngine eng(core::CoreConfig::paper_4wide_perfect(), src);
+  const auto r = eng.run();
+  const auto rep = core::fpga_throughput(r, 84.0, 7);
+  EXPECT_NEAR(rep.trace_mbytes_per_sec, rep.mips_processed * rep.bits_per_inst / 8.0,
+              rep.trace_mbytes_per_sec * 1e-9);
+}
+
+TEST(Integration, WrongPathInstructionsPolluteCaches) {
+  // Paper §V.A: wrong-path instructions "model their effects in
+  // instruction processing, caches, etc."
+  trace::TraceGenConfig g;
+  g.max_insts = 15000;
+  auto cfg = core::CoreConfig::paper_2wide_cache();
+  cfg.bp = bpred::BPredConfig::paper_default();  // imperfect: wrong paths exist
+  g.bp = cfg.bp;
+
+  trace::TraceGenerator gen(workload::make_workload("parser"), g);
+  const auto t = gen.generate();
+  trace::VectorTraceSource src(t);
+  core::ReSimEngine eng(cfg, src);
+  const auto r = eng.run();
+  EXPECT_GT(r.wrong_path_fetched, 0u);
+  // I-cache sees more fetches than committed instructions.
+  EXPECT_GT(r.stats.value("il1.accesses"), r.committed);
+}
+
+}  // namespace
+}  // namespace resim

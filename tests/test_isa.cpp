@@ -1,0 +1,154 @@
+// ISA decode attributes, the assembler, and the program image.
+#include <gtest/gtest.h>
+
+#include "isa/asmbuilder.hpp"
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace resim::isa {
+namespace {
+
+TEST(Opcode, FuClasses) {
+  EXPECT_EQ(fu_class(Opcode::kAdd), FuClass::kIntAlu);
+  EXPECT_EQ(fu_class(Opcode::kMul), FuClass::kIntMult);
+  EXPECT_EQ(fu_class(Opcode::kDiv), FuClass::kIntDiv);
+  EXPECT_EQ(fu_class(Opcode::kLw), FuClass::kMemRead);
+  EXPECT_EQ(fu_class(Opcode::kSw), FuClass::kMemWrite);
+  EXPECT_EQ(fu_class(Opcode::kNop), FuClass::kNone);
+  EXPECT_EQ(fu_class(Opcode::kBeq), FuClass::kIntAlu);  // condition evaluation
+}
+
+TEST(Opcode, CtrlTypes) {
+  EXPECT_EQ(ctrl_type(Opcode::kBeq), CtrlType::kCond);
+  EXPECT_EQ(ctrl_type(Opcode::kBge), CtrlType::kCond);
+  EXPECT_EQ(ctrl_type(Opcode::kJump), CtrlType::kJump);
+  EXPECT_EQ(ctrl_type(Opcode::kCall), CtrlType::kCall);
+  EXPECT_EQ(ctrl_type(Opcode::kRet), CtrlType::kRet);
+  EXPECT_EQ(ctrl_type(Opcode::kAdd), CtrlType::kNone);
+}
+
+TEST(Opcode, Predicates) {
+  EXPECT_TRUE(is_branch(Opcode::kCall));
+  EXPECT_FALSE(is_branch(Opcode::kLw));
+  EXPECT_TRUE(is_mem(Opcode::kLw));
+  EXPECT_TRUE(is_load(Opcode::kLw));
+  EXPECT_FALSE(is_load(Opcode::kSw));
+  EXPECT_TRUE(is_store(Opcode::kSw));
+  EXPECT_TRUE(has_immediate(Opcode::kAddI));
+  EXPECT_FALSE(has_immediate(Opcode::kAdd));
+}
+
+TEST(Opcode, MnemonicsDistinct) {
+  EXPECT_EQ(mnemonic(Opcode::kAdd), "add");
+  EXPECT_EQ(mnemonic(Opcode::kHalt), "halt");
+  EXPECT_NE(mnemonic(Opcode::kSll), mnemonic(Opcode::kSrl));
+}
+
+TEST(StaticInst, WritesReg) {
+  StaticInst si{Opcode::kAdd, 5, 1, 2, 0};
+  EXPECT_TRUE(si.writes_reg());
+  si.rd = kZeroReg;
+  EXPECT_FALSE(si.writes_reg());
+  si.rd = kNoReg;
+  EXPECT_FALSE(si.writes_reg());
+}
+
+TEST(Program, PcIndexMapping) {
+  AsmBuilder a("p");
+  a.nop();
+  a.nop();
+  a.halt();
+  const Program p = a.build();
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.pc_of(0), Program::kDefaultBase);
+  EXPECT_EQ(p.pc_of(2), Program::kDefaultBase + 16);
+  EXPECT_EQ(p.index_of(p.pc_of(1)), 1u);
+  EXPECT_FALSE(p.index_of(p.pc_of(0) - 8).has_value());
+  EXPECT_FALSE(p.index_of(p.pc_of(0) + 3).has_value());  // misaligned
+  EXPECT_FALSE(p.index_of(p.pc_of(0) + 3 * 8).has_value());  // past end
+}
+
+TEST(Program, FetchOutsideImageIsNull) {
+  AsmBuilder a("p");
+  a.halt();
+  const Program p = a.build();
+  EXPECT_NE(p.fetch(p.base()), nullptr);
+  EXPECT_EQ(p.fetch(p.base() + 8), nullptr);
+}
+
+TEST(AsmBuilder, BackwardBranchImmediate) {
+  AsmBuilder a("p");
+  a.label("top");
+  a.addi(1, 1, 1);
+  a.bne(1, kZeroReg, "top");
+  a.halt();
+  const Program p = a.build();
+  // bne at slot 1 targeting slot 0 -> imm = -1.
+  EXPECT_EQ(p.at(1).imm, -1);
+}
+
+TEST(AsmBuilder, ForwardBranchResolved) {
+  AsmBuilder a("p");
+  a.beq(1, 2, "skip");
+  a.addi(3, 3, 1);
+  a.label("skip");
+  a.halt();
+  const Program p = a.build();
+  EXPECT_EQ(p.at(0).imm, 2);  // slot 0 -> slot 2
+}
+
+TEST(AsmBuilder, JumpAndCallAreAbsoluteSlots) {
+  AsmBuilder a("p");
+  a.jump("f");
+  a.halt();
+  a.label("f");
+  a.call("f");
+  const Program p = a.build();
+  EXPECT_EQ(p.at(0).imm, 2);
+  EXPECT_EQ(p.at(2).imm, 2);
+  EXPECT_EQ(p.at(2).rd, kLinkReg);
+}
+
+TEST(AsmBuilder, UnresolvedLabelThrows) {
+  AsmBuilder a("p");
+  a.jump("nowhere");
+  EXPECT_THROW(a.build(), std::invalid_argument);
+}
+
+TEST(AsmBuilder, DuplicateLabelThrows) {
+  AsmBuilder a("p");
+  a.label("x");
+  EXPECT_THROW(a.label("x"), std::invalid_argument);
+}
+
+TEST(AsmBuilder, StoreOperandConvention) {
+  AsmBuilder a("p");
+  a.sw(7, 3, 16);  // value r7 -> mem[r3+16]
+  const Program p = a.build();
+  EXPECT_EQ(p.at(0).rs1, 3);  // base
+  EXPECT_EQ(p.at(0).rs2, 7);  // data
+  EXPECT_EQ(p.at(0).rd, kNoReg);
+}
+
+TEST(AsmBuilder, RetUsesLinkRegister) {
+  AsmBuilder a("p");
+  a.ret();
+  const Program p = a.build();
+  EXPECT_EQ(p.at(0).rs1, kLinkReg);
+  EXPECT_EQ(p.at(0).op, Opcode::kRet);
+}
+
+TEST(Program, DisassembleMentionsEveryMnemonic) {
+  AsmBuilder a("p");
+  a.add(1, 2, 3);
+  a.lw(4, 5, 8);
+  a.halt();
+  const Program p = a.build();
+  const auto txt = p.disassemble();
+  EXPECT_NE(txt.find("add"), std::string::npos);
+  EXPECT_NE(txt.find("lw"), std::string::npos);
+  EXPECT_NE(txt.find("halt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace resim::isa

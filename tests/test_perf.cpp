@@ -1,0 +1,76 @@
+// FPGA throughput model: MIPS / trace-bandwidth arithmetic (Tables 1, 3).
+#include <gtest/gtest.h>
+
+#include "core/perf.hpp"
+
+namespace resim::core {
+namespace {
+
+SimResult result_with(std::uint64_t committed, std::uint64_t cycles,
+                      std::uint64_t records, std::uint64_t bits) {
+  SimResult r;
+  r.committed = committed;
+  r.major_cycles = cycles;
+  r.trace_records = records;
+  r.trace_bits = bits;
+  r.minor_cycles = 0;  // recomputed by the model from the latency argument
+  return r;
+}
+
+TEST(Perf, MipsIsClockOverLatencyTimesIpc) {
+  // IPC 2.0 at 84 MHz / 7 minors -> 24 MIPS exactly.
+  const auto r = result_with(20000, 10000, 20000, 0);
+  const auto t = fpga_throughput(r, 84.0, 7);
+  EXPECT_NEAR(t.mips, 84.0 / 7.0 * 2.0, 1e-9);
+  EXPECT_NEAR(t.major_rate_mhz, 12.0, 1e-9);
+}
+
+TEST(Perf, PaperAverageReproducedFromIpc) {
+  // Paper Table 1: avg 22.94 MIPS on Virtex-4 at N+3=7 -> IPC 1.9117.
+  const auto r = result_with(191170, 100000, 191170, 0);
+  const auto t = fpga_throughput(r, 84.0, 7);
+  EXPECT_NEAR(t.mips, 22.94, 0.01);
+}
+
+TEST(Perf, ProcessedMipsCountsWrongPath) {
+  // 10% wrong-path records -> processed rate 10% above committed rate.
+  const auto r = result_with(10000, 10000, 11000, 0);
+  const auto t = fpga_throughput(r, 84.0, 7);
+  EXPECT_NEAR(t.mips_processed / t.mips, 1.1, 1e-9);
+}
+
+TEST(Perf, TraceBandwidthIdentity) {
+  // Table 3: MB/s = MIPS_processed x bits_per_inst / 8.
+  const auto r = result_with(10000, 10000, 11000, 11000 * 42);
+  const auto t = fpga_throughput(r, 84.0, 7);
+  EXPECT_NEAR(t.bits_per_inst, 42.0, 1e-9);
+  EXPECT_NEAR(t.trace_mbytes_per_sec, t.mips_processed * 42.0 / 8.0, 1e-9);
+}
+
+TEST(Perf, SimSecondsConsistent) {
+  const auto r = result_with(1000, 84'000'000 / 7, 1000, 0);  // 12M major cycles
+  const auto t = fpga_throughput(r, 84.0, 7);
+  EXPECT_NEAR(t.sim_seconds, 1.0, 1e-9);  // 84M minor cycles at 84 MHz
+}
+
+TEST(Perf, EmptyRunYieldsZeroRates) {
+  const auto t = fpga_throughput(SimResult{}, 84.0, 7);
+  EXPECT_EQ(t.mips, 0.0);
+  EXPECT_EQ(t.trace_mbytes_per_sec, 0.0);
+}
+
+TEST(Perf, RejectsNonsenseInputs) {
+  EXPECT_THROW((void)fpga_throughput(SimResult{}, 0.0, 7), std::invalid_argument);
+  EXPECT_THROW((void)fpga_throughput(SimResult{}, 84.0, 0), std::invalid_argument);
+}
+
+TEST(Perf, GigabitClaimHolds) {
+  // §V.C: trace throughput "(1.1Gbps) exceeds ... regular Gigabit
+  // Ethernet". Average row: 25.51 MIPS processed x 43.44 bits.
+  const auto bits_per_sec = 25.51e6 * 43.44;
+  EXPECT_GT(bits_per_sec, 1.0e9);
+  EXPECT_NEAR(bits_per_sec / 8 / 1e6, 138.5, 1.0);  // ~138 MB/s as in Table 3
+}
+
+}  // namespace
+}  // namespace resim::core

@@ -1,0 +1,132 @@
+// Minor-cycle pipeline schedules: Figures 2-4 latencies and constraints.
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+
+namespace resim::core {
+namespace {
+
+int minor_of(const PipelineSchedule& s, StageUnit u, int slot) {
+  for (unsigned m = 0; m < s.latency(); ++m) {
+    for (const MicroOp& op : s.minor(m)) {
+      if (op.unit == u && op.slot == slot) return static_cast<int>(m);
+    }
+  }
+  return -1;
+}
+
+TEST(Schedule, PaperLatenciesAtWidth4) {
+  // Figure 2: 2N+3 = 11; Figure 3: N+4 = 8; Figure 4: N+3 = 7.
+  EXPECT_EQ(PipelineSchedule::latency_of(PipelineVariant::kSimple, 4), 11u);
+  EXPECT_EQ(PipelineSchedule::latency_of(PipelineVariant::kEfficient, 4), 8u);
+  EXPECT_EQ(PipelineSchedule::latency_of(PipelineVariant::kOptimized, 4), 7u);
+}
+
+TEST(Schedule, Table1ConfigurationLatencies) {
+  // Table 1 left: 4-issue, N+3 = 7 minor cycles. Right: 2-issue, N+4 = 6.
+  EXPECT_EQ(PipelineSchedule::make(PipelineVariant::kOptimized, 4).latency(), 7u);
+  EXPECT_EQ(PipelineSchedule::make(PipelineVariant::kEfficient, 2).latency(), 6u);
+}
+
+class ScheduleWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScheduleWidths, LatencyFormulasHold) {
+  const unsigned n = GetParam();
+  EXPECT_EQ(PipelineSchedule::make(PipelineVariant::kSimple, n).latency(), 2 * n + 3);
+  EXPECT_EQ(PipelineSchedule::make(PipelineVariant::kEfficient, n).latency(), n + 4);
+  EXPECT_EQ(PipelineSchedule::make(PipelineVariant::kOptimized, n).latency(), n + 3);
+}
+
+TEST_P(ScheduleWidths, ValidatorAcceptsAllVariants) {
+  const unsigned n = GetParam();
+  for (const auto v : {PipelineVariant::kSimple, PipelineVariant::kEfficient,
+                       PipelineVariant::kOptimized}) {
+    EXPECT_NO_THROW(PipelineSchedule::make(v, n).validate());
+  }
+}
+
+TEST_P(ScheduleWidths, SimpleChainOrderWbLsqrefreshIssue) {
+  const unsigned n = GetParam();
+  const auto s = PipelineSchedule::make(PipelineVariant::kSimple, n);
+  const int last_wb = minor_of(s, StageUnit::kWriteback, static_cast<int>(n) - 1);
+  const int lsqr = minor_of(s, StageUnit::kLsqRefresh, -1);
+  const int is0 = minor_of(s, StageUnit::kIssue, 0);
+  EXPECT_LT(last_wb, lsqr);
+  EXPECT_LT(lsqr, is0);
+}
+
+TEST_P(ScheduleWidths, OptimizedLsqRefreshParallelWithFirstIssue) {
+  const auto s = PipelineSchedule::make(PipelineVariant::kOptimized, GetParam());
+  EXPECT_EQ(minor_of(s, StageUnit::kLsqRefresh, -1), minor_of(s, StageUnit::kIssue, 0));
+  EXPECT_FALSE(s.load_allowed_in_slot0());
+}
+
+TEST_P(ScheduleWidths, EfficientIssuePrecedesWritebackPerSlot) {
+  const unsigned n = GetParam();
+  const auto s = PipelineSchedule::make(PipelineVariant::kEfficient, n);
+  for (int k = 0; k < static_cast<int>(n); ++k) {
+    const int is = minor_of(s, StageUnit::kIssue, k);
+    const int ca = minor_of(s, StageUnit::kDCacheAccess, k);
+    const int wb = minor_of(s, StageUnit::kWriteback, k);
+    EXPECT_LT(is, ca) << "slot " << k;
+    EXPECT_LT(ca, wb) << "slot " << k;  // "cache access occurs before writeback"
+  }
+}
+
+TEST_P(ScheduleWidths, BookkeepingIsLastMinorCycle) {
+  const unsigned n = GetParam();
+  for (const auto v : {PipelineVariant::kSimple, PipelineVariant::kEfficient,
+                       PipelineVariant::kOptimized}) {
+    const auto s = PipelineSchedule::make(v, n);
+    EXPECT_EQ(minor_of(s, StageUnit::kBookkeep, -1),
+              static_cast<int>(s.latency()) - 1);
+  }
+}
+
+TEST_P(ScheduleWidths, EverySlotAppearsExactlyOnce) {
+  const unsigned n = GetParam();
+  for (const auto v : {PipelineVariant::kSimple, PipelineVariant::kEfficient,
+                       PipelineVariant::kOptimized}) {
+    const auto s = PipelineSchedule::make(v, n);
+    for (const auto u : {StageUnit::kFetch, StageUnit::kDispatch, StageUnit::kIssue,
+                         StageUnit::kWriteback, StageUnit::kCommit}) {
+      for (int k = 0; k < static_cast<int>(n); ++k) {
+        int count = 0;
+        for (unsigned m = 0; m < s.latency(); ++m) {
+          for (const MicroOp& op : s.minor(m)) count += op.unit == u && op.slot == k;
+        }
+        EXPECT_EQ(count, 1) << stage_unit_name(u) << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ScheduleWidths, ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+TEST(Schedule, SimpleAllowsLoadInSlot0) {
+  EXPECT_TRUE(PipelineSchedule::make(PipelineVariant::kSimple, 4).load_allowed_in_slot0());
+  EXPECT_TRUE(PipelineSchedule::make(PipelineVariant::kEfficient, 4).load_allowed_in_slot0());
+}
+
+TEST(Schedule, RenderShowsLanesAndLatency) {
+  const auto s = PipelineSchedule::make(PipelineVariant::kOptimized, 4);
+  const auto txt = s.render();
+  EXPECT_NE(txt.find("7 minor cycles"), std::string::npos);
+  EXPECT_NE(txt.find("issue"), std::string::npos);
+  EXPECT_NE(txt.find("lsqref"), std::string::npos);
+  EXPECT_NE(txt.find("WB3"), std::string::npos);
+}
+
+TEST(Schedule, VariantNames) {
+  EXPECT_STREQ(variant_name(PipelineVariant::kSimple), "simple");
+  EXPECT_STREQ(variant_name(PipelineVariant::kEfficient), "efficient");
+  EXPECT_STREQ(variant_name(PipelineVariant::kOptimized), "optimized");
+}
+
+TEST(Schedule, RejectsBadWidth) {
+  EXPECT_THROW(PipelineSchedule::make(PipelineVariant::kSimple, 0), std::invalid_argument);
+  EXPECT_THROW(PipelineSchedule::make(PipelineVariant::kSimple, 17), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resim::core

@@ -1,0 +1,189 @@
+// Trace record wire format: exact sizes, round-trips, file container.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "trace/format.hpp"
+#include "trace/writer.hpp"
+
+namespace resim::trace {
+namespace {
+
+bool records_equal(const TraceRecord& a, const TraceRecord& b) {
+  if (a.fmt != b.fmt || a.wrong_path != b.wrong_path) return false;
+  switch (a.fmt) {
+    case RecFormat::kOther:
+      return a.fu == b.fu && a.out == b.out && a.in1 == b.in1 && a.in2 == b.in2;
+    case RecFormat::kMem:
+      return a.is_store == b.is_store && a.addr == b.addr && a.out == b.out &&
+             a.in1 == b.in1 && a.in2 == b.in2;
+    case RecFormat::kBranch:
+      return a.ctrl == b.ctrl && a.taken == b.taken && a.pc == b.pc &&
+             a.target == b.target && a.in1 == b.in1 && a.in2 == b.in2 && a.out == b.out;
+  }
+  return false;
+}
+
+TraceRecord random_record(Rng& rng) {
+  auto rreg = [&rng]() -> Reg {
+    const auto v = rng.below(33);
+    return v == 32 ? kNoReg : static_cast<Reg>(v);
+  };
+  TraceRecord r;
+  switch (rng.below(3)) {
+    case 0:
+      r = TraceRecord::other(static_cast<OtherFu>(rng.below(4)), rreg(), rreg(), rreg());
+      break;
+    case 1:
+      r = TraceRecord::mem(rng.chance(1, 2), rng.next() & 0xFFFF'FFF8, rreg(), rreg(), rreg());
+      break;
+    default: {
+      const auto ct = static_cast<isa::CtrlType>(1 + rng.below(4));
+      r = TraceRecord::branch(ct, rng.chance(1, 2), rng.next() & 0xFFFF'FFF8,
+                              rng.next() & 0xFFFF'FFF8, rreg(), rreg(),
+                              ct == isa::CtrlType::kCall ? kLinkReg : kNoReg);
+      break;
+    }
+  }
+  r.wrong_path = rng.chance(1, 8);
+  return r;
+}
+
+TEST(Format, ExactBitWidths) {
+  // The three formats of §V.A "each with its own fields and length".
+  EXPECT_EQ(kOtherBits, 23u);
+  EXPECT_EQ(kMemBits, 54u);
+  EXPECT_EQ(kBranchBits, 82u);
+  EXPECT_EQ(encoded_bits(TraceRecord::other(OtherFu::kAlu, 1, 2, 3)), kOtherBits);
+  EXPECT_EQ(encoded_bits(TraceRecord::mem(false, 0x100, 1, 2, kNoReg)), kMemBits);
+  EXPECT_EQ(encoded_bits(TraceRecord::branch(isa::CtrlType::kCond, true, 0x400000,
+                                             0x400100, 1, 2)),
+            kBranchBits);
+}
+
+TEST(Format, EncodeMatchesDeclaredSize) {
+  BitWriter w;
+  const auto r = TraceRecord::mem(true, 0xDEAD'BEE8, kNoReg, 3, 4);
+  encode(r, w);
+  EXPECT_EQ(w.bit_count(), kMemBits);
+}
+
+TEST(Format, RoundTripOther) {
+  const auto r = TraceRecord::other(OtherFu::kDiv, 7, 8, kNoReg);
+  BitWriter w;
+  encode(r, w);
+  BitReader br(w.bytes());
+  EXPECT_TRUE(records_equal(r, decode(br)));
+}
+
+TEST(Format, RoundTripMemPreservesAddress) {
+  auto r = TraceRecord::mem(false, 0x1234'5678 & ~Addr{7}, 5, 6, kNoReg);
+  r.wrong_path = true;  // Tag bit survives
+  BitWriter w;
+  encode(r, w);
+  BitReader br(w.bytes());
+  const auto d = decode(br);
+  EXPECT_TRUE(records_equal(r, d));
+  EXPECT_TRUE(d.wrong_path);
+}
+
+TEST(Format, RoundTripBranchAllCtrlTypes) {
+  for (const auto ct : {isa::CtrlType::kCond, isa::CtrlType::kJump, isa::CtrlType::kCall,
+                        isa::CtrlType::kRet}) {
+    const auto r = TraceRecord::branch(ct, true, 0x0040'0000, 0x0040'0800, 1, 2,
+                                       ct == isa::CtrlType::kCall ? kLinkReg : kNoReg);
+    BitWriter w;
+    encode(r, w);
+    BitReader br(w.bytes());
+    EXPECT_TRUE(records_equal(r, decode(br))) << "ctrl " << int(ct);
+  }
+}
+
+TEST(Format, CallLinkDestinationIsImplicit) {
+  const auto r = TraceRecord::branch(isa::CtrlType::kCall, true, 0x400000, 0x400800,
+                                     kNoReg, kNoReg, kLinkReg);
+  BitWriter w;
+  encode(r, w);
+  BitReader br(w.bytes());
+  EXPECT_EQ(decode(br).out, kLinkReg);  // reconstructed from ctrl type
+}
+
+TEST(Format, TruncatedStreamThrows) {
+  BitWriter w;
+  encode(TraceRecord::mem(false, 0x100, 1, 2, kNoReg), w);
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() - 3);
+  BitReader br(bytes);
+  EXPECT_THROW((void)decode(br), std::out_of_range);
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundTrip, RandomStream) {
+  Rng rng(GetParam());
+  std::vector<TraceRecord> records;
+  records.reserve(2000);
+  BitWriter w;
+  for (int i = 0; i < 2000; ++i) {
+    records.push_back(random_record(rng));
+    encode(records.back(), w);
+  }
+  BitReader br(w.bytes());
+  for (const auto& r : records) {
+    ASSERT_TRUE(records_equal(r, decode(br)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip, ::testing::Values(1, 17, 23, 0xFEED));
+
+TEST(Trace, TotalBitsMatchesPayload) {
+  Rng rng(5);
+  Trace t;
+  t.name = "x";
+  for (int i = 0; i < 100; ++i) t.records.push_back(random_record(rng));
+  const auto payload = t.encode_payload();
+  EXPECT_EQ(payload.size(), (t.total_bits() + 7) / 8);
+  const auto decoded = Trace::decode_payload(payload, t.records.size());
+  ASSERT_EQ(decoded.size(), t.records.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_TRUE(records_equal(t.records[i], decoded[i]));
+  }
+}
+
+TEST(TraceFile, SaveLoadRoundTrip) {
+  Rng rng(9);
+  Trace t;
+  t.name = "bench";
+  t.start_pc = 0x400000;
+  for (int i = 0; i < 500; ++i) t.records.push_back(random_record(rng));
+
+  const std::string path = ::testing::TempDir() + "/roundtrip.rsim";
+  save_trace(t, path);
+  const Trace u = load_trace(path);
+  EXPECT_EQ(u.name, "bench");
+  EXPECT_EQ(u.start_pc, 0x400000u);
+  ASSERT_EQ(u.records.size(), t.records.size());
+  for (std::size_t i = 0; i < u.records.size(); ++i) {
+    EXPECT_TRUE(records_equal(t.records[i], u.records[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, BadMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/bad.rsim";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOPE garbage";
+  }
+  EXPECT_THROW((void)load_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileRejected) {
+  EXPECT_THROW((void)load_trace("/nonexistent/path/to.trace"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace resim::trace

@@ -1,0 +1,116 @@
+// Pipeline-variant properties (paper §IV):
+//  * Simple and Efficient produce identical architectural timing — the
+//    early-broadcast reorganization changes only minor-cycle placement.
+//  * Optimized is timing-identical too when memory ports <= N-1 (the
+//    paper's validity condition, which CoreConfig enforces).
+//  * Minor-cycle cost ranks Simple > Efficient > Optimized.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "core/perf.hpp"
+#include "trace/tracegen.hpp"
+#include "workload/suite.hpp"
+
+namespace resim::core {
+namespace {
+
+trace::Trace make_trace(const std::string& name, std::uint64_t insts) {
+  trace::TraceGenConfig g;
+  g.max_insts = insts;
+  return trace::TraceGenerator(workload::make_workload(name), g).generate();
+}
+
+SimResult run_variant(const trace::Trace& t, PipelineVariant v, unsigned width) {
+  CoreConfig cfg = CoreConfig::paper_4wide_perfect();
+  cfg.width = width;
+  cfg.variant = v;
+  cfg.mem_read_ports = width > 1 ? width - 1 : 1;
+  cfg.mem_write_ports = 1;
+  if (v == PipelineVariant::kOptimized && width == 1) {
+    cfg.variant = PipelineVariant::kEfficient;  // N-1 = 0 ports impossible
+  }
+  trace::VectorTraceSource src(t);
+  ReSimEngine eng(cfg, src);
+  return eng.run();
+}
+
+class VariantEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>> {};
+
+TEST_P(VariantEquivalence, ArchitecturalTimingIdenticalAcrossVariants) {
+  const auto& [bench, width] = GetParam();
+  const auto t = make_trace(bench, 15000);
+
+  const auto simple = run_variant(t, PipelineVariant::kSimple, width);
+  const auto efficient = run_variant(t, PipelineVariant::kEfficient, width);
+  const auto optimized = run_variant(t, PipelineVariant::kOptimized, width);
+
+  // Identical simulated-processor behaviour...
+  EXPECT_EQ(simple.major_cycles, efficient.major_cycles);
+  EXPECT_EQ(simple.committed, efficient.committed);
+  EXPECT_EQ(efficient.major_cycles, optimized.major_cycles)
+      << "Optimized must not perturb timing with <= N-1 memory ports";
+  EXPECT_EQ(efficient.committed, optimized.committed);
+
+  // ...at different minor-cycle cost (2N+3 vs N+4 vs N+3).
+  EXPECT_EQ(simple.minor_cycles, simple.major_cycles * (2 * width + 3));
+  EXPECT_EQ(efficient.minor_cycles, efficient.major_cycles * (width + 4));
+  if (width > 1) {
+    EXPECT_EQ(optimized.minor_cycles, optimized.major_cycles * (width + 3));
+  }
+}
+
+TEST_P(VariantEquivalence, OptimizedIsFastestOnTheFpga) {
+  const auto& [bench, width] = GetParam();
+  if (width == 1) GTEST_SKIP() << "optimized undefined at width 1";
+  const auto t = make_trace(bench, 10000);
+  const auto simple = run_variant(t, PipelineVariant::kSimple, width);
+  const auto efficient = run_variant(t, PipelineVariant::kEfficient, width);
+  const auto optimized = run_variant(t, PipelineVariant::kOptimized, width);
+
+  const double mhz = 84.0;
+  const auto ts = fpga_throughput(simple, mhz, 2 * width + 3);
+  const auto te = fpga_throughput(efficient, mhz, width + 4);
+  const auto to = fpga_throughput(optimized, mhz, width + 3);
+  EXPECT_LT(ts.mips, te.mips);
+  EXPECT_LT(te.mips, to.mips);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BenchXWidth, VariantEquivalence,
+    ::testing::Combine(::testing::Values("gzip", "bzip2", "parser", "vortex", "vpr"),
+                       ::testing::Values(2u, 4u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(VariantRestriction, OptimizedRefusesFullMemPorts) {
+  CoreConfig cfg = CoreConfig::paper_4wide_perfect();
+  cfg.variant = PipelineVariant::kOptimized;
+  cfg.mem_read_ports = cfg.width;  // N ports: §IV.B forbids this
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(VariantRestriction, Slot0LoadSkipsOnlyInOptimized) {
+  // A pure-load trace (independent addresses, no register inputs) forces
+  // cycles where every issue candidate is a load memory access — exactly
+  // the case where the Optimized pipeline must leave slot 0 empty.
+  trace::Trace t;
+  t.name = "all_loads";
+  for (int i = 0; i < 256; ++i) {
+    t.records.push_back(trace::TraceRecord::mem(
+        /*is_store=*/false, 0x1000'0000 + static_cast<Addr>(i) * 8,
+        /*out=*/static_cast<Reg>(1 + (i % 30)), /*in1=*/kZeroReg, kNoReg));
+  }
+  const auto eff = run_variant(t, PipelineVariant::kEfficient, 4);
+  const auto opt = run_variant(t, PipelineVariant::kOptimized, 4);
+  EXPECT_EQ(eff.stats.value("issue.slot0_load_skips"), 0u);
+  EXPECT_GT(opt.stats.value("issue.slot0_load_skips"), 0u);
+  // With <= N-1 read ports the restriction must not change timing (§IV.B).
+  EXPECT_EQ(eff.major_cycles, opt.major_cycles);
+}
+
+}  // namespace
+}  // namespace resim::core

@@ -1,0 +1,195 @@
+// resim_cli — command-line front end, SimpleScalar-style.
+//
+//   resim_cli gen   --bench gzip --insts 1000000 --out gzip.rsim [--bp 2lev]
+//   resim_cli sim   --trace gzip.rsim [--width 4 --rob 16 --lsq 8]
+//                   [--variant optimized|efficient|simple] [--mem perfect|l1|l2]
+//                   [--bp 2lev|bimodal|gshare|comb|perfect|taken|nottaken]
+//                   [--device xc4vlx40] [--report]
+//   resim_cli stats --trace gzip.rsim
+//   resim_cli schedule --variant optimized --width 4
+//   resim_cli vhdl  --out dir [--pht 4096 --hist 8 --btb 512 --ras 16]
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/cmp.hpp"
+#include "resim/resim.hpp"
+
+namespace {
+
+using namespace resim;
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got: " + key);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args[key] = argv[++i];
+    } else {
+      args[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+std::string get(const Args& a, const std::string& key, const std::string& def) {
+  const auto it = a.find(key);
+  return it == a.end() ? def : it->second;
+}
+
+std::uint64_t get_u64(const Args& a, const std::string& key, std::uint64_t def) {
+  const auto it = a.find(key);
+  return it == a.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+bpred::DirKind bp_kind(const std::string& name) {
+  if (name == "2lev") return bpred::DirKind::kTwoLevel;
+  if (name == "bimodal") return bpred::DirKind::kBimodal;
+  if (name == "gshare") return bpred::DirKind::kGShare;
+  if (name == "comb") return bpred::DirKind::kCombined;
+  if (name == "perfect") return bpred::DirKind::kPerfect;
+  if (name == "taken") return bpred::DirKind::kAlwaysTaken;
+  if (name == "nottaken") return bpred::DirKind::kAlwaysNotTaken;
+  throw std::invalid_argument("unknown predictor: " + name);
+}
+
+core::PipelineVariant variant_of(const std::string& name) {
+  if (name == "simple") return core::PipelineVariant::kSimple;
+  if (name == "efficient") return core::PipelineVariant::kEfficient;
+  if (name == "optimized") return core::PipelineVariant::kOptimized;
+  throw std::invalid_argument("unknown variant: " + name);
+}
+
+core::CoreConfig config_from(const Args& a) {
+  core::CoreConfig cfg = core::CoreConfig::paper_4wide_perfect();
+  cfg.width = static_cast<unsigned>(get_u64(a, "width", cfg.width));
+  cfg.rob_size = static_cast<unsigned>(get_u64(a, "rob", cfg.rob_size));
+  cfg.lsq_size = static_cast<unsigned>(get_u64(a, "lsq", cfg.lsq_size));
+  cfg.ifq_size = static_cast<unsigned>(get_u64(a, "ifq", std::max(cfg.ifq_size, cfg.width)));
+  cfg.variant = variant_of(get(a, "variant", "optimized"));
+  cfg.bp.kind = bp_kind(get(a, "bp", "2lev"));
+  cfg.mem_read_ports =
+      static_cast<unsigned>(get_u64(a, "ports", std::max(1u, cfg.width - 1)));
+  const std::string mem = get(a, "mem", "perfect");
+  if (mem == "perfect") {
+    cfg.mem = cache::MemSysConfig::perfect_memory();
+  } else if (mem == "l1") {
+    cfg.mem = cache::MemSysConfig::paper_l1();
+  } else if (mem == "l2") {
+    cfg.mem = cache::MemSysConfig::with_unified_l2();
+  } else {
+    throw std::invalid_argument("unknown memory system: " + mem);
+  }
+  cfg.validate();
+  return cfg;
+}
+
+int cmd_gen(const Args& a) {
+  const std::string bench = get(a, "bench", "gzip");
+  const std::string out = get(a, "out", bench + ".rsim");
+  trace::TraceGenConfig g;
+  g.max_insts = get_u64(a, "insts", 1'000'000);
+  g.bp.kind = bp_kind(get(a, "bp", "2lev"));
+  trace::TraceGenerator gen(workload::make_workload(bench), g);
+  const trace::Trace t = gen.generate();
+  trace::save_trace(t, out);
+  std::cout << "wrote " << out << ": " << trace::analyze(t).summary() << '\n';
+  return 0;
+}
+
+int cmd_stats(const Args& a) {
+  const trace::Trace t = trace::load_trace(get(a, "trace", "trace.rsim"));
+  const auto s = trace::analyze(t);
+  std::cout << t.name << ": " << s.summary() << '\n'
+            << "  loads " << s.load_records << ", stores " << s.store_records
+            << ", branches " << s.branch_records << '\n'
+            << "  branch fraction " << s.branch_fraction() << ", mem fraction "
+            << s.mem_fraction() << '\n';
+  return 0;
+}
+
+int cmd_sim(const Args& a) {
+  const trace::Trace t = trace::load_trace(get(a, "trace", "trace.rsim"));
+  const auto cfg = config_from(a);
+  trace::VectorTraceSource src(t);
+  core::ReSimEngine eng(cfg, src);
+  const auto r = eng.run();
+
+  const auto& dev = fpga::device_by_name(get(a, "device", "xc4vlx40"));
+  const auto rpt = core::fpga_throughput(r, dev.minor_clock_mhz, eng.schedule().latency());
+
+  std::cout << "trace " << t.name << ": committed " << r.committed << " insts, "
+            << r.major_cycles << " cycles, IPC " << r.ipc() << '\n'
+            << "engine: " << core::variant_name(cfg.variant) << " pipeline, "
+            << eng.schedule().latency() << " minors/major, " << r.minor_cycles
+            << " minor cycles\n"
+            << dev.name << ": " << rpt.mips << " MIPS ("
+            << rpt.mips_processed << " incl. wrong path), trace feed "
+            << rpt.trace_mbytes_per_sec << " MB/s\n";
+  if (a.count("report")) {
+    std::cout << "\n-- statistics --\n" << r.stats.report();
+  }
+  return 0;
+}
+
+int cmd_schedule(const Args& a) {
+  const auto s = core::PipelineSchedule::make(
+      variant_of(get(a, "variant", "optimized")),
+      static_cast<unsigned>(get_u64(a, "width", 4)));
+  std::cout << s.render();
+  return 0;
+}
+
+int cmd_vhdl(const Args& a) {
+  bpred::BPredConfig cfg = bpred::BPredConfig::paper_default();
+  cfg.pht_entries = static_cast<std::uint32_t>(get_u64(a, "pht", cfg.pht_entries));
+  cfg.hist_bits = static_cast<std::uint32_t>(get_u64(a, "hist", cfg.hist_bits));
+  cfg.btb_entries = static_cast<std::uint32_t>(get_u64(a, "btb", cfg.btb_entries));
+  cfg.ras_entries = static_cast<std::uint32_t>(get_u64(a, "ras", cfg.ras_entries));
+  const std::string out = get(a, "out", "resim_vhdl");
+  std::filesystem::create_directories(out);
+  const auto files = codegen::generate_bpred_vhdl(cfg);
+  codegen::write_vhdl_files(files, out);
+  std::cout << "wrote " << files.size() << " VHDL units to " << out << '\n';
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: resim_cli <command> [flags]\n"
+      "  gen      --bench NAME --insts N --out FILE [--bp KIND]\n"
+      "  sim      --trace FILE [--width N --rob N --lsq N --ifq N --ports N]\n"
+      "           [--variant simple|efficient|optimized] [--mem perfect|l1|l2]\n"
+      "           [--bp 2lev|bimodal|gshare|comb|perfect] [--device NAME] [--report]\n"
+      "  stats    --trace FILE\n"
+      "  schedule --variant NAME --width N\n"
+      "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "sim") return cmd_sim(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "schedule") return cmd_schedule(args);
+    if (cmd == "vhdl") return cmd_vhdl(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "resim_cli " << cmd << ": " << e.what() << '\n';
+    return 1;
+  }
+}
