@@ -3,12 +3,15 @@
 //
 // Sweeps machine width, ROB/LSQ size and predictor kind over one
 // workload trace, reporting target IPC, modeled FPGA simulation speed
-// and estimated area per point — the reconfigurability payoff.
+// and estimated area per point — the reconfigurability payoff. All
+// points are one batch sharded across host cores by driver::BatchRunner;
+// the output is identical for any thread count.
 //
-//   ./design_space [benchmark] [instructions]
+//   ./design_space [benchmark] [instructions] [threads]
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "resim/resim.hpp"
 
@@ -16,27 +19,14 @@ namespace {
 
 using namespace resim;
 
-core::SimResult simulate(const std::string& bench, const core::CoreConfig& cfg,
-                         std::uint64_t insts) {
-  trace::TraceGenConfig g;
-  g.max_insts = insts;
-  g.bp = cfg.bp;
-  g.wrong_path_block = cfg.wrong_path_block();
-  trace::TraceGenerator gen(workload::make_workload(bench), g);
-  const trace::Trace t = gen.generate();
-  trace::VectorTraceSource src(t);
-  core::ReSimEngine eng(cfg, src);
-  return eng.run();
-}
-
-void report(const std::string& label, const core::CoreConfig& cfg,
-            const core::SimResult& r) {
+void report(const driver::JobResult& jr) {
+  const auto& cfg = jr.config;
   const auto lat = core::PipelineSchedule::latency_of(cfg.variant, cfg.width);
-  const auto t = core::fpga_throughput(r, fpga::xc4vlx40().minor_clock_mhz, lat);
+  const auto t = core::fpga_throughput(jr.result, fpga::xc4vlx40().minor_clock_mhz, lat);
   const auto area = fpga::estimate_area(cfg);
-  std::cout << std::left << std::setw(34) << label << std::right << std::fixed
-            << std::setprecision(3) << std::setw(8) << r.ipc() << std::setprecision(2)
-            << std::setw(10) << t.mips << std::setw(12)
+  std::cout << std::left << std::setw(34) << jr.label << std::right << std::fixed
+            << std::setprecision(3) << std::setw(8) << jr.result.ipc()
+            << std::setprecision(2) << std::setw(10) << t.mips << std::setw(12)
             << static_cast<long>(area.total_slices()) << '\n';
 }
 
@@ -45,32 +35,33 @@ void report(const std::string& label, const core::CoreConfig& cfg,
 int main(int argc, char** argv) {
   const std::string bench = argc > 1 ? argv[1] : "gzip";
   const std::uint64_t insts = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100'000;
+  const unsigned threads =
+      argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)) : 0;
 
-  std::cout << "design-space exploration on '" << bench << "' (" << insts
-            << " instructions per point)\n\n";
-  std::cout << std::left << std::setw(34) << "configuration" << std::right << std::setw(8)
-            << "IPC" << std::setw(10) << "MIPS@V4" << std::setw(12) << "slices" << '\n';
-  std::cout << std::string(64, '-') << '\n';
+  // The sweep: one SimJob per design point, grouped for the report.
+  std::vector<driver::SimJob> jobs;
+  std::vector<std::size_t> group_ends;
 
   // Width sweep.
   for (unsigned width : {2u, 4u, 8u}) {
     auto cfg = core::CoreConfig::paper_4wide_perfect();
     cfg.width = width;
     cfg.mem_read_ports = width - 1;
-    report("width " + std::to_string(width) + " (ROB 16, LSQ 8)", cfg,
-           simulate(bench, cfg, insts));
+    jobs.push_back(driver::SimJob::sweep_point(
+        "width " + std::to_string(width) + " (ROB 16, LSQ 8)", bench, cfg, insts));
   }
-  std::cout << '\n';
+  group_ends.push_back(jobs.size());
 
   // Window sweep at width 4.
   for (unsigned rob : {8u, 16u, 32u, 64u}) {
     auto cfg = core::CoreConfig::paper_4wide_perfect();
     cfg.rob_size = rob;
     cfg.lsq_size = rob / 2;
-    report("ROB " + std::to_string(rob) + " / LSQ " + std::to_string(rob / 2), cfg,
-           simulate(bench, cfg, insts));
+    jobs.push_back(driver::SimJob::sweep_point(
+        "ROB " + std::to_string(rob) + " / LSQ " + std::to_string(rob / 2), bench, cfg,
+        insts));
   }
-  std::cout << '\n';
+  group_ends.push_back(jobs.size());
 
   // Predictor sweep at the paper's core.
   const std::pair<const char*, bpred::DirKind> kinds[] = {
@@ -83,7 +74,27 @@ int main(int argc, char** argv) {
   for (const auto& [name, kind] : kinds) {
     auto cfg = core::CoreConfig::paper_4wide_perfect();
     cfg.bp.kind = kind;
-    report(std::string("BP: ") + name, cfg, simulate(bench, cfg, insts));
+    jobs.push_back(
+        driver::SimJob::sweep_point(std::string("BP: ") + name, bench, cfg, insts));
+  }
+  group_ends.push_back(jobs.size());
+
+  const driver::BatchRunner runner(threads);
+  std::cout << "design-space exploration on '" << bench << "' (" << insts
+            << " instructions per point, " << jobs.size() << " points, "
+            << runner.threads() << " host threads)\n\n";
+  std::cout << std::left << std::setw(34) << "configuration" << std::right << std::setw(8)
+            << "IPC" << std::setw(10) << "MIPS@V4" << std::setw(12) << "slices" << '\n';
+  std::cout << std::string(64, '-') << '\n';
+
+  const auto results = runner.run(jobs);
+  std::size_t group = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    report(results[i]);
+    if (i + 1 == group_ends[group] && i + 1 != results.size()) {
+      std::cout << '\n';
+      ++group;
+    }
   }
 
   std::cout << "\n(each row is one 'reconfiguration' of ReSim: new parameters, new\n"

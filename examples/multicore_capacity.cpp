@@ -8,6 +8,7 @@
 // I/O feasibility concern, Section V.C).
 #include <iomanip>
 #include <iostream>
+#include <memory>
 
 #include "core/cmp.hpp"
 #include "resim/resim.hpp"
@@ -17,13 +18,9 @@ int main() {
 
   // Per-instance performance: paper 4-wide configuration on gzip.
   const auto cfg = core::CoreConfig::paper_4wide_perfect();
-  trace::TraceGenConfig g;
-  g.max_insts = 100'000;
-  trace::TraceGenerator gen(workload::make_workload("gzip"), g);
-  const auto t = gen.generate();
-  trace::VectorTraceSource src(t);
-  core::ReSimEngine eng(cfg, src);
-  const auto r = eng.run();
+  const auto r = driver::BatchRunner::run_one(
+                     driver::SimJob::sweep_point("gzip", "gzip", cfg, 100'000))
+                     .result;
 
   // Area of one instance (with cache models, the realistic CMP case).
   auto area_cfg = cfg;
@@ -51,19 +48,46 @@ int main() {
               << std::setw(12) << (fit.slice_limited ? "slices" : "BRAM") << '\n';
   }
 
-  // Actually run a 4-core lockstep co-simulation: one ReSim engine per
-  // core, each with its own benchmark trace, stepped on the shared
-  // minor-cycle clock (core/cmp.hpp).
-  std::cout << "\nrunning a 4-core lockstep CMP simulation (one benchmark per core):\n";
-  std::vector<trace::Trace> traces;
+  // Prepare the benchmark mix once; the traces are shared (read-only)
+  // between the standalone batch below and the lockstep CMP run.
   const char* mix[] = {"gzip", "bzip2", "parser", "vortex"};
+  std::vector<std::shared_ptr<const trace::Trace>> traces;
   for (const char* name : mix) {
     trace::TraceGenConfig gc;
     gc.max_insts = 50'000;
     trace::TraceGenerator tg(workload::make_workload(name), gc);
-    traces.push_back(tg.generate());
+    traces.push_back(std::make_shared<const trace::Trace>(tg.generate()));
   }
-  std::vector<trace::VectorTraceSource> sources(traces.begin(), traces.end());
+
+  // Standalone per-core performance: one BatchRunner job per benchmark,
+  // sharded across host cores — the software mirror of independent ReSim
+  // instances on one FPGA.
+  std::vector<driver::SimJob> jobs;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    driver::SimJob job;
+    job.label = mix[i];
+    job.workload = mix[i];
+    job.config = cfg;
+    job.trace = traces[i];
+    jobs.push_back(std::move(job));
+  }
+  const driver::BatchRunner runner;
+  const auto standalone = runner.run(jobs);
+  std::cout << "\nstandalone runs of the mix (batch of " << jobs.size() << " on "
+            << runner.threads() << " host threads):\n";
+  for (const auto& jr : standalone) {
+    std::cout << "  " << std::left << std::setw(8) << jr.label << std::right
+              << " IPC " << std::fixed << std::setprecision(3) << jr.result.ipc()
+              << ", " << jr.result.major_cycles << " cycles\n";
+  }
+
+  // Actually run a 4-core lockstep co-simulation: one ReSim engine per
+  // core, each with its own benchmark trace, stepped on the shared
+  // minor-cycle clock (core/cmp.hpp).
+  std::cout << "\nrunning a 4-core lockstep CMP simulation (one benchmark per core):\n";
+  std::vector<trace::VectorTraceSource> sources;
+  sources.reserve(traces.size());
+  for (const auto& t : traces) sources.emplace_back(*t);
   std::vector<trace::TraceSource*> source_ptrs;
   for (auto& s : sources) source_ptrs.push_back(&s);
   core::CmpSimulation cmp(cfg, source_ptrs);

@@ -20,7 +20,10 @@ const char* fmt_name(resim::trace::RecFormat f) {
 }
 
 std::string reg_name(resim::Reg r) {
-  return r == resim::kNoReg ? std::string("-") : "r" + std::to_string(int(r));
+  // std::string("r").append(...) sidesteps GCC 12's -Wrestrict false
+  // positive on operator+(const char*, std::string&&) at -O3 (PR105651).
+  return r == resim::kNoReg ? std::string("-")
+                            : std::string("r").append(std::to_string(int(r)));
 }
 
 }  // namespace

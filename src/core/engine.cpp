@@ -46,7 +46,7 @@ bool ReSimEngine::step_major_cycle() {
   stage_dispatch();
   stage_fetch();
 
-  sample_occupancancy_and_advance();
+  sample_occupancy_and_advance();
 
   // Watchdog: a cycle budget without forward progress indicates a model
   // bug; fail loudly rather than spin.
@@ -56,7 +56,7 @@ bool ReSimEngine::step_major_cycle() {
   return true;
 }
 
-void ReSimEngine::sample_occupancancy_and_advance() {
+void ReSimEngine::sample_occupancy_and_advance() {
   stats_.occupancy("occ.ifq").sample(ifq_.size());
   stats_.occupancy("occ.rob").sample(rob_.size());
   stats_.occupancy("occ.lsq").sample(lsq_.size());

@@ -107,7 +107,7 @@ class ReSimEngine {
   void squash_and_redirect(Addr resume_pc);
 
   void wake_dependents(int producer_slot);
-  void sample_occupancancy_and_advance();
+  void sample_occupancy_and_advance();
   [[nodiscard]] bool pipeline_empty() const;
 
   CoreConfig cfg_;

@@ -1,0 +1,146 @@
+#include "driver/batch_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "trace/reader.hpp"
+#include "workload/suite.hpp"
+
+namespace resim::driver {
+
+SimJob SimJob::sweep_point(std::string label, std::string workload,
+                           const core::CoreConfig& cfg, std::uint64_t insts) {
+  SimJob job;
+  job.label = std::move(label);
+  job.workload = std::move(workload);
+  job.config = cfg;
+  job.gen.bp = cfg.bp;
+  job.gen.wrong_path_block = cfg.wrong_path_block();
+  job.gen.max_insts = insts;
+  return job;
+}
+
+BatchRunner::BatchRunner(unsigned threads)
+    : threads_(threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency())) {}
+
+JobResult BatchRunner::run_one(const SimJob& job) {
+  job.config.validate();
+  JobResult out;
+  out.label = job.label;
+  out.workload = job.workload;
+  out.config = job.config;
+  if (job.trace) {
+    trace::VectorTraceSource src(*job.trace);
+    out.result = core::ReSimEngine(job.config, src).run();
+  } else {
+    const trace::Trace t =
+        trace::TraceGenerator(workload::make_workload(job.workload), job.gen).generate();
+    trace::VectorTraceSource src(t);
+    out.result = core::ReSimEngine(job.config, src).run();
+  }
+  return out;
+}
+
+std::vector<JobResult> BatchRunner::run(const std::vector<SimJob>& jobs) const {
+  std::vector<JobResult> results(jobs.size());
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, jobs.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_one(jobs[i]);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        for (std::size_t i = next.fetch_add(1);
+             i < jobs.size() && !failed.load(std::memory_order_relaxed);
+             i = next.fetch_add(1)) {
+          results[i] = run_one(jobs[i]);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+namespace {
+
+const char* dir_kind_name(bpred::DirKind k) {
+  switch (k) {
+    case bpred::DirKind::kAlwaysTaken: return "taken";
+    case bpred::DirKind::kAlwaysNotTaken: return "nottaken";
+    case bpred::DirKind::kBimodal: return "bimodal";
+    case bpred::DirKind::kGShare: return "gshare";
+    case bpred::DirKind::kTwoLevel: return "2lev";
+    case bpred::DirKind::kCombined: return "comb";
+    case bpred::DirKind::kPerfect: return "perfect";
+  }
+  return "?";
+}
+
+const char* mem_name(const cache::MemSysConfig& m) {
+  if (m.perfect) return "perfect";
+  return m.with_l2 ? "l2" : "l1";
+}
+
+// RFC-4180 quoting for free-form fields (labels may contain commas).
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string csv_header() {
+  return "label,workload,variant,width,ifq,rob,lsq,bp,mem,"
+         "committed,fetched,wrong_path_fetched,squashed,"
+         "major_cycles,minor_cycles,trace_records,trace_bits,"
+         "ipc,bits_per_record";
+}
+
+std::string csv_row(const JobResult& r) {
+  std::ostringstream os;
+  os << csv_escape(r.label) << ',' << csv_escape(r.workload) << ','
+     << core::variant_name(r.config.variant)
+     << ',' << r.config.width << ',' << r.config.ifq_size << ',' << r.config.rob_size
+     << ',' << r.config.lsq_size << ',' << dir_kind_name(r.config.bp.kind) << ','
+     << mem_name(r.config.mem) << ',' << r.result.committed << ','
+     << r.result.fetched << ',' << r.result.wrong_path_fetched << ','
+     << r.result.squashed << ',' << r.result.major_cycles << ','
+     << r.result.minor_cycles << ',' << r.result.trace_records << ','
+     << r.result.trace_bits << ',' << std::fixed << std::setprecision(6)
+     << r.result.ipc() << ',' << r.result.bits_per_record();
+  return os.str();
+}
+
+void write_csv(std::ostream& os, const std::vector<JobResult>& results) {
+  os << csv_header() << '\n';
+  for (const auto& r : results) os << csv_row(r) << '\n';
+}
+
+}  // namespace resim::driver

@@ -1,0 +1,83 @@
+// Parallel design-space batch driver.
+//
+// ReSim exists for "bulk simulations with varying design parameters"
+// (paper §I). A SimJob names one point of that space — a CoreConfig
+// applied to one workload's trace — and BatchRunner shards a vector of
+// jobs across host cores. Every job is simulated by a worker-private
+// VectorTraceSource + ReSimEngine, so a parallel sweep is deterministic
+// and bit-identical to running the same jobs serially: results[i] always
+// corresponds to jobs[i], and no simulation state is shared between jobs.
+#ifndef RESIM_DRIVER_BATCH_RUNNER_H
+#define RESIM_DRIVER_BATCH_RUNNER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "trace/tracegen.hpp"
+#include "trace/writer.hpp"
+
+namespace resim::driver {
+
+/// One point of a design-space sweep.
+///
+/// If `trace` is set the job simulates that prepared trace (shared
+/// read-only across jobs, the paper's "traces prepared off-line" mode).
+/// Otherwise the worker generates the trace itself from `workload` and
+/// `gen` — trace generation is seeded and therefore deterministic.
+struct SimJob {
+  std::string label;     ///< row label in reports/CSV
+  std::string workload;  ///< benchmark name (workload::make_workload registry)
+  core::CoreConfig config{};
+  trace::TraceGenConfig gen{};
+  std::shared_ptr<const trace::Trace> trace;  ///< optional prepared trace
+
+  /// A sweep point whose trace-generation parameters match the core
+  /// configuration (predictor + conservative wrong-path block), the
+  /// pairing every paper experiment uses.
+  [[nodiscard]] static SimJob sweep_point(std::string label, std::string workload,
+                                          const core::CoreConfig& cfg,
+                                          std::uint64_t insts);
+};
+
+/// A completed job: the configuration it ran plus the engine's result.
+struct JobResult {
+  std::string label;
+  std::string workload;
+  core::CoreConfig config{};
+  core::SimResult result{};
+};
+
+class BatchRunner {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit BatchRunner(unsigned threads = 0);
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Run all jobs, sharding across the worker pool. results[i] is
+  /// jobs[i]'s outcome regardless of thread count. If a job throws, the
+  /// pool stops claiming new jobs and one of the thrown exceptions
+  /// (lowest worker index) is rethrown after all workers drain.
+  [[nodiscard]] std::vector<JobResult> run(const std::vector<SimJob>& jobs) const;
+
+  /// Simulate a single job in the calling thread.
+  [[nodiscard]] static JobResult run_one(const SimJob& job);
+
+ private:
+  unsigned threads_;
+};
+
+// --- CSV emission (resim_cli sweep; byte-stable across thread counts) ------
+
+[[nodiscard]] std::string csv_header();
+[[nodiscard]] std::string csv_row(const JobResult& r);
+void write_csv(std::ostream& os, const std::vector<JobResult>& results);
+
+}  // namespace resim::driver
+
+#endif  // RESIM_DRIVER_BATCH_RUNNER_H

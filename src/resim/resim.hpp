@@ -26,6 +26,7 @@
 #include "common/stats.hpp"
 #include "core/cmp.hpp"
 #include "core/engine.hpp"
+#include "driver/batch_runner.hpp"
 #include "core/perf.hpp"
 #include "core/schedule.hpp"
 #include "fpga/area.hpp"

@@ -137,11 +137,13 @@ Workload make_call_ladder(std::uint32_t iterations, int depth) {
   a.call("f0");
   outer_epilogue(a, "loop");
   for (int d = 0; d < depth; ++d) {
-    a.label("f" + std::to_string(d));
+    // std::string("f").append(...) sidesteps GCC 12's -Wrestrict false
+    // positive on operator+(const char*, std::string&&) at -O3 (PR105651).
+    a.label(std::string("f").append(std::to_string(d)));
     a.sw(kLinkReg, 28, 0);        // push link
     a.addi(28, 28, 8);
     a.addi(9, 9, 1);              // body work
-    if (d + 1 < depth) a.call("f" + std::to_string(d + 1));
+    if (d + 1 < depth) a.call(std::string("f").append(std::to_string(d + 1)));
     a.addi(9, 9, 1);
     a.addi(28, 28, -8);           // pop link
     a.lw(kLinkReg, 28, 0);

@@ -1,0 +1,154 @@
+// driver::BatchRunner — parallel sweeps must be bit-identical to serial.
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/batch_runner.hpp"
+#include "trace/tracegen.hpp"
+#include "workload/suite.hpp"
+
+namespace resim::driver {
+namespace {
+
+std::vector<SimJob> sweep_jobs(std::uint64_t insts) {
+  std::vector<SimJob> jobs;
+  for (const char* bench : {"gzip", "parser"}) {
+    for (unsigned width : {2u, 4u}) {
+      for (unsigned rob : {8u, 16u}) {
+        auto cfg = core::CoreConfig::paper_4wide_perfect();
+        cfg.width = width;
+        cfg.rob_size = rob;
+        cfg.lsq_size = rob / 2;
+        cfg.mem_read_ports = width - 1;
+        jobs.push_back(SimJob::sweep_point(
+            std::string(bench) + "/w" + std::to_string(width) + "/rob" +
+                std::to_string(rob),
+            bench, cfg, insts));
+      }
+    }
+  }
+  return jobs;
+}
+
+void expect_identical(const JobResult& a, const JobResult& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.result.committed, b.result.committed);
+  EXPECT_EQ(a.result.fetched, b.result.fetched);
+  EXPECT_EQ(a.result.wrong_path_fetched, b.result.wrong_path_fetched);
+  EXPECT_EQ(a.result.squashed, b.result.squashed);
+  EXPECT_EQ(a.result.major_cycles, b.result.major_cycles);
+  EXPECT_EQ(a.result.minor_cycles, b.result.minor_cycles);
+  EXPECT_EQ(a.result.trace_records, b.result.trace_records);
+  EXPECT_EQ(a.result.trace_bits, b.result.trace_bits);
+}
+
+TEST(BatchRunner, ParallelSweepBitIdenticalToSerial) {
+  const auto jobs = sweep_jobs(5000);
+  const auto serial = BatchRunner(1).run(jobs);
+  const auto parallel = BatchRunner(4).run(jobs);
+
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+
+  // The CSV a sweep emits is byte-identical too (every counter and every
+  // formatted double), for any thread count.
+  std::ostringstream s1, s4;
+  write_csv(s1, serial);
+  write_csv(s4, parallel);
+  EXPECT_EQ(s1.str(), s4.str());
+}
+
+TEST(BatchRunner, ResultsStayInJobOrder) {
+  const auto jobs = sweep_jobs(2000);
+  const auto results = BatchRunner(3).run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].label, jobs[i].label);
+    EXPECT_EQ(results[i].config.width, jobs[i].config.width);
+    EXPECT_EQ(results[i].config.rob_size, jobs[i].config.rob_size);
+  }
+}
+
+TEST(BatchRunner, SharedTraceMatchesWorkerGeneratedTrace) {
+  auto generated = SimJob::sweep_point("gen", "gzip",
+                                       core::CoreConfig::paper_4wide_perfect(), 5000);
+  SimJob shared = generated;
+  shared.label = "gen";  // same label so results compare equal
+  shared.trace = std::make_shared<const trace::Trace>(
+      trace::TraceGenerator(workload::make_workload("gzip"), generated.gen).generate());
+
+  const auto results = BatchRunner(2).run({generated, shared});
+  ASSERT_EQ(results.size(), 2u);
+  expect_identical(results[0], results[1]);
+}
+
+TEST(BatchRunner, MoreThreadsThanJobs) {
+  const auto jobs = sweep_jobs(1000);
+  const std::vector<SimJob> two(jobs.begin(), jobs.begin() + 2);
+  const auto results = BatchRunner(16).run(two);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].result.committed, 0u);
+  EXPECT_GT(results[1].result.committed, 0u);
+}
+
+TEST(BatchRunner, EmptyJobListIsFine) {
+  EXPECT_TRUE(BatchRunner(4).run({}).empty());
+}
+
+TEST(BatchRunner, ZeroSelectsHardwareConcurrency) {
+  EXPECT_GE(BatchRunner(0).threads(), 1u);
+  EXPECT_EQ(BatchRunner(3).threads(), 3u);
+}
+
+TEST(BatchRunner, JobExceptionPropagates) {
+  auto jobs = sweep_jobs(1000);
+  jobs[2].workload = "no-such-benchmark";
+  EXPECT_THROW((void)BatchRunner(4).run(jobs), std::invalid_argument);
+}
+
+TEST(BatchRunner, InvalidConfigRejected) {
+  SimJob job = SimJob::sweep_point("bad", "gzip",
+                                   core::CoreConfig::paper_4wide_perfect(), 1000);
+  job.config.width = 0;
+  EXPECT_THROW((void)BatchRunner(1).run({job}), std::exception);
+}
+
+TEST(BatchRunner, CsvEscapesCommasInLabels) {
+  JobResult r;
+  r.label = "width 2 (ROB 16, LSQ 8)";
+  r.workload = "gzip";
+  const std::string row = csv_row(r);
+  EXPECT_EQ(row.rfind("\"width 2 (ROB 16, LSQ 8)\",gzip,", 0), 0u)
+      << row;
+  // Quoting keeps the column count stable: commas inside quotes excluded,
+  // the row has exactly as many separators as the header.
+  long commas = 0;
+  bool quoted = false;
+  for (char c : row) {
+    if (c == '"') quoted = !quoted;
+    if (c == ',' && !quoted) ++commas;
+  }
+  const std::string header = csv_header();
+  EXPECT_EQ(commas, std::count(header.begin(), header.end(), ','));
+}
+
+TEST(BatchRunner, CsvHeaderColumnsMatchRows) {
+  const auto jobs = sweep_jobs(1000);
+  const auto results = BatchRunner(2).run(jobs);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  for (const auto& r : results) {
+    EXPECT_EQ(commas(csv_row(r)), commas(csv_header()));
+  }
+}
+
+}  // namespace
+}  // namespace resim::driver

@@ -88,7 +88,7 @@ TEST(BitReader, ThrowsPastEnd) {
   w.put(0xAB, 8);
   BitReader r(w.bytes());
   (void)r.get(8);
-  EXPECT_THROW(r.get(1), std::out_of_range);
+  EXPECT_THROW((void)r.get(1), std::out_of_range);
 }
 
 TEST(BitReader, BitsRemaining) {

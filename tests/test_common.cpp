@@ -68,7 +68,7 @@ TEST(FixedQueue, FullAndEmptyGuards) {
   q.pop();
   q.pop();
   EXPECT_THROW(q.pop(), std::logic_error);
-  EXPECT_THROW(q.front(), std::logic_error);
+  EXPECT_THROW((void)q.front(), std::logic_error);
 }
 
 TEST(FixedQueue, WrapAround) {
@@ -87,7 +87,56 @@ TEST(FixedQueue, AtIndexesFromFront) {
   q.push(30);
   EXPECT_EQ(q.at(0), 10);
   EXPECT_EQ(q.at(2), 30);
-  EXPECT_THROW(q.at(3), std::out_of_range);
+  EXPECT_THROW((void)q.at(3), std::out_of_range);
+}
+
+TEST(FixedQueue, RemoveIfAcrossWrapBoundary) {
+  // Advance head to physical index 3 so the full logical window 3..7
+  // wraps the ring: buf = [5 6 7 | 3 4], head = 3.
+  FixedQueue<int> q(5);
+  for (int i = 0; i < 5; ++i) q.push(i);  // 0 1 2 3 4
+  q.pop();
+  q.pop();
+  q.pop();          // head -> physical index 3; contents 3 4
+  q.push(5);        // tail wraps to physical 0
+  q.push(6);
+  q.push(7);
+  ASSERT_TRUE(q.full());
+
+  // Drop 4 and 6: survivors 3 (before the wrap point) and 5, 7 (after),
+  // so compaction must copy across the physical boundary.
+  const auto removed = q.remove_if([](int v) { return v % 2 == 0; });
+  EXPECT_EQ(removed, 2u);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.at(0), 3);
+  EXPECT_EQ(q.at(1), 5);
+  EXPECT_EQ(q.at(2), 7);
+
+  // The queue stays a well-formed ring: wrap again after the removal.
+  q.push(8);
+  q.push(9);
+  ASSERT_TRUE(q.full());
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 5);
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), 8);
+  EXPECT_EQ(q.pop(), 9);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, RemoveIfEverythingAtWrappedHead) {
+  FixedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.pop();
+  q.pop();          // head -> 2, empty
+  q.push(10);
+  q.push(11);
+  q.push(12);       // wraps: buf = [12 _ | 10 11]
+  EXPECT_EQ(q.remove_if([](int) { return true; }), 3u);
+  EXPECT_TRUE(q.empty());
+  q.push(42);       // still usable afterwards
+  EXPECT_EQ(q.front(), 42);
 }
 
 TEST(FixedQueue, RemoveIfKeepsOrder) {

@@ -71,7 +71,7 @@ TEST(Rob, ClearEmptiesWindow) {
   rob.allocate();
   rob.clear();
   EXPECT_TRUE(rob.empty());
-  EXPECT_THROW(rob.slot_at(0), std::out_of_range);
+  EXPECT_THROW((void)rob.slot_at(0), std::out_of_range);
 }
 
 // ---- Lsq -----------------------------------------------------------------

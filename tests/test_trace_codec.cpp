@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "trace/format.hpp"
+#include "trace/reader.hpp"
 #include "trace/writer.hpp"
 
 namespace resim::trace {
@@ -183,6 +184,48 @@ TEST(TraceFile, BadMagicRejected) {
 
 TEST(TraceFile, MissingFileRejected) {
   EXPECT_THROW((void)load_trace("/nonexistent/path/to.trace"), std::runtime_error);
+}
+
+// ---- VectorTraceSource ---------------------------------------------------
+
+TEST(VectorTraceSource, RewindResetsConsumptionCounters) {
+  Rng rng(7);
+  Trace t;
+  t.name = "rewind";
+  for (int i = 0; i < 32; ++i) t.records.push_back(random_record(rng));
+
+  VectorTraceSource src(t);
+  while (src.peek() != nullptr) (void)src.next();
+  const auto bits_first = src.bits_consumed();
+  const auto records_first = src.records_consumed();
+  EXPECT_EQ(records_first, t.records.size());
+  EXPECT_GT(bits_first, 0u);
+
+  src.rewind();
+  EXPECT_EQ(src.bits_consumed(), 0u);
+  EXPECT_EQ(src.records_consumed(), 0u);
+  ASSERT_NE(src.peek(), nullptr);
+  EXPECT_TRUE(records_equal(*src.peek(), t.records.front()));
+
+  // A full second pass consumes exactly the same bit/record totals.
+  while (src.peek() != nullptr) (void)src.next();
+  EXPECT_EQ(src.bits_consumed(), bits_first);
+  EXPECT_EQ(src.records_consumed(), records_first);
+}
+
+TEST(VectorTraceSource, RewindMidStream) {
+  Rng rng(13);
+  Trace t;
+  for (int i = 0; i < 8; ++i) t.records.push_back(random_record(rng));
+
+  VectorTraceSource src(t);
+  (void)src.next();
+  (void)src.next();
+  EXPECT_EQ(src.records_consumed(), 2u);
+  src.rewind();
+  EXPECT_EQ(src.records_consumed(), 0u);
+  EXPECT_EQ(src.bits_consumed(), 0u);
+  EXPECT_TRUE(records_equal(src.next(), t.records[0]));
 }
 
 }  // namespace

@@ -96,7 +96,9 @@ TEST(TraceGen, BranchRecordsCarryPcAndOutcome) {
   for (const auto& r : t.records) {
     if (!r.is_branch() || r.wrong_path) continue;
     EXPECT_GE(r.pc, isa::Program::kDefaultBase);
-    if (r.taken) EXPECT_NE(r.target, 0u);
+    if (r.taken) {
+      EXPECT_NE(r.target, 0u);
+    }
   }
 }
 

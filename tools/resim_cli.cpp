@@ -8,11 +8,17 @@
 //   resim_cli stats --trace gzip.rsim
 //   resim_cli schedule --variant optimized --width 4
 //   resim_cli vhdl  --out dir [--pht 4096 --hist 8 --btb 512 --ras 16]
+#include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/cmp.hpp"
 #include "resim/resim.hpp"
@@ -23,18 +29,32 @@ using namespace resim;
 
 using Args = std::map<std::string, std::string>;
 
+// A flag token is "--name" or a short "-x" (exactly one character, so
+// values like "-results.csv" or "-3" still parse as values).
+bool is_flag_token(const std::string& s) {
+  if (s.rfind("--", 0) == 0) return s.size() > 2;
+  return s.size() == 2 && s[0] == '-' && std::isalpha(static_cast<unsigned char>(s[1]));
+}
+
+/// The only flags that take no value; every other flag requires one.
+bool is_boolean_flag(const std::string& key) { return key == "report"; }
+
 Args parse_args(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) {
-      throw std::invalid_argument("expected --flag, got: " + key);
+    const std::string tok = argv[i];
+    if (!is_flag_token(tok)) {
+      throw std::invalid_argument("expected --flag, got: " + tok);
     }
-    key = key.substr(2);
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args[key] = argv[++i];
+    const std::string key = tok.substr(tok.rfind("--", 0) == 0 ? 2 : 1);
+    // insert_or_assign with an explicit std::string sidesteps GCC 12's
+    // -Wrestrict false positive on map::operator[] + char* assign at -O3.
+    if (is_boolean_flag(key)) {
+      args.insert_or_assign(key, std::string("1"));
+    } else if (i + 1 < argc && !is_flag_token(argv[i + 1])) {
+      args.insert_or_assign(key, std::string(argv[++i]));
     } else {
-      args[key] = "1";  // boolean flag
+      throw std::invalid_argument("flag " + tok + " requires a value");
     }
   }
   return args;
@@ -45,9 +65,22 @@ std::string get(const Args& a, const std::string& key, const std::string& def) {
   return it == a.end() ? def : it->second;
 }
 
+/// Strict decimal parse: the whole token must be an unsigned number
+/// (strtoull alone would silently wrap a leading '-' or clamp on ERANGE).
+std::uint64_t parse_u64(const std::string& s, const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const auto v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])) ||
+      end == s.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument(what + ": expected a number, got: " + s);
+  }
+  return v;
+}
+
 std::uint64_t get_u64(const Args& a, const std::string& key, std::uint64_t def) {
   const auto it = a.find(key);
-  return it == a.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+  return it == a.end() ? def : parse_u64(it->second, "--" + key);
 }
 
 bpred::DirKind bp_kind(const std::string& name) {
@@ -140,6 +173,71 @@ int cmd_sim(const Args& a) {
   return 0;
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+// Cross-product design-space sweep sharded across host cores
+// (driver::BatchRunner). Output is a CSV, byte-identical for any -j.
+int cmd_sweep(const Args& a) {
+  std::vector<std::string> benches = split_list(get(a, "bench", "gzip"));
+  if (benches.size() == 1 && benches[0] == "all") benches = workload::suite_names();
+  const std::uint64_t insts = get_u64(a, "insts", 100'000);
+
+  const auto variants = split_list(get(a, "variants", "optimized"));
+  const auto widths = split_list(get(a, "widths", "2,4,8"));
+  const auto robs = split_list(get(a, "robs", "16"));
+  const auto bps = split_list(get(a, "bps", "2lev"));
+
+  std::vector<driver::SimJob> jobs;
+  for (const auto& bench : benches) {
+    for (const auto& vname : variants) {
+      for (const auto& width_s : widths) {
+        for (const auto& rob_s : robs) {
+          for (const auto& bp : bps) {
+            core::CoreConfig cfg = core::CoreConfig::paper_4wide_perfect();
+            cfg.variant = variant_of(vname);
+            cfg.width = static_cast<unsigned>(parse_u64(width_s, "--widths"));
+            cfg.rob_size = static_cast<unsigned>(parse_u64(rob_s, "--robs"));
+            cfg.lsq_size = std::max(2u, cfg.rob_size / 2);
+            cfg.ifq_size = std::max(cfg.ifq_size, cfg.width);
+            cfg.mem_read_ports = std::max(1u, cfg.width - 1);
+            cfg.bp.kind = bp_kind(bp);
+            const std::string label = bench + "/" + vname + "/w" + width_s + "/rob" +
+                                      rob_s + "/" + bp;
+            jobs.push_back(driver::SimJob::sweep_point(label, bench, cfg, insts));
+          }
+        }
+      }
+    }
+  }
+
+  const driver::BatchRunner runner(static_cast<unsigned>(get_u64(a, "j", 1)));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = runner.run(jobs);
+  const double secs = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
+
+  const std::string out = get(a, "out", "");
+  if (out.empty()) {
+    driver::write_csv(std::cout, results);
+  } else {
+    std::ofstream f(out);
+    if (!f) throw std::runtime_error("cannot open output file: " + out);
+    driver::write_csv(f, results);
+  }
+  std::cerr << "sweep: " << jobs.size() << " configs, " << runner.threads()
+            << " threads, " << secs << " s ("
+            << static_cast<double>(jobs.size()) / secs << " jobs/s)\n";
+  return 0;
+}
+
 int cmd_schedule(const Args& a) {
   const auto s = core::PipelineSchedule::make(
       variant_of(get(a, "variant", "optimized")),
@@ -170,6 +268,9 @@ int usage() {
       "           [--variant simple|efficient|optimized] [--mem perfect|l1|l2]\n"
       "           [--bp 2lev|bimodal|gshare|comb|perfect] [--device NAME] [--report]\n"
       "  stats    --trace FILE\n"
+      "  sweep    [-j N] [--bench NAME[,NAME..]|all] [--insts N] [--out FILE]\n"
+      "           [--widths 2,4,8] [--robs 8,16,32] [--bps 2lev,perfect]\n"
+      "           [--variants simple,efficient,optimized]\n"
       "  schedule --variant NAME --width N\n"
       "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n";
   return 2;
@@ -185,6 +286,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "sim") return cmd_sim(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "schedule") return cmd_schedule(args);
     if (cmd == "vhdl") return cmd_vhdl(args);
     return usage();
