@@ -1,0 +1,117 @@
+// Streamed vs. in-memory trace feed throughput (the Table 3 angle:
+// ReSim's appetite for trace bandwidth is what makes the trace path a
+// hot path worth measuring).
+//
+// Generates one trace, saves it as a chunked v2 .rsim, then drains it
+//   (a) from a decoded in-memory vector (VectorTraceSource), and
+//   (b) chunk-streamed off the file (FileTraceSource, O(chunk) memory),
+// reporting records/s and wire MB/s for each, plus a full engine run on
+// both sources as a bit-identity self-check (exit 1 on mismatch).
+//
+//   ./micro_trace_stream [reps]        (RESIM_BENCH_INSTS sizes the trace)
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "trace/file_source.hpp"
+#include "trace/writer.hpp"
+
+namespace resim::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct DrainResult {
+  double secs = 0;
+  std::uint64_t records = 0;
+  std::uint64_t bits = 0;
+};
+
+template <typename Source>
+DrainResult drain(Source& src) {
+  DrainResult d;
+  const auto t0 = Clock::now();
+  while (src.peek() != nullptr) (void)src.next();
+  d.secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  d.records = src.records_consumed();
+  d.bits = src.bits_consumed();
+  return d;
+}
+
+void report(const char* label, const DrainResult& d) {
+  const double mb = static_cast<double>(d.bits) / 8.0 / 1e6;
+  std::cout << std::left << std::setw(22) << label << std::right << std::fixed
+            << std::setprecision(1) << std::setw(14) << (static_cast<double>(d.records) / d.secs / 1e6)
+            << std::setw(14) << (mb / d.secs) << '\n';
+}
+
+int run(int reps) {
+  const auto insts = inst_budget();
+  const auto cfg = core::CoreConfig::paper_4wide_perfect();
+
+  trace::TraceGenConfig g;
+  g.max_insts = insts;
+  g.bp = cfg.bp;
+  g.wrong_path_block = cfg.wrong_path_block();
+  const trace::Trace t =
+      trace::TraceGenerator(workload::make_workload("gzip"), g).generate();
+
+  // Pid-suffixed so concurrent invocations on one host never collide.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "micro_trace_stream_").string() +
+      std::to_string(::getpid()) + ".rsim";
+  trace::save_trace(t, path);
+
+  print_header("Trace feed throughput: in-memory vs. chunk-streamed .rsim (v2)");
+  std::cout << "trace: gzip, " << t.records.size() << " records, "
+            << (t.total_bits() + 7) / 8 << " payload bytes, chunk = "
+            << trace::kDefaultChunkRecords << " records, " << reps << " reps\n\n";
+  std::cout << std::left << std::setw(22) << "source" << std::right << std::setw(14)
+            << "Mrecords/s" << std::setw(14) << "wire MB/s" << '\n';
+  print_rule(50);
+
+  DrainResult vec_best, file_best;
+  for (int i = 0; i < reps; ++i) {
+    trace::VectorTraceSource vsrc(t);
+    const auto d = drain(vsrc);
+    if (vec_best.secs == 0 || d.secs < vec_best.secs) vec_best = d;
+  }
+  for (int i = 0; i < reps; ++i) {
+    trace::FileTraceSource fsrc(path);
+    const auto d = drain(fsrc);
+    if (file_best.secs == 0 || d.secs < file_best.secs) file_best = d;
+  }
+  report("VectorTraceSource", vec_best);
+  report("FileTraceSource", file_best);
+
+  bool ok = vec_best.records == file_best.records && vec_best.bits == file_best.bits;
+
+  // Engine-level identity: the whole point of the streaming path.
+  trace::VectorTraceSource vsrc(t);
+  const auto rv = core::ReSimEngine(cfg, vsrc).run();
+  trace::FileTraceSource fsrc(path);
+  const auto rf = core::ReSimEngine(cfg, fsrc).run();
+  ok = ok && rv.committed == rf.committed && rv.major_cycles == rf.major_cycles &&
+       rv.trace_records == rf.trace_records && rv.trace_bits == rf.trace_bits;
+
+  std::cout << "\nengine identity check: committed " << rv.committed << " vs "
+            << rf.committed << ", cycles " << rv.major_cycles << " vs "
+            << rf.major_cycles << ", peak stream buffer "
+            << fsrc.max_buffered_records() << " records -> "
+            << (ok ? "OK" : "MISMATCH") << '\n';
+
+  std::remove(path.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace resim::bench
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  return resim::bench::run(reps > 0 ? reps : 3);
+}

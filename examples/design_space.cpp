@@ -7,10 +7,16 @@
 // points are one batch sharded across host cores by driver::BatchRunner;
 // the output is identical for any thread count.
 //
-//   ./design_space [benchmark] [instructions] [threads]
+// With a 4th argument "stream", every worker simulates from a private
+// constant-memory trace::FileTraceSource (its generated trace
+// round-tripped through a temp .rsim file) instead of a decoded vector —
+// every result row is identical either way, because the codec is lossless.
+//
+//   ./design_space [benchmark] [instructions] [threads] [stream]
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "resim/resim.hpp"
@@ -37,6 +43,7 @@ int main(int argc, char** argv) {
   const std::uint64_t insts = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100'000;
   const unsigned threads =
       argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)) : 0;
+  const bool stream = argc > 4 && std::string(argv[4]) == "stream";
 
   // The sweep: one SimJob per design point, grouped for the report.
   std::vector<driver::SimJob> jobs;
@@ -79,10 +86,13 @@ int main(int argc, char** argv) {
   }
   group_ends.push_back(jobs.size());
 
+  if (stream) driver::use_streamed_sources(jobs, "resim_ds");
+
   const driver::BatchRunner runner(threads);
   std::cout << "design-space exploration on '" << bench << "' (" << insts
             << " instructions per point, " << jobs.size() << " points, "
-            << runner.threads() << " host threads)\n\n";
+            << runner.threads() << " host threads"
+            << (stream ? ", streamed traces" : "") << ")\n\n";
   std::cout << std::left << std::setw(34) << "configuration" << std::right << std::setw(8)
             << "IPC" << std::setw(10) << "MIPS@V4" << std::setw(12) << "slices" << '\n';
   std::cout << std::string(64, '-') << '\n';

@@ -1,13 +1,19 @@
 #include "driver/batch_runner.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <iomanip>
+#include <stdexcept>
 #include <ostream>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "trace/file_source.hpp"
 #include "trace/reader.hpp"
 #include "workload/suite.hpp"
 
@@ -25,6 +31,42 @@ SimJob SimJob::sweep_point(std::string label, std::string workload,
   return job;
 }
 
+void use_streamed_sources(std::vector<SimJob>& jobs, const std::string& tag) {
+  const std::string prefix = (std::filesystem::temp_directory_path() / tag).string() +
+                             "_" + std::to_string(::getpid()) + "_";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].trace_path.empty()) continue;  // already streams from disk
+    if (jobs[i].trace) {
+      // Regenerating from workload+gen would silently simulate a
+      // different record stream than the prepared trace.
+      throw std::invalid_argument(
+          "use_streamed_sources: job '" + jobs[i].label +
+          "' carries a prepared trace; streaming applies to generated jobs only");
+    }
+    jobs[i].source =
+        streamed_gen_source(jobs[i].workload, jobs[i].gen,
+                            prefix + std::to_string(i) + ".rsim");
+  }
+}
+
+TraceSourceFactory streamed_gen_source(std::string workload, trace::TraceGenConfig gen,
+                                       std::string path) {
+  return [workload = std::move(workload), gen,
+          path = std::move(path)]() -> std::unique_ptr<trace::TraceSource> {
+    const trace::Trace t =
+        trace::TraceGenerator(workload::make_workload(workload), gen).generate();
+    trace::save_trace(t, path);
+    try {
+      auto src = std::make_unique<trace::FileTraceSource>(path);
+      std::remove(path.c_str());  // the open stream keeps the inode alive
+      return src;
+    } catch (...) {
+      std::remove(path.c_str());  // don't leak the temp file on open failure
+      throw;
+    }
+  };
+}
+
 BatchRunner::BatchRunner(unsigned threads)
     : threads_(threads != 0 ? threads
                             : std::max(1u, std::thread::hardware_concurrency())) {}
@@ -35,7 +77,14 @@ JobResult BatchRunner::run_one(const SimJob& job) {
   out.label = job.label;
   out.workload = job.workload;
   out.config = job.config;
-  if (job.trace) {
+  if (job.source) {
+    const std::unique_ptr<trace::TraceSource> src = job.source();
+    if (!src) throw std::runtime_error("SimJob: source factory returned null");
+    out.result = core::ReSimEngine(job.config, *src).run();
+  } else if (!job.trace_path.empty()) {
+    trace::FileTraceSource src(job.trace_path);
+    out.result = core::ReSimEngine(job.config, src).run();
+  } else if (job.trace) {
     trace::VectorTraceSource src(*job.trace);
     out.result = core::ReSimEngine(job.config, src).run();
   } else {

@@ -11,6 +11,7 @@
 #define RESIM_DRIVER_BATCH_RUNNER_H
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -18,23 +19,44 @@
 
 #include "core/config.hpp"
 #include "core/engine.hpp"
+#include "trace/reader.hpp"
 #include "trace/tracegen.hpp"
 #include "trace/writer.hpp"
 
 namespace resim::driver {
 
+/// Builds the worker-private record source for one job. Factories run on
+/// the worker thread, so each worker owns its source outright — e.g. a
+/// constant-memory trace::FileTraceSource over a shared .rsim file
+/// instead of every worker sharing one giant decoded vector.
+using TraceSourceFactory = std::function<std::unique_ptr<trace::TraceSource>()>;
+
+/// Factory that generates `workload`'s trace with `gen`, round-trips it
+/// through a private .rsim file at `path`, and streams it back with a
+/// constant-memory trace::FileTraceSource. The file is unlinked as soon
+/// as the stream opens (the open stream keeps the inode alive on POSIX),
+/// so disk usage is bounded by the jobs in flight.
+[[nodiscard]] TraceSourceFactory streamed_gen_source(std::string workload,
+                                                     trace::TraceGenConfig gen,
+                                                     std::string path);
+
 /// One point of a design-space sweep.
 ///
-/// If `trace` is set the job simulates that prepared trace (shared
-/// read-only across jobs, the paper's "traces prepared off-line" mode).
-/// Otherwise the worker generates the trace itself from `workload` and
-/// `gen` — trace generation is seeded and therefore deterministic.
+/// Record-source precedence: `source` (factory), then `trace_path` (the
+/// worker streams the on-disk .rsim through a private constant-memory
+/// FileTraceSource — peak RSS stays O(chunk) however long the trace),
+/// then `trace` (prepared decoded trace shared read-only across jobs,
+/// the paper's "traces prepared off-line" mode), else the worker
+/// generates the trace itself from `workload` and `gen` — trace
+/// generation is seeded and therefore deterministic.
 struct SimJob {
   std::string label;     ///< row label in reports/CSV
   std::string workload;  ///< benchmark name (workload::make_workload registry)
   core::CoreConfig config{};
   trace::TraceGenConfig gen{};
+  std::string trace_path;                     ///< optional on-disk .rsim to stream
   std::shared_ptr<const trace::Trace> trace;  ///< optional prepared trace
+  TraceSourceFactory source;                  ///< optional worker-built source
 
   /// A sweep point whose trace-generation parameters match the core
   /// configuration (predictor + conservative wrong-path block), the
@@ -43,6 +65,11 @@ struct SimJob {
                                           const core::CoreConfig& cfg,
                                           std::uint64_t insts);
 };
+
+/// Switches every job to a streamed_gen_source factory, with per-job
+/// temp files named "<system temp dir>/<tag>_<pid>_<index>.rsim" so
+/// concurrent processes and workers never collide.
+void use_streamed_sources(std::vector<SimJob>& jobs, const std::string& tag);
 
 /// A completed job: the configuration it ran plus the engine's result.
 struct JobResult {

@@ -33,9 +33,12 @@
 #include "fpga/device.hpp"
 #include "fpga/fit.hpp"
 #include "fpga/literature.hpp"
+#include "trace/container.hpp"
+#include "trace/file_source.hpp"
 #include "trace/reader.hpp"
 #include "trace/trace_stats.hpp"
 #include "trace/tracegen.hpp"
+#include "trace/window.hpp"
 #include "trace/writer.hpp"
 #include "workload/micro.hpp"
 #include "workload/suite.hpp"

@@ -1,0 +1,170 @@
+#include "trace/container.hpp"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "trace/format.hpp"
+
+namespace resim::trace {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("load_trace: " + what + " in " + path);
+}
+
+}  // namespace
+
+void write_u32le(std::ostream& os, std::uint32_t v) {
+  std::array<char, 4> b;
+  for (unsigned i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(b.data(), b.size());
+}
+
+void write_u64le(std::ostream& os, std::uint64_t v) {
+  std::array<char, 8> b;
+  for (unsigned i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(b.data(), b.size());
+}
+
+std::uint32_t read_u32le(std::istream& is, const char* field) {
+  std::array<unsigned char, 4> b;
+  is.read(reinterpret_cast<char*>(b.data()), b.size());
+  if (!is) throw std::runtime_error(std::string("load_trace: truncated field ") + field);
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64le(std::istream& is, const char* field) {
+  std::array<unsigned char, 8> b;
+  is.read(reinterpret_cast<char*>(b.data()), b.size());
+  if (!is) throw std::runtime_error(std::string("load_trace: truncated field ") + field);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+void decode_records(BitReader& br, std::uint64_t count, std::uint64_t first_index,
+                    std::vector<TraceRecord>& out, const std::string& prefix,
+                    const std::string& suffix) {
+  const std::size_t start = out.size();
+  try {
+    for (std::uint64_t i = 0; i < count; ++i) out.push_back(decode(br));
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error(prefix + ": truncated payload at record " +
+                             std::to_string(first_index + (out.size() - start)) +
+                             suffix);
+  }
+}
+
+std::uint64_t min_payload_bytes(std::uint64_t records) {
+  return (records * kOtherBits + 7) / 8;
+}
+
+std::uint64_t max_payload_bytes(std::uint64_t records) {
+  return (records * kBranchBits + 7) / 8;
+}
+
+ContainerHeader read_container_header(std::istream& is, std::uint64_t file_size,
+                                      const std::string& path) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kContainerMagic, sizeof magic) != 0) {
+    fail(path, "bad magic");
+  }
+
+  ContainerHeader h;
+  h.version = read_u32le(is, "version");
+  if (h.version != kContainerV1 && h.version != kContainerV2) {
+    fail(path, "unsupported version " + std::to_string(h.version));
+  }
+
+  const std::uint32_t name_len = read_u32le(is, "name_len");
+  if (name_len > kMaxNameLen || name_len > file_size) {
+    fail(path, "name_len " + std::to_string(name_len) + " out of range");
+  }
+  h.name.resize(name_len);
+  is.read(h.name.data(), name_len);
+  if (!is) fail(path, "truncated field name");
+
+  h.start_pc = read_u64le(is, "start_pc");
+  h.record_count = read_u64le(is, "count");
+
+  if (h.version == kContainerV1) {
+    h.payload_len = read_u64le(is, "payload_len");
+    h.payload_start = static_cast<std::uint64_t>(is.tellg());
+    if (h.payload_len > file_size - h.payload_start) {
+      fail(path, "payload_len " + std::to_string(h.payload_len) +
+                     " exceeds file size " + std::to_string(file_size));
+    }
+    if (h.payload_len != file_size - h.payload_start) {
+      fail(path, "trailing garbage after payload");
+    }
+    // Bound count by the (file-size-checked) payload before any
+    // arithmetic or allocation sized from it can overflow.
+    if (h.record_count > h.payload_len * 8 / kOtherBits) {
+      fail(path, "count " + std::to_string(h.record_count) +
+                     " inconsistent with payload_len " + std::to_string(h.payload_len));
+    }
+    if (h.payload_len < min_payload_bytes(h.record_count) ||
+        h.payload_len > max_payload_bytes(h.record_count)) {
+      fail(path, "payload_len " + std::to_string(h.payload_len) +
+                     " inconsistent with count " + std::to_string(h.record_count));
+    }
+    return h;
+  }
+
+  h.chunk_records = read_u32le(is, "chunk_records");
+  h.chunk_count = read_u32le(is, "chunk_count");
+  h.payload_start = static_cast<std::uint64_t>(is.tellg());
+  if (h.chunk_records == 0 || h.chunk_records > kMaxChunkRecords) {
+    fail(path, "chunk_records " + std::to_string(h.chunk_records) + " out of range");
+  }
+  const std::uint64_t expect_chunks =
+      (h.record_count + h.chunk_records - 1) / h.chunk_records;
+  if (h.chunk_count != expect_chunks) {
+    fail(path, "chunk_count " + std::to_string(h.chunk_count) +
+                   " inconsistent with count " + std::to_string(h.record_count));
+  }
+  // Cheap whole-file lower bound before any chunk is read: every chunk
+  // carries an 8-byte header and every record at least kOtherBits bits.
+  const std::uint64_t body = file_size - h.payload_start;
+  if (body < h.chunk_count * 8ULL ||
+      body - h.chunk_count * 8ULL < min_payload_bytes(h.record_count)) {
+    fail(path, "count " + std::to_string(h.record_count) + " exceeds file size " +
+                   std::to_string(file_size));
+  }
+  return h;
+}
+
+ChunkHeader read_chunk_header(std::istream& is, const ContainerHeader& hdr,
+                              std::uint64_t records_remaining, std::uint64_t file_size,
+                              const std::string& path) {
+  ChunkHeader c;
+  c.record_count = read_u32le(is, "chunk record_count");
+  c.payload_bytes = read_u32le(is, "chunk payload_bytes");
+  const std::uint64_t expected =
+      records_remaining < hdr.chunk_records ? records_remaining : hdr.chunk_records;
+  if (c.record_count != expected) {
+    fail(path, "chunk record_count " + std::to_string(c.record_count) +
+                   " (expected " + std::to_string(expected) + ")");
+  }
+  if (c.payload_bytes < min_payload_bytes(c.record_count) ||
+      c.payload_bytes > max_payload_bytes(c.record_count)) {
+    fail(path, "chunk payload_bytes " + std::to_string(c.payload_bytes) +
+                   " inconsistent with its record_count " +
+                   std::to_string(c.record_count));
+  }
+  const std::uint64_t pos = static_cast<std::uint64_t>(is.tellg());
+  if (c.payload_bytes > file_size - pos) {
+    fail(path, "chunk payload_bytes " + std::to_string(c.payload_bytes) +
+                   " exceeds file size " + std::to_string(file_size));
+  }
+  return c;
+}
+
+}  // namespace resim::trace

@@ -1,0 +1,110 @@
+// .rsim container layout: explicit little-endian framing around the
+// bit-packed record payload of trace/format.hpp.
+//
+// Version 1 (legacy, read-only):
+//   magic "RSIM" | u32 version=1 | u32 name_len | name bytes
+//   | u64 start_pc | u64 record_count | u64 payload_len | payload
+// The whole record stream is one byte-aligned payload; the fields were
+// historically written in host byte order, which on the little-endian
+// hosts every trace was produced on matches this spec exactly.
+//
+// Version 2 (current, written by save_trace):
+//   magic "RSIM" | u32 version=2 | u32 name_len | name bytes
+//   | u64 start_pc | u64 record_count | u32 chunk_records | u32 chunk_count
+//   then chunk_count times:
+//     u32 record_count | u32 payload_bytes | payload
+// Every chunk holds exactly chunk_records records except the last, and
+// every chunk payload is independently byte-aligned, so a reader can
+// skip a chunk by seeking payload_bytes without decoding it — the basis
+// of the constant-memory FileTraceSource. All integers little-endian.
+//
+// Full bit-exact specification: docs/TRACE_FORMAT.md.
+#ifndef RESIM_TRACE_CONTAINER_H
+#define RESIM_TRACE_CONTAINER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/bitstream.hpp"
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace resim::trace {
+
+inline constexpr char kContainerMagic[4] = {'R', 'S', 'I', 'M'};
+inline constexpr std::uint32_t kContainerV1 = 1;
+inline constexpr std::uint32_t kContainerV2 = 2;
+
+/// Records per full chunk written by save_trace. 4096 records is at most
+/// ~42 KiB of encoded payload (all-branch worst case), so a streaming
+/// reader's working set stays well under one L2 cache.
+inline constexpr std::uint32_t kDefaultChunkRecords = 4096;
+
+/// Upper bounds accepted from the wire; anything larger is corruption,
+/// not a plausible trace.
+inline constexpr std::uint32_t kMaxNameLen = 4096;
+inline constexpr std::uint32_t kMaxChunkRecords = 1u << 20;
+
+/// Everything before the first payload byte (v1) / first chunk header (v2).
+struct ContainerHeader {
+  std::uint32_t version = kContainerV2;
+  std::string name;
+  Addr start_pc = 0;
+  std::uint64_t record_count = 0;
+  std::uint64_t payload_len = 0;       ///< v1 only: bytes of the single payload
+  std::uint32_t chunk_records = 0;     ///< v2 only: records per full chunk
+  std::uint32_t chunk_count = 0;       ///< v2 only
+  std::uint64_t payload_start = 0;     ///< file offset just past this header
+};
+
+/// v2 per-chunk framing.
+struct ChunkHeader {
+  std::uint32_t record_count = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+// --- little-endian primitives (byte-shift, no reinterpret_cast) ------------
+// Readers check stream state after every field and throw
+// std::runtime_error naming the field on a short or failed read.
+
+void write_u32le(std::ostream& os, std::uint32_t v);
+void write_u64le(std::ostream& os, std::uint64_t v);
+[[nodiscard]] std::uint32_t read_u32le(std::istream& is, const char* field);
+[[nodiscard]] std::uint64_t read_u64le(std::istream& is, const char* field);
+
+/// Reads and validates the magic, version and per-version header fields.
+/// Every length/count is checked against `file_size` before any
+/// allocation sized from it. Throws std::runtime_error naming the
+/// offending field.
+[[nodiscard]] ContainerHeader read_container_header(std::istream& is,
+                                                    std::uint64_t file_size,
+                                                    const std::string& path);
+
+/// Reads and validates one v2 chunk header at the current position.
+/// `records_remaining` is the count of records the container still owes;
+/// the chunk must deliver min(records_remaining, hdr.chunk_records) of
+/// them and its payload must fit both the record count and the file.
+[[nodiscard]] ChunkHeader read_chunk_header(std::istream& is, const ContainerHeader& hdr,
+                                            std::uint64_t records_remaining,
+                                            std::uint64_t file_size,
+                                            const std::string& path);
+
+/// Inclusive wire-size bounds for `records` byte-aligned records
+/// (all-Other vs all-Branch); used to reject impossible payload lengths.
+[[nodiscard]] std::uint64_t min_payload_bytes(std::uint64_t records);
+[[nodiscard]] std::uint64_t max_payload_bytes(std::uint64_t records);
+
+/// Appends `count` decoded records to `out`, converting the codec's
+/// std::out_of_range (truncated bit stream) into the container level's
+/// std::runtime_error contract: "<prefix>: truncated payload at record
+/// <first_index + n><suffix>". The single home of that conversion for
+/// every container reader.
+void decode_records(BitReader& br, std::uint64_t count, std::uint64_t first_index,
+                    std::vector<TraceRecord>& out, const std::string& prefix,
+                    const std::string& suffix);
+
+}  // namespace resim::trace
+
+#endif  // RESIM_TRACE_CONTAINER_H

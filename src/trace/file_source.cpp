@@ -1,0 +1,107 @@
+#include "trace/file_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace resim::trace {
+
+FileTraceSource::FileTraceSource(std::string path) : path_(std::move(path)) {
+  is_.open(path_, std::ios::binary);
+  if (!is_) throw std::runtime_error("FileTraceSource: cannot open " + path_);
+  is_.seekg(0, std::ios::end);
+  file_size_ = static_cast<std::uint64_t>(is_.tellg());
+  is_.seekg(0, std::ios::beg);
+  hdr_ = read_container_header(is_, file_size_, path_);
+
+  if (hdr_.version == kContainerV1) {
+    // v1 has one monolithic payload: keep its (compact) encoded bytes
+    // resident and decode in bounded batches.
+    encoded_.resize(hdr_.payload_len);
+    is_.read(reinterpret_cast<char*>(encoded_.data()),
+             static_cast<std::streamsize>(encoded_.size()));
+    if (!is_) throw std::runtime_error("load_trace: truncated payload in " + path_);
+    reader_.emplace(encoded_);
+  } else if (hdr_.chunk_count == 0 && hdr_.payload_start != file_size_) {
+    // Non-empty traces detect trailing bytes after the last chunk; an
+    // empty trace must end right after the header.
+    throw std::runtime_error("load_trace: trailing garbage after last chunk in " +
+                             path_);
+  }
+}
+
+void FileTraceSource::decode_batch(BitReader& br, std::uint64_t n) {
+  buf_.clear();
+  buf_pos_ = 0;
+  buf_.reserve(n);  // no-op after the first chunk: capacity is reused
+  decode_records(br, n, decoded_from_file_, buf_, "load_trace", " in " + path_);
+  decoded_from_file_ += n;
+  max_buffered_ = std::max(max_buffered_, buf_.size());
+}
+
+void FileTraceSource::refill() {
+  if (hdr_.version == kContainerV1) {
+    const std::uint64_t n = std::min<std::uint64_t>(
+        kDefaultChunkRecords, hdr_.record_count - decoded_from_file_);
+    decode_batch(*reader_, n);
+    if (decoded_from_file_ == hdr_.record_count && reader_->bits_remaining() >= 8) {
+      throw std::runtime_error("load_trace: trailing garbage after record " +
+                               std::to_string(hdr_.record_count) + " in " + path_);
+    }
+  } else {
+    const std::uint64_t remaining = hdr_.record_count - decoded_from_file_;
+    const ChunkHeader ch = read_chunk_header(is_, hdr_, remaining, file_size_, path_);
+    encoded_.resize(ch.payload_bytes);
+    is_.read(reinterpret_cast<char*>(encoded_.data()),
+             static_cast<std::streamsize>(encoded_.size()));
+    if (!is_) throw std::runtime_error("load_trace: truncated chunk in " + path_);
+    BitReader br(encoded_);
+    decode_batch(br, ch.record_count);
+    if (br.bits_remaining() >= 8) {
+      throw std::runtime_error("load_trace: trailing garbage in chunk " +
+                               std::to_string(chunks_read_) + " of " + path_);
+    }
+    ++chunks_read_;
+    if (chunks_read_ == hdr_.chunk_count &&
+        static_cast<std::uint64_t>(is_.tellg()) != file_size_) {
+      throw std::runtime_error("load_trace: trailing garbage after last chunk in " +
+                               path_);
+    }
+  }
+}
+
+const TraceRecord* FileTraceSource::peek() {
+  while (buf_pos_ == buf_.size()) {
+    if (decoded_from_file_ >= hdr_.record_count) return nullptr;
+    refill();
+  }
+  return &buf_[buf_pos_];
+}
+
+TraceRecord FileTraceSource::next() {
+  if (peek() == nullptr) {
+    throw std::out_of_range("FileTraceSource::next: past end of trace");
+  }
+  const TraceRecord r = buf_[buf_pos_++];
+  ++consumed_;
+  bits_ += encoded_bits(r);
+  return r;
+}
+
+void FileTraceSource::rewind() {
+  consumed_ = 0;
+  bits_ = 0;
+  decoded_from_file_ = 0;
+  chunks_read_ = 0;
+  buf_.clear();
+  buf_pos_ = 0;
+  if (hdr_.version == kContainerV1) {
+    reader_.emplace(encoded_);  // payload already resident; restart the bit cursor
+  } else {
+    is_.clear();
+    is_.seekg(static_cast<std::streamoff>(hdr_.payload_start));
+    if (!is_) throw std::runtime_error("FileTraceSource: rewind seek failed in " + path_);
+  }
+}
+
+}  // namespace resim::trace

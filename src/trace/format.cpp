@@ -41,6 +41,11 @@ void encode(const TraceRecord& r, BitWriter& w) {
       w.put(r.addr, 32);
       break;
     case RecFormat::kBranch:
+      // The 2-bit wire field maps kCond..kRet to 0..3; kNone has no
+      // encoding and would wrap to 2^64-1 and round-trip as kRet.
+      if (r.ctrl == isa::CtrlType::kNone) {
+        throw std::invalid_argument("encode: branch record with ctrl == kNone");
+      }
       w.put(static_cast<std::uint64_t>(r.ctrl) - 1, 2);  // kCond..kRet -> 0..3
       w.put_bool(r.taken);
       w.put(reg_to_wire(r.in1), kRegBits);
@@ -52,8 +57,12 @@ void encode(const TraceRecord& r, BitWriter& w) {
 }
 
 TraceRecord decode(BitReader& br) {
+  const std::uint64_t fmt_tag = br.get(2);
+  if (fmt_tag > static_cast<std::uint64_t>(RecFormat::kBranch)) {
+    throw std::runtime_error("decode: reserved record format tag 3");
+  }
   TraceRecord r;
-  r.fmt = static_cast<RecFormat>(br.get(2));
+  r.fmt = static_cast<RecFormat>(fmt_tag);
   r.wrong_path = br.get_bool();
   switch (r.fmt) {
     case RecFormat::kOther:

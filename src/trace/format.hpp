@@ -25,9 +25,12 @@ inline constexpr unsigned kBranchBits = 82;
 /// Exact encoded size of a record in bits.
 [[nodiscard]] unsigned encoded_bits(const TraceRecord& r);
 
+/// Encodes one record; throws std::invalid_argument on a branch record
+/// with ctrl == kNone (the 2-bit ctrl field has no encoding for it).
 void encode(const TraceRecord& r, BitWriter& w);
 
-/// Decodes one record; throws std::out_of_range on a truncated stream.
+/// Decodes one record; throws std::out_of_range on a truncated stream
+/// and std::runtime_error on the reserved format tag 3.
 [[nodiscard]] TraceRecord decode(BitReader& r);
 
 }  // namespace resim::trace

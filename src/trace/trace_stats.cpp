@@ -5,25 +5,37 @@
 
 namespace resim::trace {
 
+namespace {
+
+void accumulate(TraceStats& s, const TraceRecord& r) {
+  ++s.total_records;
+  if (r.wrong_path) ++s.wrong_path_records;
+  switch (r.fmt) {
+    case RecFormat::kOther: ++s.other_records; break;
+    case RecFormat::kMem:
+      ++s.mem_records;
+      if (r.is_store) {
+        ++s.store_records;
+      } else {
+        ++s.load_records;
+      }
+      break;
+    case RecFormat::kBranch: ++s.branch_records; break;
+  }
+  s.total_bits += encoded_bits(r);
+}
+
+}  // namespace
+
 TraceStats analyze(const Trace& t) {
   TraceStats s;
-  for (const TraceRecord& r : t.records) {
-    ++s.total_records;
-    if (r.wrong_path) ++s.wrong_path_records;
-    switch (r.fmt) {
-      case RecFormat::kOther: ++s.other_records; break;
-      case RecFormat::kMem:
-        ++s.mem_records;
-        if (r.is_store) {
-          ++s.store_records;
-        } else {
-          ++s.load_records;
-        }
-        break;
-      case RecFormat::kBranch: ++s.branch_records; break;
-    }
-    s.total_bits += encoded_bits(r);
-  }
+  for (const TraceRecord& r : t.records) accumulate(s, r);
+  return s;
+}
+
+TraceStats analyze(TraceSource& src) {
+  TraceStats s;
+  while (src.peek() != nullptr) accumulate(s, src.next());
   return s;
 }
 

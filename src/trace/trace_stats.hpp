@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "trace/reader.hpp"
 #include "trace/writer.hpp"
 
 namespace resim::trace {
@@ -49,6 +50,10 @@ struct TraceStats {
 };
 
 [[nodiscard]] TraceStats analyze(const Trace& t);
+
+/// Streaming variant: drains `src` in O(1) extra memory (pairs with
+/// FileTraceSource for stats over traces too large to load).
+[[nodiscard]] TraceStats analyze(TraceSource& src);
 
 }  // namespace resim::trace
 

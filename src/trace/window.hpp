@@ -1,0 +1,80 @@
+// TraceWindow: region-of-interest adaptor over any TraceSource.
+//
+// Long traces are rarely simulated end to end; the standard methodology
+// (ChampSim-style) fast-forwards past an uninteresting prefix, warms the
+// microarchitectural state, then measures a bounded region:
+//
+//   skip      records consumed from the inner source and discarded
+//   warmup    first records of the window (simulated; callers may
+//             snapshot counters at warmup_done() and report the delta)
+//   simulate  records after warm-up; kAll = the rest of the trace
+//
+// bits_consumed()/records_consumed() count only window records, so an
+// engine run over a window reports the region's own trace statistics.
+#ifndef RESIM_TRACE_WINDOW_H
+#define RESIM_TRACE_WINDOW_H
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "trace/reader.hpp"
+
+namespace resim::trace {
+
+class TraceWindow final : public TraceSource {
+ public:
+  static constexpr std::uint64_t kAll = ~std::uint64_t{0};
+
+  /// Does not own `inner`; skipping is lazy (first peek()/next()).
+  TraceWindow(TraceSource& inner, std::uint64_t skip, std::uint64_t warmup = 0,
+              std::uint64_t simulate = kAll)
+      : inner_(inner), skip_(skip), warmup_(warmup) {
+    limit_ = simulate == kAll ? kAll : warmup + simulate;
+    if (limit_ < warmup) limit_ = kAll;  // warmup + simulate overflowed
+  }
+
+  [[nodiscard]] const TraceRecord* peek() override {
+    ensure_skipped();
+    if (consumed_ >= limit_) return nullptr;
+    return inner_.peek();
+  }
+
+  TraceRecord next() override {
+    if (peek() == nullptr) {
+      throw std::out_of_range("TraceWindow::next: past end of window");
+    }
+    const TraceRecord r = inner_.next();
+    ++consumed_;
+    bits_ += encoded_bits(r);
+    return r;
+  }
+
+  [[nodiscard]] std::uint64_t bits_consumed() const override { return bits_; }
+  [[nodiscard]] std::uint64_t records_consumed() const override { return consumed_; }
+
+  [[nodiscard]] std::uint64_t warmup_records() const { return warmup_; }
+  /// True once every warm-up record has been consumed (also true for a
+  /// window with no warm-up region).
+  [[nodiscard]] bool warmup_done() { return consumed_ >= warmup_ || peek() == nullptr; }
+
+ private:
+  void ensure_skipped() {
+    if (skipped_) return;
+    skipped_ = true;  // set first: inner_.peek() must not recurse via us
+    for (std::uint64_t i = 0; i < skip_ && inner_.peek() != nullptr; ++i) {
+      (void)inner_.next();  // discarded: not counted in this source's totals
+    }
+  }
+
+  TraceSource& inner_;
+  std::uint64_t skip_;
+  std::uint64_t warmup_;
+  std::uint64_t limit_;
+  bool skipped_ = false;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace resim::trace
+
+#endif  // RESIM_TRACE_WINDOW_H

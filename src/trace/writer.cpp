@@ -1,32 +1,13 @@
 #include "trace/writer.hpp"
 
-#include <cstring>
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
+#include "trace/container.hpp"
+#include "trace/file_source.hpp"
+
 namespace resim::trace {
-
-namespace {
-constexpr char kMagic[4] = {'R', 'S', 'I', 'M'};
-constexpr std::uint32_t kVersion = 1;
-
-void write_u32(std::ofstream& os, std::uint32_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-void write_u64(std::ofstream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-std::uint32_t read_u32(std::ifstream& is) {
-  std::uint32_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  return v;
-}
-std::uint64_t read_u64(std::ifstream& is) {
-  std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  return v;
-}
-}  // namespace
 
 std::vector<std::uint8_t> Trace::encode_payload() const {
   BitWriter w;
@@ -40,49 +21,70 @@ std::vector<TraceRecord> Trace::decode_payload(std::span<const std::uint8_t> pay
   BitReader br(payload);
   std::vector<TraceRecord> out;
   out.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) out.push_back(decode(br));
+  decode_records(br, count, 0, out, "decode_payload", "");
+  // Only byte-alignment padding may follow the last record; a whole
+  // spare byte means the payload length lies about the record count.
+  if (br.bits_remaining() >= 8) {
+    throw std::runtime_error("decode_payload: trailing garbage after record " +
+                             std::to_string(count));
+  }
   return out;
 }
 
-void save_trace(const Trace& t, const std::string& path) {
+void save_trace(const Trace& t, const std::string& path, std::uint32_t chunk_records) {
+  if (chunk_records == 0 || chunk_records > kMaxChunkRecords) {
+    throw std::invalid_argument("save_trace: chunk_records out of range");
+  }
+  if (t.name.size() > kMaxNameLen) {
+    // The reader enforces this bound; refusing here beats writing a file
+    // load_trace will reject.
+    throw std::invalid_argument("save_trace: trace name longer than " +
+                                std::to_string(kMaxNameLen) + " bytes");
+  }
   std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("save_trace: cannot open " + path);
-  os.write(kMagic, sizeof kMagic);
-  write_u32(os, kVersion);
-  write_u32(os, static_cast<std::uint32_t>(t.name.size()));
+
+  const std::uint64_t count = t.records.size();
+  const std::uint64_t chunks = (count + chunk_records - 1) / chunk_records;
+  if (chunks > 0xFFFF'FFFFULL) {
+    throw std::invalid_argument(
+        "save_trace: trace needs more than 2^32-1 chunks; raise chunk_records");
+  }
+
+  os.write(kContainerMagic, sizeof kContainerMagic);
+  write_u32le(os, kContainerV2);
+  write_u32le(os, static_cast<std::uint32_t>(t.name.size()));
   os.write(t.name.data(), static_cast<std::streamsize>(t.name.size()));
-  write_u64(os, t.start_pc);
-  write_u64(os, t.records.size());
-  const auto payload = t.encode_payload();
-  write_u64(os, payload.size());
-  os.write(reinterpret_cast<const char*>(payload.data()),
-           static_cast<std::streamsize>(payload.size()));
+  write_u64le(os, t.start_pc);
+  write_u64le(os, count);
+  write_u32le(os, chunk_records);
+  write_u32le(os, static_cast<std::uint32_t>(chunks));
+
+  BitWriter w;
+  for (std::uint64_t first = 0; first < count; first += chunk_records) {
+    const std::uint64_t n = std::min<std::uint64_t>(chunk_records, count - first);
+    w.clear();
+    for (std::uint64_t i = 0; i < n; ++i) encode(t.records[first + i], w);
+    w.align_byte();
+    const auto& bytes = w.bytes();
+    write_u32le(os, static_cast<std::uint32_t>(n));
+    write_u32le(os, static_cast<std::uint32_t>(bytes.size()));
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  }
   if (!os) throw std::runtime_error("save_trace: write failed for " + path);
 }
 
 Trace load_trace(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_trace: cannot open " + path);
-  char magic[4];
-  is.read(magic, sizeof magic);
-  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw std::runtime_error("load_trace: bad magic in " + path);
-  }
-  const std::uint32_t version = read_u32(is);
-  if (version != kVersion) throw std::runtime_error("load_trace: unsupported version");
-  const std::uint32_t name_len = read_u32(is);
-  std::string name(name_len, '\0');
-  is.read(name.data(), name_len);
+  // One reader implementation for both container versions: drain the
+  // streaming source (which owns all header/chunk validation) into a
+  // decoded vector.
+  FileTraceSource src(path);
   Trace t;
-  t.name = std::move(name);
-  t.start_pc = read_u64(is);
-  const std::uint64_t count = read_u64(is);
-  const std::uint64_t payload_len = read_u64(is);
-  std::vector<std::uint8_t> payload(payload_len);
-  is.read(reinterpret_cast<char*>(payload.data()),
-          static_cast<std::streamsize>(payload_len));
-  if (!is) throw std::runtime_error("load_trace: truncated file " + path);
-  t.records = Trace::decode_payload(payload, count);
+  t.name = src.trace_name();
+  t.start_pc = src.start_pc();
+  t.records.reserve(src.total_records());
+  while (src.peek() != nullptr) t.records.push_back(src.next());
   return t;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/container.hpp"
 #include "trace/format.hpp"
 #include "trace/record.hpp"
 
@@ -32,13 +33,22 @@ struct Trace {
   /// Encode to the wire format (byte-aligned at the end only).
   [[nodiscard]] std::vector<std::uint8_t> encode_payload() const;
 
-  /// Decode a payload of `count` records.
+  /// Decode a payload of exactly `count` records; throws
+  /// std::runtime_error if more than alignment padding follows the last
+  /// record (trailing-garbage detection).
   [[nodiscard]] static std::vector<TraceRecord> decode_payload(
       std::span<const std::uint8_t> payload, std::uint64_t count);
 };
 
-/// File container: magic, version, name, start PC, record count, payload.
-void save_trace(const Trace& t, const std::string& path);
+/// Writes the container-v2 chunked format (see docs/TRACE_FORMAT.md):
+/// little-endian framing, `chunk_records` records per chunk so readers
+/// can stream or skip chunks without decoding the whole payload.
+void save_trace(const Trace& t, const std::string& path,
+                std::uint32_t chunk_records = kDefaultChunkRecords);
+
+/// Reads container v1 and v2. Every header field is validated against
+/// the file size before use; corrupt files throw std::runtime_error
+/// naming the offending field.
 [[nodiscard]] Trace load_trace(const std::string& path);
 
 }  // namespace resim::trace

@@ -8,24 +8,12 @@
 #include "trace/format.hpp"
 #include "trace/reader.hpp"
 #include "trace/writer.hpp"
+#include "trace_test_util.hpp"
 
 namespace resim::trace {
 namespace {
 
-bool records_equal(const TraceRecord& a, const TraceRecord& b) {
-  if (a.fmt != b.fmt || a.wrong_path != b.wrong_path) return false;
-  switch (a.fmt) {
-    case RecFormat::kOther:
-      return a.fu == b.fu && a.out == b.out && a.in1 == b.in1 && a.in2 == b.in2;
-    case RecFormat::kMem:
-      return a.is_store == b.is_store && a.addr == b.addr && a.out == b.out &&
-             a.in1 == b.in1 && a.in2 == b.in2;
-    case RecFormat::kBranch:
-      return a.ctrl == b.ctrl && a.taken == b.taken && a.pc == b.pc &&
-             a.target == b.target && a.in1 == b.in1 && a.in2 == b.in2 && a.out == b.out;
-  }
-  return false;
-}
+using testutil::records_equal;
 
 TraceRecord random_record(Rng& rng) {
   auto rreg = [&rng]() -> Reg {
@@ -111,6 +99,23 @@ TEST(Format, CallLinkDestinationIsImplicit) {
   EXPECT_EQ(decode(br).out, kLinkReg);  // reconstructed from ctrl type
 }
 
+TEST(Format, EncodeBranchCtrlNoneThrows) {
+  // ctrl==kNone has no 2-bit encoding; the old code wrapped it to 2^64-1
+  // and round-tripped the record as a kRet branch.
+  auto r = TraceRecord::branch(isa::CtrlType::kCond, true, 0x400000, 0x400100, 1, 2);
+  r.ctrl = isa::CtrlType::kNone;
+  BitWriter w;
+  EXPECT_THROW(encode(r, w), std::invalid_argument);
+}
+
+TEST(Format, DecodeReservedFormatTagRejected) {
+  BitWriter w;
+  w.put(3, 2);   // reserved format tag
+  w.put(0, 30);  // plausible-looking bits after it
+  BitReader br(w.bytes());
+  EXPECT_THROW((void)decode(br), std::runtime_error);
+}
+
 TEST(Format, TruncatedStreamThrows) {
   BitWriter w;
   encode(TraceRecord::mem(false, 0x100, 1, 2, kNoReg), w);
@@ -170,6 +175,129 @@ TEST(TraceFile, SaveLoadRoundTrip) {
     EXPECT_TRUE(records_equal(t.records[i], u.records[i]));
   }
   std::remove(path.c_str());
+}
+
+TEST(TraceFile, MultiChunkRoundTrip) {
+  // A chunk size that doesn't divide the record count exercises the
+  // short final chunk.
+  Rng rng(21);
+  Trace t;
+  t.name = "chunky";
+  for (int i = 0; i < 100; ++i) t.records.push_back(random_record(rng));
+  const std::string path = ::testing::TempDir() + "/chunky.rsim";
+  save_trace(t, path, /*chunk_records=*/7);
+  const Trace u = load_trace(path);
+  ASSERT_EQ(u.records.size(), t.records.size());
+  for (std::size_t i = 0; i < u.records.size(); ++i) {
+    EXPECT_TRUE(records_equal(t.records[i], u.records[i]));
+  }
+  std::remove(path.c_str());
+}
+
+// ---- corrupt containers ---------------------------------------------------
+
+namespace corrupt {
+
+using testutil::write_v1;
+
+Trace small_trace(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  Trace t;
+  t.name = "v1";
+  t.start_pc = 0x400000;
+  for (int i = 0; i < n; ++i) t.records.push_back(random_record(rng));
+  return t;
+}
+
+/// load_trace must throw and the message must name the offending field.
+void expect_rejected(const std::string& path, const std::string& field) {
+  try {
+    (void)load_trace(path);
+    FAIL() << "expected load_trace to reject " << path;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "message was: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace corrupt
+
+TEST(TraceFile, V1ContainerStillLoads) {
+  const Trace t = corrupt::small_trace(3, 200);
+  const std::string path = ::testing::TempDir() + "/legacy.rsim";
+  corrupt::write_v1(path, t, t.records.size());
+  const Trace u = load_trace(path);
+  EXPECT_EQ(u.name, "v1");
+  EXPECT_EQ(u.start_pc, 0x400000u);
+  ASSERT_EQ(u.records.size(), t.records.size());
+  for (std::size_t i = 0; i < u.records.size(); ++i) {
+    EXPECT_TRUE(records_equal(t.records[i], u.records[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedHeaderRejected) {
+  const std::string path = ::testing::TempDir() + "/trunc.rsim";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write("RSIM", 4);
+    os.put('\x02');  // half a version field
+  }
+  corrupt::expect_rejected(path, "version");
+}
+
+TEST(TraceFile, OversizedPayloadLenRejected) {
+  // The old loader allocated payload(payload_len) straight off the wire;
+  // a corrupt length demanded a multi-GB allocation before any check.
+  const Trace t = corrupt::small_trace(4, 10);
+  const std::string path = ::testing::TempDir() + "/oversized.rsim";
+  corrupt::write_v1(path, t, t.records.size(), /*payload_len=*/1ULL << 40);
+  corrupt::expect_rejected(path, "payload_len");
+}
+
+TEST(TraceFile, OversizedNameLenRejected) {
+  const Trace t = corrupt::small_trace(5, 10);
+  const std::string path = ::testing::TempDir() + "/badname.rsim";
+  corrupt::write_v1(path, t, t.records.size(), ~std::uint64_t{0},
+                    /*name_len=*/0xFFFF'0000u);
+  corrupt::expect_rejected(path, "name_len");
+}
+
+TEST(TraceFile, CountInconsistentWithPayloadRejected) {
+  // count lies low: a whole undecoded record left in the payload.
+  const Trace t = corrupt::small_trace(6, 50);
+  const std::string path = ::testing::TempDir() + "/badcount.rsim";
+  corrupt::write_v1(path, t, t.records.size() - 2);
+  EXPECT_THROW((void)load_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, BadChunkHeaderRejected) {
+  const Trace t = corrupt::small_trace(7, 100);
+  const std::string path = ::testing::TempDir() + "/badchunk.rsim";
+  save_trace(t, path, /*chunk_records=*/32);
+  // First chunk header sits right after the fixed header + name; corrupt
+  // its payload_bytes field (offset +4 within the chunk header).
+  const std::uint64_t chunk_hdr_off = 4 + 4 + 4 + t.name.size() + 8 + 8 + 4 + 4;
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(chunk_hdr_off + 4));
+    const char huge[4] = {'\xFF', '\xFF', '\xFF', '\x0F'};
+    f.write(huge, 4);
+  }
+  corrupt::expect_rejected(path, "chunk payload_bytes");
+}
+
+TEST(TraceFile, TrailingGarbageRejected) {
+  const Trace t = corrupt::small_trace(8, 60);
+  const std::string path = ::testing::TempDir() + "/trailing.rsim";
+  save_trace(t, path);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.write("JUNKJUNK", 8);
+  }
+  corrupt::expect_rejected(path, "trailing garbage");
 }
 
 TEST(TraceFile, BadMagicRejected) {

@@ -1,0 +1,321 @@
+// Streaming trace I/O: FileTraceSource vs. VectorTraceSource identity,
+// O(chunk) memory, rewind, TraceWindow regions, and factory-built
+// sources in the batch runner.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "driver/batch_runner.hpp"
+#include "trace/file_source.hpp"
+#include "trace/tracegen.hpp"
+#include "trace/window.hpp"
+#include "trace/writer.hpp"
+#include "trace_test_util.hpp"
+#include "workload/suite.hpp"
+
+namespace resim::trace {
+namespace {
+
+using testutil::records_equal;
+
+Trace generate(const std::string& bench, std::uint64_t insts) {
+  TraceGenConfig g;
+  g.max_insts = insts;
+  return TraceGenerator(workload::make_workload(bench), g).generate();
+}
+
+std::string temp_path(const std::string& leaf) { return ::testing::TempDir() + "/" + leaf; }
+
+// ---- FileTraceSource ------------------------------------------------------
+
+TEST(FileTraceSource, RecordStreamMatchesVectorSource) {
+  const Trace t = generate("gzip", 6000);
+  const std::string path = temp_path("stream_eq.rsim");
+  save_trace(t, path, /*chunk_records=*/512);
+
+  FileTraceSource fsrc(path);
+  EXPECT_EQ(fsrc.trace_name(), t.name);
+  EXPECT_EQ(fsrc.start_pc(), t.start_pc);
+  EXPECT_EQ(fsrc.total_records(), t.records.size());
+  EXPECT_EQ(fsrc.container_version(), kContainerV2);
+
+  VectorTraceSource vsrc(t);
+  while (vsrc.peek() != nullptr) {
+    ASSERT_NE(fsrc.peek(), nullptr);
+    ASSERT_TRUE(records_equal(fsrc.next(), vsrc.next()));
+  }
+  EXPECT_EQ(fsrc.peek(), nullptr);
+  EXPECT_EQ(fsrc.records_consumed(), vsrc.records_consumed());
+  EXPECT_EQ(fsrc.bits_consumed(), vsrc.bits_consumed());
+  // The whole trace never sat in memory decoded: at most one chunk did.
+  EXPECT_LE(fsrc.max_buffered_records(), 512u);
+  std::remove(path.c_str());
+}
+
+TEST(FileTraceSource, NextPastEndThrows) {
+  Trace t;
+  t.name = "empty";
+  const std::string path = temp_path("empty.rsim");
+  save_trace(t, path);
+  FileTraceSource src(path);
+  EXPECT_EQ(src.peek(), nullptr);
+  EXPECT_THROW((void)src.next(), std::out_of_range);
+  std::remove(path.c_str());
+}
+
+TEST(FileTraceSource, RewindRestartsAndResetsCounters) {
+  const Trace t = generate("parser", 3000);
+  const std::string path = temp_path("rewind.rsim");
+  save_trace(t, path, /*chunk_records=*/256);
+
+  FileTraceSource src(path);
+  for (int i = 0; i < 700; ++i) (void)src.next();  // stop mid-chunk
+  src.rewind();
+  EXPECT_EQ(src.records_consumed(), 0u);
+  EXPECT_EQ(src.bits_consumed(), 0u);
+  ASSERT_NE(src.peek(), nullptr);
+  EXPECT_TRUE(records_equal(*src.peek(), t.records.front()));
+
+  std::uint64_t n = 0;
+  while (src.peek() != nullptr) {
+    ASSERT_TRUE(records_equal(src.next(), t.records[n]));
+    ++n;
+  }
+  EXPECT_EQ(n, t.records.size());
+  std::remove(path.c_str());
+}
+
+TEST(FileTraceSource, ReadsLegacyV1Container) {
+  // Hand-write a v1 container; the streaming source must read it too
+  // (decoding in bounded batches off the resident encoded payload).
+  const Trace t = generate("vpr", 2000);
+  const std::string path = temp_path("legacy_stream.rsim");
+  testutil::write_v1(path, t, t.records.size());
+  FileTraceSource src(path);
+  EXPECT_EQ(src.container_version(), kContainerV1);
+  std::uint64_t n = 0;
+  while (src.peek() != nullptr) {
+    ASSERT_TRUE(records_equal(src.next(), t.records[n]));
+    ++n;
+  }
+  EXPECT_EQ(n, t.records.size());
+  EXPECT_LE(src.max_buffered_records(), kDefaultChunkRecords);
+  std::remove(path.c_str());
+}
+
+// Engine identity across the whole suite: the acceptance criterion.
+class StreamedSimEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StreamedSimEquivalence, SimResultIdenticalToInMemory) {
+  const auto cfg = core::CoreConfig::paper_4wide_perfect();
+  TraceGenConfig g;
+  g.max_insts = 5000;
+  g.bp = cfg.bp;
+  g.wrong_path_block = cfg.wrong_path_block();
+  const Trace t = TraceGenerator(workload::make_workload(GetParam()), g).generate();
+
+  const std::string path = temp_path("suite_" + GetParam() + ".rsim");
+  save_trace(t, path);
+
+  VectorTraceSource vsrc(t);
+  const auto rv = core::ReSimEngine(cfg, vsrc).run();
+  FileTraceSource fsrc(path);
+  const auto rf = core::ReSimEngine(cfg, fsrc).run();
+
+  EXPECT_EQ(rf.committed, rv.committed);
+  EXPECT_EQ(rf.fetched, rv.fetched);
+  EXPECT_EQ(rf.wrong_path_fetched, rv.wrong_path_fetched);
+  EXPECT_EQ(rf.squashed, rv.squashed);
+  EXPECT_EQ(rf.major_cycles, rv.major_cycles);
+  EXPECT_EQ(rf.minor_cycles, rv.minor_cycles);
+  EXPECT_EQ(rf.trace_records, rv.trace_records);
+  EXPECT_EQ(rf.trace_bits, rv.trace_bits);
+  EXPECT_LE(fsrc.max_buffered_records(), kDefaultChunkRecords);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, StreamedSimEquivalence,
+                         ::testing::ValuesIn(workload::suite_names()),
+                         [](const auto& info) { return info.param; });
+
+// ---- TraceWindow ----------------------------------------------------------
+
+TEST(TraceWindow, ExposesExactlyTheRequestedSlice) {
+  const Trace t = generate("gzip", 2000);
+  VectorTraceSource base(t);
+  TraceWindow win(base, /*skip=*/100, /*warmup=*/50, /*simulate=*/200);
+
+  std::uint64_t bits = 0;
+  for (std::uint64_t i = 0; i < 250; ++i) {
+    ASSERT_NE(win.peek(), nullptr) << "window ended early at " << i;
+    const auto r = win.next();
+    ASSERT_TRUE(records_equal(r, t.records[100 + i]));
+    bits += encoded_bits(r);
+  }
+  EXPECT_EQ(win.peek(), nullptr);  // limit reached with trace left over
+  EXPECT_EQ(win.records_consumed(), 250u);
+  EXPECT_EQ(win.bits_consumed(), bits);
+  // The skipped prefix was consumed from the base but not counted here.
+  EXPECT_EQ(base.records_consumed(), 350u);
+}
+
+TEST(TraceWindow, SkipPastEndYieldsEmptyWindow) {
+  const Trace t = generate("gzip", 500);
+  VectorTraceSource base(t);
+  TraceWindow win(base, t.records.size() + 1000, 0, TraceWindow::kAll);
+  EXPECT_EQ(win.peek(), nullptr);
+  EXPECT_EQ(win.records_consumed(), 0u);
+  EXPECT_TRUE(win.warmup_done());  // an empty window has nothing to warm
+  EXPECT_THROW((void)win.next(), std::out_of_range);
+}
+
+TEST(TraceWindow, ZeroLengthWindow) {
+  const Trace t = generate("gzip", 500);
+  VectorTraceSource base(t);
+  TraceWindow win(base, 0, 0, 0);
+  EXPECT_EQ(win.peek(), nullptr);
+  EXPECT_EQ(win.records_consumed(), 0u);
+}
+
+TEST(TraceWindow, WarmupDoneTransitionsAtBoundary) {
+  const Trace t = generate("gzip", 500);
+  VectorTraceSource base(t);
+  TraceWindow win(base, 10, 20, TraceWindow::kAll);
+  EXPECT_EQ(win.warmup_records(), 20u);
+  EXPECT_FALSE(win.warmup_done());
+  for (int i = 0; i < 19; ++i) (void)win.next();
+  EXPECT_FALSE(win.warmup_done());
+  (void)win.next();
+  EXPECT_TRUE(win.warmup_done());
+}
+
+TEST(TraceWindow, UnlimitedSimulateDrainsToEnd) {
+  const Trace t = generate("gzip", 300);
+  VectorTraceSource base(t);
+  TraceWindow win(base, 50, 0, TraceWindow::kAll);
+  std::uint64_t n = 0;
+  while (win.peek() != nullptr) {
+    (void)win.next();
+    ++n;
+  }
+  EXPECT_EQ(n, t.records.size() - 50);
+}
+
+TEST(TraceWindow, LayersOverFileTraceSource) {
+  const Trace t = generate("bzip2", 2000);
+  const std::string path = temp_path("window_file.rsim");
+  save_trace(t, path, /*chunk_records=*/128);
+  FileTraceSource base(path);
+  TraceWindow win(base, 300, 0, 400);
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    ASSERT_NE(win.peek(), nullptr);
+    ASSERT_TRUE(records_equal(win.next(), t.records[300 + i]));
+  }
+  EXPECT_EQ(win.peek(), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace resim::trace
+
+// ---- streamed jobs in the batch runner ------------------------------------
+
+namespace resim::driver {
+namespace {
+
+TEST(BatchRunnerStream, FactoryJobsMatchGeneratedJobs) {
+  const std::uint64_t insts = 4000;
+  std::vector<SimJob> jobs;
+  for (unsigned width : {2u, 4u}) {
+    auto cfg = core::CoreConfig::paper_4wide_perfect();
+    cfg.width = width;
+    cfg.mem_read_ports = width - 1;
+    jobs.push_back(SimJob::sweep_point("w" + std::to_string(width), "gzip", cfg, insts));
+  }
+
+  const auto baseline = BatchRunner(1).run(jobs);
+
+  // Same jobs, but each worker streams its trace through a private file.
+  std::vector<SimJob> streamed = jobs;
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    auto& job = streamed[i];
+    job.source = streamed_gen_source(
+        job.workload, job.gen,
+        ::testing::TempDir() + "/factory_" + std::to_string(i) + ".rsim");
+  }
+  for (unsigned threads : {1u, 4u}) {
+    const auto results = BatchRunner(threads).run(streamed);
+    ASSERT_EQ(results.size(), baseline.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].result.committed, baseline[i].result.committed);
+      EXPECT_EQ(results[i].result.major_cycles, baseline[i].result.major_cycles);
+      EXPECT_EQ(results[i].result.trace_records, baseline[i].result.trace_records);
+      EXPECT_EQ(results[i].result.trace_bits, baseline[i].result.trace_bits);
+      EXPECT_EQ(csv_row(results[i]), csv_row(baseline[i]));
+    }
+  }
+}
+
+TEST(BatchRunnerStream, TracePathJobsMatchSharedPreparedTrace) {
+  // Config sweep over one prepared on-disk trace: trace_path workers each
+  // stream the file (O(chunk) memory) and must match the shared decoded
+  // vector bit for bit.
+  trace::TraceGenConfig g;
+  g.max_insts = 4000;
+  auto shared = std::make_shared<trace::Trace>(
+      trace::TraceGenerator(workload::make_workload("gzip"), g).generate());
+  const std::string path = ::testing::TempDir() + "/trace_path.rsim";
+  trace::save_trace(*shared, path);
+
+  std::vector<SimJob> prepared, streamed;
+  for (unsigned rob : {8u, 16u}) {
+    auto cfg = core::CoreConfig::paper_4wide_perfect();
+    cfg.rob_size = rob;
+    cfg.lsq_size = rob / 2;
+    SimJob job;
+    job.label = "rob" + std::to_string(rob);
+    job.workload = shared->name;
+    job.config = cfg;
+    job.trace = shared;
+    prepared.push_back(job);
+    job.trace = nullptr;
+    job.trace_path = path;
+    streamed.push_back(job);
+  }
+  const auto want = BatchRunner(1).run(prepared);
+  for (unsigned threads : {1u, 4u}) {
+    const auto got = BatchRunner(threads).run(streamed);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(csv_row(got[i]), csv_row(want[i]));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BatchRunnerStream, UseStreamedSourcesRejectsPreparedTraceJobs) {
+  trace::TraceGenConfig g;
+  g.max_insts = 500;
+  SimJob job;
+  job.label = "prepared";
+  job.workload = "gzip";
+  job.config = core::CoreConfig::paper_4wide_perfect();
+  job.trace = std::make_shared<trace::Trace>(
+      trace::TraceGenerator(workload::make_workload("gzip"), g).generate());
+  std::vector<SimJob> jobs{job};
+  EXPECT_THROW(use_streamed_sources(jobs, "reject_test"), std::invalid_argument);
+}
+
+TEST(BatchRunnerStream, NullFactoryResultThrows) {
+  SimJob job = SimJob::sweep_point("bad", "gzip", core::CoreConfig::paper_4wide_perfect(), 100);
+  job.source = []() -> std::unique_ptr<trace::TraceSource> { return nullptr; };
+  EXPECT_THROW((void)BatchRunner::run_one(job), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace resim::driver

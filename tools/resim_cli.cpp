@@ -5,7 +5,8 @@
 //                   [--variant optimized|efficient|simple] [--mem perfect|l1|l2]
 //                   [--bp 2lev|bimodal|gshare|comb|perfect|taken|nottaken]
 //                   [--device xc4vlx40] [--report]
-//   resim_cli stats --trace gzip.rsim
+//                   [--stream] [--skip N --warmup N --max-records N]
+//   resim_cli stats --trace gzip.rsim [--stream]
 //   resim_cli schedule --variant optimized --width 4
 //   resim_cli vhdl  --out dir [--pht 4096 --hist 8 --btb 512 --ras 16]
 #include <cctype>
@@ -16,6 +17,8 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,7 +40,9 @@ bool is_flag_token(const std::string& s) {
 }
 
 /// The only flags that take no value; every other flag requires one.
-bool is_boolean_flag(const std::string& key) { return key == "report"; }
+bool is_boolean_flag(const std::string& key) {
+  return key == "report" || key == "stream";
+}
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
@@ -133,15 +138,31 @@ int cmd_gen(const Args& a) {
   g.bp.kind = bp_kind(get(a, "bp", "2lev"));
   trace::TraceGenerator gen(workload::make_workload(bench), g);
   const trace::Trace t = gen.generate();
-  trace::save_trace(t, out);
+  const std::uint64_t chunk = get_u64(a, "chunk", trace::kDefaultChunkRecords);
+  if (chunk == 0 || chunk > trace::kMaxChunkRecords) {
+    throw std::invalid_argument("--chunk: must be in [1, " +
+                                std::to_string(trace::kMaxChunkRecords) + "]");
+  }
+  trace::save_trace(t, out, static_cast<std::uint32_t>(chunk));
   std::cout << "wrote " << out << ": " << trace::analyze(t).summary() << '\n';
   return 0;
 }
 
 int cmd_stats(const Args& a) {
-  const trace::Trace t = trace::load_trace(get(a, "trace", "trace.rsim"));
-  const auto s = trace::analyze(t);
-  std::cout << t.name << ": " << s.summary() << '\n'
+  const std::string path = get(a, "trace", "trace.rsim");
+  std::string name;
+  trace::TraceStats s;
+  if (a.count("stream")) {
+    // Constant-memory pass: one decoded chunk at a time.
+    trace::FileTraceSource src(path);
+    name = src.trace_name();
+    s = trace::analyze(src);
+  } else {
+    const trace::Trace t = trace::load_trace(path);
+    name = t.name;
+    s = trace::analyze(t);
+  }
+  std::cout << name << ": " << s.summary() << '\n'
             << "  loads " << s.load_records << ", stores " << s.store_records
             << ", branches " << s.branch_records << '\n'
             << "  branch fraction " << s.branch_fraction() << ", mem fraction "
@@ -150,16 +171,70 @@ int cmd_stats(const Args& a) {
 }
 
 int cmd_sim(const Args& a) {
-  const trace::Trace t = trace::load_trace(get(a, "trace", "trace.rsim"));
+  const std::string path = get(a, "trace", "trace.rsim");
   const auto cfg = config_from(a);
-  trace::VectorTraceSource src(t);
+
+  const std::uint64_t skip = get_u64(a, "skip", 0);
+  const std::uint64_t warmup = get_u64(a, "warmup", 0);
+  const bool windowed = skip != 0 || warmup != 0 || a.count("max-records") != 0;
+  // --max-records caps the TOTAL simulated window (warm-up included), so
+  // the flag means what it says; TraceWindow's third parameter counts
+  // records after warm-up.
+  const std::uint64_t max_records =
+      a.count("max-records") ? get_u64(a, "max-records", 0) : trace::TraceWindow::kAll;
+  if (max_records < warmup) {  // kAll compares greater than any warmup
+    throw std::invalid_argument(
+        "--max-records caps the total window (warm-up included) and must be >= --warmup");
+  }
+  const std::uint64_t simulate = max_records == trace::TraceWindow::kAll
+                                     ? trace::TraceWindow::kAll
+                                     : max_records - warmup;
+
+  // --stream simulates straight off the file in O(chunk) memory; the
+  // default decodes the whole trace up front. Both produce bit-identical
+  // SimResults.
+  trace::Trace t;
+  std::optional<trace::VectorTraceSource> vec;
+  std::optional<trace::FileTraceSource> file;
+  std::string name;
+  trace::TraceSource* base = nullptr;
+  if (a.count("stream")) {
+    file.emplace(path);
+    name = file->trace_name();
+    base = &*file;
+  } else {
+    t = trace::load_trace(path);
+    name = t.name;
+    vec.emplace(t);
+    base = &*vec;
+  }
+  std::optional<trace::TraceWindow> win;
+  if (windowed) win.emplace(*base, skip, warmup, simulate);
+  trace::TraceSource& src = win ? static_cast<trace::TraceSource&>(*win) : *base;
+
   core::ReSimEngine eng(cfg, src);
-  const auto r = eng.run();
+  core::SimResult r;
+  std::uint64_t warm_committed = 0;
+  std::uint64_t warm_cycles = 0;
+  if (win && warmup > 0) {
+    // ChampSim-style region run: snapshot at the warm-up boundary so the
+    // measured region's IPC excludes cold-start transients.
+    while (!win->warmup_done() && eng.step_major_cycle()) {
+    }
+    const auto w = eng.result();
+    warm_committed = w.committed;
+    warm_cycles = w.major_cycles;
+    while (eng.step_major_cycle()) {
+    }
+    r = eng.result();
+  } else {
+    r = eng.run();
+  }
 
   const auto& dev = fpga::device_by_name(get(a, "device", "xc4vlx40"));
   const auto rpt = core::fpga_throughput(r, dev.minor_clock_mhz, eng.schedule().latency());
 
-  std::cout << "trace " << t.name << ": committed " << r.committed << " insts, "
+  std::cout << "trace " << name << ": committed " << r.committed << " insts, "
             << r.major_cycles << " cycles, IPC " << r.ipc() << '\n'
             << "engine: " << core::variant_name(cfg.variant) << " pipeline, "
             << eng.schedule().latency() << " minors/major, " << r.minor_cycles
@@ -167,6 +242,25 @@ int cmd_sim(const Args& a) {
             << dev.name << ": " << rpt.mips << " MIPS ("
             << rpt.mips_processed << " incl. wrong path), trace feed "
             << rpt.trace_mbytes_per_sec << " MB/s\n";
+  if (windowed) {
+    std::cout << "window: skipped " << skip << " records, warm-up " << warmup
+              << ", simulated " << r.trace_records << " records\n";
+  }
+  if (win && warmup > 0) {
+    if (win->records_consumed() < warmup) {
+      std::cout << "warning: trace ended during warm-up (" << win->records_consumed()
+                << " of " << warmup << " records); no measured region\n";
+    } else {
+      const auto m_committed = r.committed - warm_committed;
+      const auto m_cycles = r.major_cycles - warm_cycles;
+      std::cout << "measured region (post warm-up): committed " << m_committed
+                << " in " << m_cycles << " cycles, IPC "
+                << (m_cycles == 0 ? 0.0
+                                  : static_cast<double>(m_committed) /
+                                        static_cast<double>(m_cycles))
+                << '\n';
+    }
+  }
   if (a.count("report")) {
     std::cout << "\n-- statistics --\n" << r.stats.report();
   }
@@ -189,6 +283,24 @@ int cmd_sweep(const Args& a) {
   std::vector<std::string> benches = split_list(get(a, "bench", "gzip"));
   if (benches.size() == 1 && benches[0] == "all") benches = workload::suite_names();
   const std::uint64_t insts = get_u64(a, "insts", 100'000);
+  const bool stream = a.count("stream") != 0;
+
+  // --trace FILE sweeps configurations over one prepared trace instead
+  // of generating per job. With --stream every worker streams the file
+  // through a private FileTraceSource, so peak memory stays O(chunk) no
+  // matter how long the trace; without it the trace is decoded once and
+  // shared read-only.
+  const std::string trace_file = get(a, "trace", "");
+  std::shared_ptr<const trace::Trace> shared_trace;
+  if (!trace_file.empty()) {
+    if (stream) {
+      // Header-only open: just recover the benchmark name.
+      benches = {trace::FileTraceSource(trace_file).trace_name()};
+    } else {
+      shared_trace = std::make_shared<trace::Trace>(trace::load_trace(trace_file));
+      benches = {shared_trace->name};
+    }
+  }
 
   const auto variants = split_list(get(a, "variants", "optimized"));
   const auto widths = split_list(get(a, "widths", "2,4,8"));
@@ -211,12 +323,26 @@ int cmd_sweep(const Args& a) {
             cfg.bp.kind = bp_kind(bp);
             const std::string label = bench + "/" + vname + "/w" + width_s + "/rob" +
                                       rob_s + "/" + bp;
-            jobs.push_back(driver::SimJob::sweep_point(label, bench, cfg, insts));
+            driver::SimJob job = driver::SimJob::sweep_point(label, bench, cfg, insts);
+            if (!trace_file.empty()) {
+              if (stream) {
+                job.trace_path = trace_file;
+              } else {
+                job.trace = shared_trace;
+              }
+            }
+            jobs.push_back(std::move(job));
           }
         }
       }
     }
   }
+
+  // --stream: every worker round-trips its generated trace through a
+  // private .rsim file and simulates it with a constant-memory
+  // FileTraceSource instead of a decoded vector. The codec is lossless,
+  // so the CSV stays byte-identical to the in-memory sweep.
+  if (stream && trace_file.empty()) driver::use_streamed_sources(jobs, "resim_sweep");
 
   const driver::BatchRunner runner(static_cast<unsigned>(get_u64(a, "j", 1)));
   const auto t0 = std::chrono::steady_clock::now();
@@ -263,14 +389,15 @@ int cmd_vhdl(const Args& a) {
 int usage() {
   std::cerr <<
       "usage: resim_cli <command> [flags]\n"
-      "  gen      --bench NAME --insts N --out FILE [--bp KIND]\n"
+      "  gen      --bench NAME --insts N --out FILE [--bp KIND] [--chunk N]\n"
       "  sim      --trace FILE [--width N --rob N --lsq N --ifq N --ports N]\n"
       "           [--variant simple|efficient|optimized] [--mem perfect|l1|l2]\n"
       "           [--bp 2lev|bimodal|gshare|comb|perfect] [--device NAME] [--report]\n"
-      "  stats    --trace FILE\n"
-      "  sweep    [-j N] [--bench NAME[,NAME..]|all] [--insts N] [--out FILE]\n"
+      "           [--stream] [--skip N] [--warmup N] [--max-records N]\n"
+      "  stats    --trace FILE [--stream]\n"
+      "  sweep    [-j N] [--bench NAME[,NAME..]|all | --trace FILE] [--insts N]\n"
       "           [--widths 2,4,8] [--robs 8,16,32] [--bps 2lev,perfect]\n"
-      "           [--variants simple,efficient,optimized]\n"
+      "           [--variants simple,efficient,optimized] [--stream] [--out FILE]\n"
       "  schedule --variant NAME --width N\n"
       "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n";
   return 2;
