@@ -9,9 +9,14 @@
 // bench cross-checks that every parallel run commits exactly the same
 // instruction totals as the serial baseline.
 //
+// Besides the table, the run is saved as machine-readable
+// BENCH_sweep.json (path override: RESIM_BENCH_JSON env var) so future
+// changes have a jobs/sec-vs-threads trajectory to compare against.
+//
 //   ./micro_batch_scaling [max_threads]   (RESIM_BENCH_INSTS budget applies)
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -55,6 +60,14 @@ int main(int argc, char** argv) {
             << '\n';
   bench::print_rule(46);
 
+  struct Point {
+    unsigned threads;
+    double seconds;
+    double jobs_per_sec;
+    double speedup;
+  };
+  std::vector<Point> points;
+
   std::uint64_t serial_committed = 0;
   double serial_jobs_per_sec = 0.0;
   for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
@@ -79,6 +92,33 @@ int main(int argc, char** argv) {
     std::cout << std::left << std::setw(10) << threads << std::right << std::fixed
               << std::setprecision(3) << std::setw(12) << secs << std::setw(12) << jps
               << std::setw(11) << jps / serial_jobs_per_sec << "x\n";
+    points.push_back({threads, secs, jps, jps / serial_jobs_per_sec});
+  }
+
+  // Machine-readable trajectory for perf tracking across PRs.
+  const char* json_env = std::getenv("RESIM_BENCH_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_sweep.json";
+  std::ofstream jf(json_path);
+  if (!jf) {
+    std::cerr << "warning: cannot write " << json_path << '\n';
+  } else {
+    jf << std::fixed << std::setprecision(6);
+    jf << "{\n"
+       << "  \"bench\": \"micro_batch_scaling\",\n"
+       << "  \"jobs\": " << jobs.size() << ",\n"
+       << "  \"insts_per_job\": " << insts << ",\n"
+       << "  \"host_cores\": " << hw << ",\n"
+       << "  \"total_committed\": " << serial_committed << ",\n"
+       << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      jf << "    {\"threads\": " << points[i].threads
+         << ", \"seconds\": " << points[i].seconds
+         << ", \"jobs_per_sec\": " << points[i].jobs_per_sec
+         << ", \"speedup\": " << points[i].speedup << "}"
+         << (i + 1 < points.size() ? ",\n" : "\n");
+    }
+    jf << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << " (" << points.size() << " points)\n";
   }
 
   std::cout << "\n(speedup saturates at physical cores; jobs are embarrassingly\n"

@@ -1,11 +1,13 @@
 // Design-space exploration: the use case ReSim exists for ("bulk
 // simulations with varying design parameters", paper Section I).
 //
-// Sweeps machine width, ROB/LSQ size and predictor kind over one
-// workload trace, reporting target IPC, modeled FPGA simulation speed
-// and estimated area per point — the reconfigurability payoff. All
-// points are one batch sharded across host cores by driver::BatchRunner;
-// the output is identical for any thread count.
+// Three declarative sweep specs — machine width, ROB/LSQ window, and
+// direction-predictor kind — expanded through the same
+// config::SweepSpec -> driver::expand_spec pipeline `resim_cli sweep
+// --spec` uses, then sharded across host cores by driver::BatchRunner.
+// Each row reports target IPC, modeled FPGA simulation speed and
+// estimated area — the reconfigurability payoff. The output is
+// identical for any thread count.
 //
 // With a 4th argument "stream", every worker simulates from a private
 // constant-memory trace::FileTraceSource (its generated trace
@@ -16,6 +18,7 @@
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +39,17 @@ void report(const driver::JobResult& jr) {
             << static_cast<long>(area.total_slices()) << '\n';
 }
 
+/// Parse one sweep spec from text and expand it to jobs. Exactly what
+/// `resim_cli sweep --spec FILE` does, spec inline instead of on disk.
+std::vector<driver::SimJob> expand(const std::string& spec_text,
+                                   const std::string& bench, std::uint64_t insts) {
+  std::istringstream is("bench = " + bench + "\ninsts = " + std::to_string(insts) +
+                        "\n" + spec_text);
+  const auto spec =
+      config::parse_sweep_spec(is, "<design_space>", core::CoreConfig::paper_4wide_perfect());
+  return driver::expand_spec(spec).jobs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,46 +59,22 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)) : 0;
   const bool stream = argc > 4 && std::string(argv[4]) == "stream";
 
-  // The sweep: one SimJob per design point, grouped for the report.
+  // The sweep: three declarative specs, one SimJob per design point,
+  // grouped for the report. Unpinned parameters follow the width-linked
+  // derivations (LSQ = ROB/2, IFQ and read ports scale with width).
+  const char* const kSpecs[] = {
+      "core.width = 2,4,8\n",                              // width sweep
+      "core.rob_size = 8,16,32,64\n",                      // window sweep at width 4
+      "bp.kind = nottaken,bimodal,gshare,2lev,perfect\n",  // predictor sweep
+  };
+
   std::vector<driver::SimJob> jobs;
   std::vector<std::size_t> group_ends;
-
-  // Width sweep.
-  for (unsigned width : {2u, 4u, 8u}) {
-    auto cfg = core::CoreConfig::paper_4wide_perfect();
-    cfg.width = width;
-    cfg.mem_read_ports = width - 1;
-    jobs.push_back(driver::SimJob::sweep_point(
-        "width " + std::to_string(width) + " (ROB 16, LSQ 8)", bench, cfg, insts));
+  for (const char* spec : kSpecs) {
+    auto group = expand(spec, bench, insts);
+    jobs.insert(jobs.end(), group.begin(), group.end());
+    group_ends.push_back(jobs.size());
   }
-  group_ends.push_back(jobs.size());
-
-  // Window sweep at width 4.
-  for (unsigned rob : {8u, 16u, 32u, 64u}) {
-    auto cfg = core::CoreConfig::paper_4wide_perfect();
-    cfg.rob_size = rob;
-    cfg.lsq_size = rob / 2;
-    jobs.push_back(driver::SimJob::sweep_point(
-        "ROB " + std::to_string(rob) + " / LSQ " + std::to_string(rob / 2), bench, cfg,
-        insts));
-  }
-  group_ends.push_back(jobs.size());
-
-  // Predictor sweep at the paper's core.
-  const std::pair<const char*, bpred::DirKind> kinds[] = {
-      {"always-not-taken", bpred::DirKind::kAlwaysNotTaken},
-      {"bimodal 2k", bpred::DirKind::kBimodal},
-      {"gshare 4k/8", bpred::DirKind::kGShare},
-      {"2-level 4x8/4k (paper)", bpred::DirKind::kTwoLevel},
-      {"perfect (oracle)", bpred::DirKind::kPerfect},
-  };
-  for (const auto& [name, kind] : kinds) {
-    auto cfg = core::CoreConfig::paper_4wide_perfect();
-    cfg.bp.kind = kind;
-    jobs.push_back(
-        driver::SimJob::sweep_point(std::string("BP: ") + name, bench, cfg, insts));
-  }
-  group_ends.push_back(jobs.size());
 
   if (stream) driver::use_streamed_sources(jobs, "resim_ds");
 
@@ -108,6 +98,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\n(each row is one 'reconfiguration' of ReSim: new parameters, new\n"
-               " VHDL generation, same trace — the paper's design-space workflow)\n";
+               " VHDL generation, same trace — the paper's design-space workflow,\n"
+               " written as sweep-spec axes; see docs/CONFIG.md)\n";
   return 0;
 }

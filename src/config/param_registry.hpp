@@ -1,0 +1,120 @@
+// ParamRegistry: every simulation knob as a typed, validated,
+// documented, dotted-path parameter.
+//
+// The paper's headline property is that ReSim is "designed to be
+// parameterizable"; this registry is what makes that property
+// *declarative* instead of edit-the-C++. Each entry reflects one field
+// of the CoreConfig tree (core.rob_size, core.fu.div_latency, bp.kind,
+// mem.l1d.assoc, pipeline.variant, ...) with:
+//
+//   * get/set by string, with strict parsing per type;
+//   * per-parameter validation (range / power-of-two / enum membership)
+//     mirroring the constraints CoreConfig::validate() enforces, so a
+//     bad value is rejected at assignment time with the parameter's
+//     dotted path in the error — cross-field constraints (e.g. "IFQ
+//     must hold a fetch group") remain validate()'s job and callers run
+//     it after applying a batch of assignments;
+//   * the default value (a default-constructed CoreConfig) and a
+//     one-line description, which generate the docs/CONFIG.md table.
+//
+// Config files (config_file.hpp), --set overrides, sweep-spec axes
+// (sweep_spec.hpp) and the CSV/JSON result exporters all address
+// parameters exclusively through this registry.
+#ifndef RESIM_CONFIG_PARAM_REGISTRY_H
+#define RESIM_CONFIG_PARAM_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace resim::config {
+
+enum class ParamType : std::uint8_t { kUInt, kBool, kEnum };
+
+/// One reflected parameter. Values travel as std::uint64_t internally:
+/// booleans as 0/1, enums as their declaration-order index (the same
+/// index into enum_values).
+struct ParamInfo {
+  std::string path;   ///< dotted path, e.g. "core.rob_size"
+  ParamType type = ParamType::kUInt;
+  std::string doc;    ///< one-line meaning (docs table, `params` command)
+  /// Sweep-axis label prefix: an axis value v labels as tag+v for
+  /// numeric parameters ("w4", "rob16"), bare v for enums ("2lev").
+  std::string label_tag;
+  std::vector<std::string> enum_values;  ///< kEnum: names in enum order
+
+  // kUInt constraints (inclusive); pow2 additionally requires a power
+  // of two. These mirror the per-field checks in the validate() logic.
+  std::uint64_t min = 0;
+  std::uint64_t max = ~std::uint64_t{0};
+  bool pow2 = false;
+
+  std::uint64_t (*get)(const core::CoreConfig&) = nullptr;
+  void (*set)(core::CoreConfig&, std::uint64_t) = nullptr;
+
+  /// "uint", "bool", or the accepted enum spellings joined with '|'.
+  [[nodiscard]] std::string type_name() const;
+  /// Human-readable constraint summary for docs ("in [1,16]", "pow2").
+  [[nodiscard]] std::string constraint_doc() const;
+};
+
+class ParamRegistry {
+ public:
+  /// The process-wide registry (immutable after construction).
+  static const ParamRegistry& instance();
+
+  /// All parameters in registry (declaration) order.
+  [[nodiscard]] const std::vector<ParamInfo>& params() const { return params_; }
+
+  /// Every dotted path, in registry order.
+  [[nodiscard]] std::vector<std::string> enumerate() const;
+
+  /// nullptr when `path` names no parameter.
+  [[nodiscard]] const ParamInfo* find(std::string_view path) const;
+
+  /// Throwing lookup: "unknown parameter 'x'".
+  [[nodiscard]] const ParamInfo& at(const std::string& path) const;
+
+  /// Parse `value` per the parameter's type, check its per-parameter
+  /// constraints and assign. Throws std::invalid_argument whose message
+  /// starts with the dotted path on any rejection.
+  void set(core::CoreConfig& cfg, const std::string& path,
+           const std::string& value) const;
+
+  /// Current value rendered as its canonical string.
+  [[nodiscard]] std::string get(const core::CoreConfig& cfg,
+                                const std::string& path) const;
+  [[nodiscard]] std::string format(const ParamInfo& p,
+                                   const core::CoreConfig& cfg) const;
+
+  /// Value on a default-constructed CoreConfig.
+  [[nodiscard]] std::string default_value(const ParamInfo& p) const;
+
+  /// Sweep-axis label token for value `v` ("w4", "rob16", "2lev").
+  [[nodiscard]] static std::string label_token(const ParamInfo& p,
+                                               const std::string& v);
+
+  /// The docs/CONFIG.md parameter table (path, type, default, meaning).
+  [[nodiscard]] std::string markdown_table() const;
+
+ private:
+  ParamRegistry();
+
+  std::vector<ParamInfo> params_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+/// Strict decimal parse of a full token (rejects sign, junk, ERANGE);
+/// `what` prefixes the error message.
+[[nodiscard]] std::uint64_t parse_u64(const std::string& s, const std::string& what);
+
+/// Accepts true/false/1/0.
+[[nodiscard]] bool parse_bool(const std::string& s, const std::string& what);
+
+}  // namespace resim::config
+
+#endif  // RESIM_CONFIG_PARAM_REGISTRY_H

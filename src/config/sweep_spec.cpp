@@ -1,0 +1,117 @@
+#include "config/sweep_spec.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "config/config_file.hpp"
+#include "config/param_registry.hpp"
+
+namespace resim::config {
+
+bool SweepSpec::is_pinned(const std::string& path) const {
+  if (std::find(pinned.begin(), pinned.end(), path) != pinned.end()) return true;
+  return std::any_of(axes.begin(), axes.end(),
+                     [&](const SweepAxis& a) { return a.path == path; });
+}
+
+std::uint64_t SweepSpec::point_count() const {
+  std::uint64_t n = 1;
+  for (const auto& a : axes) n *= a.values.size();
+  return n;
+}
+
+std::vector<std::string> expand_axis_values(const std::string& rhs,
+                                            const std::string& what) {
+  // "A..B" / "A..B step S" inclusive integer range. Anything without
+  // ".." is a plain (possibly single-item) comma list.
+  const std::size_t dots = rhs.find("..");
+  if (dots == std::string::npos) return split_list(rhs, what);
+
+  const std::string lo_s = trim(std::string_view(rhs).substr(0, dots));
+  std::string rest = trim(std::string_view(rhs).substr(dots + 2));
+  std::uint64_t step = 1;
+  const std::size_t step_kw = rest.find("step");
+  if (step_kw != std::string::npos) {
+    step = parse_u64(trim(std::string_view(rest).substr(step_kw + 4)),
+                     what + ": range step");
+    rest = trim(std::string_view(rest).substr(0, step_kw));
+  }
+  const std::uint64_t lo = parse_u64(lo_s, what + ": range start");
+  const std::uint64_t hi = parse_u64(rest, what + ": range end");
+  if (step == 0) throw std::invalid_argument(what + ": range step must be >= 1");
+  if (lo > hi) {
+    throw std::invalid_argument(what + ": range start " + std::to_string(lo) +
+                                " exceeds end " + std::to_string(hi));
+  }
+  std::vector<std::string> out;
+  for (std::uint64_t v = lo; v <= hi; v += step) {
+    out.push_back(std::to_string(v));
+    if (v > hi - step) break;  // guard v += step overflow
+  }
+  return out;
+}
+
+SweepSpec parse_sweep_spec(std::istream& is, const std::string& what,
+                           const core::CoreConfig& base) {
+  const auto& reg = ParamRegistry::instance();
+  SweepSpec spec;
+  spec.base = base;
+  core::CoreConfig scratch = base;  // parse-time value validation target
+
+  std::string raw;
+  unsigned lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    const std::string line = trim(std::string_view(raw).substr(0, hash));
+    if (line.empty()) continue;
+    const std::string where = what + ":" + std::to_string(lineno);
+
+    try {
+      if (line.rfind("set ", 0) == 0 || line.rfind("set\t", 0) == 0) {
+        const auto [key, value] = split_assignment(line.substr(4), where);
+        reg.set(spec.base, key, value);
+        scratch = spec.base;
+        spec.pinned.push_back(key);
+        continue;
+      }
+
+      const auto [key, value] = split_assignment(line, where);
+      if (key == "insts") {
+        spec.insts = parse_u64(value, "insts");
+        spec.insts_set = true;
+        continue;
+      }
+      if (std::any_of(spec.axes.begin(), spec.axes.end(),
+                      [&](const SweepAxis& a) { return a.path == key; })) {
+        throw std::invalid_argument("duplicate axis '" + key + "'");
+      }
+      if (key == "bench") {
+        // Workload names resolve at expansion (so "all" can mean the
+        // suite of the build doing the expanding).
+        spec.axes.push_back({key, split_list(value, where)});
+        continue;
+      }
+
+      SweepAxis axis{key, expand_axis_values(value, where)};
+      for (const auto& v : axis.values) reg.set(scratch, key, v);
+      spec.axes.push_back(std::move(axis));
+    } catch (const std::invalid_argument& e) {
+      // Nested helpers already prefixed `where`; don't double it.
+      const std::string msg = e.what();
+      if (msg.rfind(where, 0) == 0) throw;
+      throw std::invalid_argument(where + ": " + msg);
+    }
+  }
+  return spec;
+}
+
+SweepSpec load_sweep_spec_file(const std::string& path, const core::CoreConfig& base) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open sweep spec: " + path);
+  return parse_sweep_spec(f, path, base);
+}
+
+}  // namespace resim::config

@@ -13,6 +13,8 @@
 #include <thread>
 #include <utility>
 
+#include "config/names.hpp"
+#include "config/param_registry.hpp"
 #include "trace/file_source.hpp"
 #include "trace/reader.hpp"
 #include "workload/suite.hpp"
@@ -131,27 +133,6 @@ std::vector<JobResult> BatchRunner::run(const std::vector<SimJob>& jobs) const {
   return results;
 }
 
-namespace {
-
-const char* dir_kind_name(bpred::DirKind k) {
-  switch (k) {
-    case bpred::DirKind::kAlwaysTaken: return "taken";
-    case bpred::DirKind::kAlwaysNotTaken: return "nottaken";
-    case bpred::DirKind::kBimodal: return "bimodal";
-    case bpred::DirKind::kGShare: return "gshare";
-    case bpred::DirKind::kTwoLevel: return "2lev";
-    case bpred::DirKind::kCombined: return "comb";
-    case bpred::DirKind::kPerfect: return "perfect";
-  }
-  return "?";
-}
-
-const char* mem_name(const cache::MemSysConfig& m) {
-  if (m.perfect) return "perfect";
-  return m.with_l2 ? "l2" : "l1";
-}
-
-// RFC-4180 quoting for free-form fields (labels may contain commas).
 std::string csv_escape(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
   std::string out = "\"";
@@ -163,22 +144,27 @@ std::string csv_escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-std::string csv_header() {
-  return "label,workload,variant,width,ifq,rob,lsq,bp,mem,"
-         "committed,fetched,wrong_path_fetched,squashed,"
-         "major_cycles,minor_cycles,trace_records,trace_bits,"
-         "ipc,bits_per_record";
+std::string csv_header(const std::vector<std::string>& extra_params) {
+  std::string h =
+      "label,workload,variant,width,ifq,rob,lsq,bp,mem";
+  for (const auto& p : extra_params) h += ',' + p;
+  h +=
+      ",committed,fetched,wrong_path_fetched,squashed,"
+      "major_cycles,minor_cycles,trace_records,trace_bits,"
+      "ipc,bits_per_record";
+  return h;
 }
 
-std::string csv_row(const JobResult& r) {
+std::string csv_row(const JobResult& r, const std::vector<std::string>& extra_params) {
+  const auto& reg = config::ParamRegistry::instance();
   std::ostringstream os;
   os << csv_escape(r.label) << ',' << csv_escape(r.workload) << ','
      << core::variant_name(r.config.variant)
      << ',' << r.config.width << ',' << r.config.ifq_size << ',' << r.config.rob_size
-     << ',' << r.config.lsq_size << ',' << dir_kind_name(r.config.bp.kind) << ','
-     << mem_name(r.config.mem) << ',' << r.result.committed << ','
+     << ',' << r.config.lsq_size << ',' << config::dir_kind_name(r.config.bp.kind)
+     << ',' << config::memsys_kind_name(r.config.mem);
+  for (const auto& p : extra_params) os << ',' << csv_escape(reg.get(r.config, p));
+  os << ',' << r.result.committed << ','
      << r.result.fetched << ',' << r.result.wrong_path_fetched << ','
      << r.result.squashed << ',' << r.result.major_cycles << ','
      << r.result.minor_cycles << ',' << r.result.trace_records << ','
@@ -187,9 +173,10 @@ std::string csv_row(const JobResult& r) {
   return os.str();
 }
 
-void write_csv(std::ostream& os, const std::vector<JobResult>& results) {
-  os << csv_header() << '\n';
-  for (const auto& r : results) os << csv_row(r) << '\n';
+void write_csv(std::ostream& os, const std::vector<JobResult>& results,
+               const std::vector<std::string>& extra_params) {
+  os << csv_header(extra_params) << '\n';
+  for (const auto& r : results) os << csv_row(r, extra_params) << '\n';
 }
 
 }  // namespace resim::driver

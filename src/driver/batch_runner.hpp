@@ -101,9 +101,17 @@ class BatchRunner {
 
 // --- CSV emission (resim_cli sweep; byte-stable across thread counts) ------
 
-[[nodiscard]] std::string csv_header();
-[[nodiscard]] std::string csv_row(const JobResult& r);
-void write_csv(std::ostream& os, const std::vector<JobResult>& results);
+/// RFC-4180 quoting for free-form fields (labels may contain commas).
+[[nodiscard]] std::string csv_escape(const std::string& s);
+
+/// `extra_params` appends one column per ParamRegistry dotted path after
+/// the standard config columns — how a sweep spec's non-standard axes
+/// (e.g. mem.l1d.assoc) reach the CSV. Empty = today's exact layout.
+[[nodiscard]] std::string csv_header(const std::vector<std::string>& extra_params = {});
+[[nodiscard]] std::string csv_row(const JobResult& r,
+                                  const std::vector<std::string>& extra_params = {});
+void write_csv(std::ostream& os, const std::vector<JobResult>& results,
+               const std::vector<std::string>& extra_params = {});
 
 }  // namespace resim::driver
 

@@ -1,0 +1,136 @@
+#include "driver/result_export.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "config/param_registry.hpp"
+
+namespace resim::driver {
+
+namespace {
+
+std::string fixed6(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6) << v;
+  return os.str();
+}
+
+/// Config value as a JSON literal: numbers and booleans bare, enums
+/// quoted — same typing the registry exposes.
+std::string json_value(const config::ParamInfo& p, const core::CoreConfig& cfg) {
+  const auto& reg = config::ParamRegistry::instance();
+  const std::string v = reg.format(p, cfg);
+  if (p.type != config::ParamType::kEnum) return v;
+  // Built up in place: `"..." + std::string` trips GCC 12's -Wrestrict
+  // false positive (PR105651) at -O3.
+  std::string out = "\"";
+  out += json_escape(v);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string result_json(const JobResult& r, unsigned indent) {
+  const auto& reg = config::ParamRegistry::instance();
+  const std::string in(indent, ' ');
+  std::ostringstream os;
+  os << in << "{\n";
+  os << in << "  \"label\": \"" << json_escape(r.label) << "\",\n";
+  os << in << "  \"workload\": \"" << json_escape(r.workload) << "\",\n";
+
+  os << in << "  \"config\": {\n";
+  const auto& params = reg.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    os << in << "    \"" << params[i].path << "\": " << json_value(params[i], r.config)
+       << (i + 1 < params.size() ? ",\n" : "\n");
+  }
+  os << in << "  },\n";
+
+  os << in << "  \"result\": {\n";
+  os << in << "    \"committed\": " << r.result.committed << ",\n";
+  os << in << "    \"fetched\": " << r.result.fetched << ",\n";
+  os << in << "    \"wrong_path_fetched\": " << r.result.wrong_path_fetched << ",\n";
+  os << in << "    \"squashed\": " << r.result.squashed << ",\n";
+  os << in << "    \"major_cycles\": " << r.result.major_cycles << ",\n";
+  os << in << "    \"minor_cycles\": " << r.result.minor_cycles << ",\n";
+  os << in << "    \"trace_records\": " << r.result.trace_records << ",\n";
+  os << in << "    \"trace_bits\": " << r.result.trace_bits << ",\n";
+  os << in << "    \"ipc\": " << fixed6(r.result.ipc()) << ",\n";
+  os << in << "    \"bits_per_record\": " << fixed6(r.result.bits_per_record()) << "\n";
+  os << in << "  },\n";
+
+  os << in << "  \"stats\": {\n";
+  os << in << "    \"counters\": {";
+  const auto& counters = r.result.stats.counters();
+  std::size_t i = 0;
+  for (const auto& [name, c] : counters) {
+    os << (i++ == 0 ? "\n" : ",\n") << in << "      \"" << json_escape(name)
+       << "\": " << c.value();
+  }
+  os << (counters.empty() ? "" : "\n" + in + "    ") << "},\n";
+  os << in << "    \"occupancies\": {";
+  const auto& occs = r.result.stats.occupancies();
+  i = 0;
+  for (const auto& [name, o] : occs) {
+    os << (i++ == 0 ? "\n" : ",\n") << in << "      \"" << json_escape(name)
+       << "\": {\"average\": " << fixed6(o.average()) << ", \"max\": " << o.max()
+       << ", \"samples\": " << o.samples() << "}";
+  }
+  os << (occs.empty() ? "" : "\n" + in + "    ") << "}\n";
+  os << in << "  }\n";
+  os << in << "}";
+  return os.str();
+}
+
+void write_json(std::ostream& os, const std::vector<JobResult>& results) {
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << result_json(results[i], 2) << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "]\n";
+}
+
+void write_config_csv(std::ostream& os, const std::vector<JobResult>& results) {
+  const auto& reg = config::ParamRegistry::instance();
+  os << "label,workload";
+  for (const auto& p : reg.params()) os << ',' << p.path;
+  os << ",committed,fetched,wrong_path_fetched,squashed,major_cycles,minor_cycles,"
+        "trace_records,trace_bits,ipc,bits_per_record\n";
+  for (const auto& r : results) {
+    os << csv_escape(r.label) << ',' << csv_escape(r.workload);
+    for (const auto& p : reg.params()) os << ',' << reg.format(p, r.config);
+    os << ',' << r.result.committed << ',' << r.result.fetched << ','
+       << r.result.wrong_path_fetched << ',' << r.result.squashed << ','
+       << r.result.major_cycles << ',' << r.result.minor_cycles << ','
+       << r.result.trace_records << ',' << r.result.trace_bits << ','
+       << fixed6(r.result.ipc()) << ',' << fixed6(r.result.bits_per_record()) << '\n';
+  }
+}
+
+}  // namespace resim::driver

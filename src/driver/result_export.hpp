@@ -1,0 +1,43 @@
+// Result export keyed by ParamRegistry dotted paths.
+//
+// A sweep row must carry its full configuration, not just the axes that
+// produced it — otherwise a CSV from last month cannot be reproduced.
+// Two machine-readable forms over driver::JobResult:
+//
+//   * JSON: one object per job with the complete "config" map (every
+//     registry parameter, typed: uints as numbers, bools as booleans,
+//     enums as strings), the SimResult metrics, and the full
+//     StatsRegistry (counters + occupancy trackers) under "stats".
+//   * full CSV: label, workload, one column per registry parameter
+//     (header = the dotted path), then the standard metric columns.
+//
+// Both are byte-stable across BatchRunner thread counts (results stay
+// in job order and doubles are formatted with fixed precision).
+#ifndef RESIM_DRIVER_RESULT_EXPORT_H
+#define RESIM_DRIVER_RESULT_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/batch_runner.hpp"
+
+namespace resim::driver {
+
+/// JSON string literal with the mandatory escapes.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// One job as a pretty-printed JSON object (no trailing newline).
+/// `indent` spaces prefix every line.
+[[nodiscard]] std::string result_json(const JobResult& r, unsigned indent = 0);
+
+/// JSON array of all results.
+void write_json(std::ostream& os, const std::vector<JobResult>& results);
+
+/// Full-configuration CSV: every registry parameter as its own
+/// dotted-path column.
+void write_config_csv(std::ostream& os, const std::vector<JobResult>& results);
+
+}  // namespace resim::driver
+
+#endif  // RESIM_DRIVER_RESULT_EXPORT_H

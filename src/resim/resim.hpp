@@ -24,9 +24,15 @@
 #include "cache/memsys.hpp"
 #include "codegen/bpredgen.hpp"
 #include "common/stats.hpp"
+#include "config/config_file.hpp"
+#include "config/names.hpp"
+#include "config/param_registry.hpp"
+#include "config/sweep_spec.hpp"
 #include "core/cmp.hpp"
 #include "core/engine.hpp"
 #include "driver/batch_runner.hpp"
+#include "driver/result_export.hpp"
+#include "driver/sweep_grid.hpp"
 #include "core/perf.hpp"
 #include "core/schedule.hpp"
 #include "fpga/area.hpp"

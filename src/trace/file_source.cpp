@@ -70,6 +70,46 @@ void FileTraceSource::refill() {
   }
 }
 
+std::uint64_t FileTraceSource::skip(std::uint64_t n) {
+  std::uint64_t done = 0;
+  // Records already decoded into the buffer are consumed normally (they
+  // were paid for; this also keeps bits_ exact for them).
+  while (done < n && buf_pos_ < buf_.size()) {
+    (void)next();
+    ++done;
+  }
+  if (hdr_.version == kContainerV2) {
+    // Whole chunks inside the remaining skip region: validate the 8-byte
+    // chunk header, then seek past the payload without reading it.
+    while (done < n && decoded_from_file_ < hdr_.record_count) {
+      const std::uint64_t remaining = hdr_.record_count - decoded_from_file_;
+      const std::uint64_t chunk_records =
+          std::min<std::uint64_t>(hdr_.chunk_records, remaining);
+      if (n - done < chunk_records) break;  // partial chunk: decode below
+      const ChunkHeader ch = read_chunk_header(is_, hdr_, remaining, file_size_, path_);
+      is_.seekg(static_cast<std::streamoff>(ch.payload_bytes), std::ios::cur);
+      if (!is_) throw std::runtime_error("load_trace: truncated chunk in " + path_);
+      decoded_from_file_ += ch.record_count;
+      consumed_ += ch.record_count;
+      bits_ += std::uint64_t{ch.payload_bytes} * 8;
+      done += ch.record_count;
+      ++chunks_read_;
+      ++chunks_skipped_;
+      if (chunks_read_ == hdr_.chunk_count &&
+          static_cast<std::uint64_t>(is_.tellg()) != file_size_) {
+        throw std::runtime_error("load_trace: trailing garbage after last chunk in " +
+                                 path_);
+      }
+    }
+  }
+  // Remainder (a partial chunk, or any v1 stream): decode and discard.
+  while (done < n && peek() != nullptr) {
+    (void)next();
+    ++done;
+  }
+  return done;
+}
+
 const TraceRecord* FileTraceSource::peek() {
   while (buf_pos_ == buf_.size()) {
     if (decoded_from_file_ >= hdr_.record_count) return nullptr;
@@ -93,6 +133,7 @@ void FileTraceSource::rewind() {
   bits_ = 0;
   decoded_from_file_ = 0;
   chunks_read_ = 0;
+  chunks_skipped_ = 0;
   buf_.clear();
   buf_pos_ = 0;
   if (hdr_.version == kContainerV1) {

@@ -36,6 +36,16 @@ class FileTraceSource final : public TraceSource {
   [[nodiscard]] std::uint64_t bits_consumed() const override { return bits_; }
   [[nodiscard]] std::uint64_t records_consumed() const override { return consumed_; }
 
+  /// Chunk-skipping seek (container v2): whole chunks inside the skip
+  /// region are never read or decoded — their headers are validated and
+  /// the stream seeks past payload_bytes, so fast-forwarding a
+  /// TraceWindow over a long prefix costs O(chunks) header reads, not
+  /// O(records) decodes, and max_buffered_records() never grows for the
+  /// skipped region. bits_consumed() counts a seeked chunk as its full
+  /// payload (byte-aligned), matching the wire bytes actually skipped.
+  /// Legacy v1 files fall back to decode-and-discard.
+  std::uint64_t skip(std::uint64_t n) override;
+
   /// Restart from the first record, resetting the consumption counters
   /// (sweep workers re-run the same file against many configurations).
   void rewind();
@@ -50,6 +60,10 @@ class FileTraceSource final : public TraceSource {
   /// to one chunk to prove the O(chunk) memory claim.
   [[nodiscard]] std::size_t max_buffered_records() const { return max_buffered_; }
 
+  /// Chunks seeked past (never decoded) by skip(); tests prove the
+  /// chunk-skipping fast path actually engaged.
+  [[nodiscard]] std::uint64_t chunks_skipped() const { return chunks_skipped_; }
+
  private:
   void refill();
   /// Decodes `n` records from `br` into the reused buf_, converting the
@@ -61,8 +75,9 @@ class FileTraceSource final : public TraceSource {
   std::ifstream is_;
   ContainerHeader hdr_;
 
-  std::uint64_t decoded_from_file_ = 0;  ///< records decoded so far
-  std::uint64_t chunks_read_ = 0;        ///< v2: chunks consumed
+  std::uint64_t decoded_from_file_ = 0;  ///< records decoded or seeked past so far
+  std::uint64_t chunks_read_ = 0;        ///< v2: chunks consumed (decoded or seeked)
+  std::uint64_t chunks_skipped_ = 0;     ///< v2: chunks seeked past unread
 
   std::vector<std::uint8_t> encoded_;    ///< v2: current chunk; v1: whole payload
   std::optional<BitReader> reader_;      ///< v1 only: persists across batches

@@ -24,6 +24,22 @@ class TraceSource {
   /// Consume and return the next record. Precondition: peek() != nullptr.
   virtual TraceRecord next() = 0;
 
+  /// Consume and discard up to `n` records; returns how many were
+  /// skipped (fewer only at end of stream). records_consumed() counts
+  /// skipped records. The default decodes and discards one record at a
+  /// time; sources with framed storage override it to seek past whole
+  /// frames unread (FileTraceSource skips container-v2 chunks via their
+  /// payload_bytes field), in which case bits_consumed() accounts for
+  /// the skipped region at frame granularity rather than per record.
+  virtual std::uint64_t skip(std::uint64_t n) {
+    std::uint64_t done = 0;
+    while (done < n && peek() != nullptr) {
+      (void)next();
+      ++done;
+    }
+    return done;
+  }
+
   /// Wire bits consumed so far (trace-throughput statistic, Table 3).
   [[nodiscard]] virtual std::uint64_t bits_consumed() const = 0;
 

@@ -61,9 +61,11 @@ class TraceWindow final : public TraceSource {
   void ensure_skipped() {
     if (skipped_) return;
     skipped_ = true;  // set first: inner_.peek() must not recurse via us
-    for (std::uint64_t i = 0; i < skip_ && inner_.peek() != nullptr; ++i) {
-      (void)inner_.next();  // discarded: not counted in this source's totals
-    }
+    // Discarded records are not counted in this source's totals. The
+    // inner source's skip() may seek past whole container chunks without
+    // decoding them (FileTraceSource), so fast-forwarding to a region of
+    // interest is cheaper than simulating up to it.
+    (void)inner_.skip(skip_);
   }
 
   TraceSource& inner_;

@@ -206,6 +206,147 @@ TEST(TraceWindow, UnlimitedSimulateDrainsToEnd) {
   EXPECT_EQ(n, t.records.size() - 50);
 }
 
+// ---- chunk-skipping seek --------------------------------------------------
+
+/// Exactly 4 full 512-record chunks + one 300-record tail chunk, so a
+/// skip past the full chunks proves the tail is the only decode.
+Trace chunked_trace(const std::string& bench) {
+  Trace t = generate(bench, 4000);
+  if (t.records.size() < 2348) {
+    ADD_FAILURE() << "workload too small: " << t.records.size();
+  }
+  t.records.resize(2348);  // 4 * 512 + 300
+  return t;
+}
+
+TEST(FileTraceSource, SkipSeeksWholeChunksUnread) {
+  const Trace t = chunked_trace("gzip");
+  const std::string path = temp_path("chunk_skip.rsim");
+  save_trace(t, path, /*chunk_records=*/512);
+
+  FileTraceSource src(path);
+  const std::uint64_t skipped = src.skip(2100);
+  EXPECT_EQ(skipped, 2100u);
+  EXPECT_EQ(src.records_consumed(), 2100u);
+  // All four full chunks were seeked past via their payload_bytes
+  // framing, never decoded: only the 300-record tail chunk ever sat in
+  // memory.
+  EXPECT_EQ(src.chunks_skipped(), 4u);
+  EXPECT_EQ(src.max_buffered_records(), 300u);
+  // The remainder of the stream is exactly the suffix of the trace.
+  for (std::size_t i = 2100; i < t.records.size(); ++i) {
+    ASSERT_NE(src.peek(), nullptr);
+    ASSERT_TRUE(records_equal(src.next(), t.records[i]));
+  }
+  EXPECT_EQ(src.peek(), nullptr);
+  EXPECT_EQ(src.records_consumed(), t.records.size());
+
+  // The decode-everything path (the base-class skip loop) buffers full
+  // chunks; the seek path's high-water mark is strictly lower.
+  FileTraceSource loop(path);
+  std::uint64_t done = 0;
+  while (done < 2100 && loop.peek() != nullptr) {
+    (void)loop.next();
+    ++done;
+  }
+  EXPECT_EQ(loop.chunks_skipped(), 0u);
+  EXPECT_EQ(loop.max_buffered_records(), 512u);
+  EXPECT_LT(src.max_buffered_records(), loop.max_buffered_records());
+  std::remove(path.c_str());
+}
+
+TEST(FileTraceSource, SkipWithinDecodedBufferAndAcrossChunks) {
+  const Trace t = chunked_trace("vpr");
+  const std::string path = temp_path("chunk_skip_mid.rsim");
+  save_trace(t, path, /*chunk_records=*/512);
+
+  FileTraceSource src(path);
+  for (int i = 0; i < 10; ++i) (void)src.next();  // chunk 0 is decoded
+  // 10 + 1600: drains 502 from the decoded chunk 0, seeks chunks 1-2
+  // (1024 records), decodes chunk 3 for the remaining 74.
+  EXPECT_EQ(src.skip(1600), 1600u);
+  EXPECT_EQ(src.chunks_skipped(), 2u);
+  ASSERT_NE(src.peek(), nullptr);
+  EXPECT_TRUE(records_equal(*src.peek(), t.records[1610]));
+  EXPECT_EQ(src.skip(0), 0u);
+  EXPECT_TRUE(records_equal(*src.peek(), t.records[1610]));
+  std::remove(path.c_str());
+}
+
+TEST(FileTraceSource, SkipPastEndStopsCleanly) {
+  const Trace t = chunked_trace("parser");
+  const std::string path = temp_path("chunk_skip_eof.rsim");
+  save_trace(t, path, /*chunk_records=*/512);
+
+  FileTraceSource src(path);
+  EXPECT_EQ(src.skip(~std::uint64_t{0}), t.records.size());
+  EXPECT_EQ(src.peek(), nullptr);
+  EXPECT_EQ(src.records_consumed(), t.records.size());
+  EXPECT_EQ(src.chunks_skipped(), 5u);  // every chunk seeked, none decoded
+  EXPECT_EQ(src.max_buffered_records(), 0u);
+
+  src.rewind();
+  EXPECT_EQ(src.records_consumed(), 0u);
+  EXPECT_EQ(src.chunks_skipped(), 0u);
+  ASSERT_NE(src.peek(), nullptr);
+  EXPECT_TRUE(records_equal(src.next(), t.records.front()));
+  std::remove(path.c_str());
+}
+
+TEST(FileTraceSource, SkipOnLegacyV1FallsBackToDecode) {
+  const Trace t = generate("bzip2", 1500);
+  const std::string path = temp_path("v1_skip.rsim");
+  testutil::write_v1(path, t, t.records.size());
+  FileTraceSource src(path);
+  EXPECT_EQ(src.skip(900), 900u);
+  EXPECT_EQ(src.chunks_skipped(), 0u);  // v1 has no chunk framing to seek
+  ASSERT_NE(src.peek(), nullptr);
+  EXPECT_TRUE(records_equal(*src.peek(), t.records[900]));
+  std::remove(path.c_str());
+}
+
+TEST(TraceWindow, ChunkSkipSeekKeepsSimResultBitIdentical) {
+  // The satellite acceptance: a TraceWindow whose skip region spans
+  // whole chunks must produce a bit-identical SimResult while the
+  // streaming source seeks those chunks unread (lower decoded
+  // high-water mark than the decode-everything path).
+  const auto cfg = core::CoreConfig::paper_4wide_perfect();
+  Trace t;
+  {
+    TraceGenConfig g;
+    g.max_insts = 4000;
+    g.bp = cfg.bp;
+    g.wrong_path_block = cfg.wrong_path_block();
+    t = TraceGenerator(workload::make_workload("gzip"), g).generate();
+  }
+  ASSERT_GE(t.records.size(), 2348u);
+  t.records.resize(2348);  // 4 full 512-record chunks + 300 tail
+  const std::string path = temp_path("window_chunk_skip.rsim");
+  save_trace(t, path, /*chunk_records=*/512);
+
+  VectorTraceSource vbase(t);
+  TraceWindow vwin(vbase, /*skip=*/2100, /*warmup=*/0, TraceWindow::kAll);
+  const auto rv = core::ReSimEngine(cfg, vwin).run();
+
+  FileTraceSource fbase(path);
+  TraceWindow fwin(fbase, /*skip=*/2100, /*warmup=*/0, TraceWindow::kAll);
+  const auto rf = core::ReSimEngine(cfg, fwin).run();
+
+  EXPECT_EQ(rf.committed, rv.committed);
+  EXPECT_EQ(rf.fetched, rv.fetched);
+  EXPECT_EQ(rf.wrong_path_fetched, rv.wrong_path_fetched);
+  EXPECT_EQ(rf.squashed, rv.squashed);
+  EXPECT_EQ(rf.major_cycles, rv.major_cycles);
+  EXPECT_EQ(rf.minor_cycles, rv.minor_cycles);
+  EXPECT_EQ(rf.trace_records, rv.trace_records);
+  EXPECT_EQ(rf.trace_bits, rv.trace_bits);
+
+  EXPECT_EQ(fbase.chunks_skipped(), 4u);
+  EXPECT_EQ(fbase.max_buffered_records(), 300u);  // only the tail chunk
+  EXPECT_LT(fbase.max_buffered_records(), 512u);  // < decode-everything
+  std::remove(path.c_str());
+}
+
 TEST(TraceWindow, LayersOverFileTraceSource) {
   const Trace t = generate("bzip2", 2000);
   const std::string path = temp_path("window_file.rsim");

@@ -1,18 +1,25 @@
 // resim_cli — command-line front end, SimpleScalar-style.
 //
 //   resim_cli gen   --bench gzip --insts 1000000 --out gzip.rsim [--bp 2lev]
-//   resim_cli sim   --trace gzip.rsim [--width 4 --rob 16 --lsq 8]
-//                   [--variant optimized|efficient|simple] [--mem perfect|l1|l2]
-//                   [--bp 2lev|bimodal|gshare|comb|perfect|taken|nottaken]
-//                   [--device xc4vlx40] [--report]
+//   resim_cli sim   --trace gzip.rsim [--config FILE] [--set key=value]...
+//                   [--width 4 --rob 16 --lsq 8] [--variant optimized]
+//                   [--mem perfect|l1|l2] [--bp 2lev|...] [--device xc4vlx40]
+//                   [--report] [--json FILE]
 //                   [--stream] [--skip N --warmup N --max-records N]
 //   resim_cli stats --trace gzip.rsim [--stream]
+//   resim_cli sweep --spec FILE [-j N] [--config FILE] [--set k=v]...
+//                   [--out FILE] [--json FILE] [--csv-full FILE]
+//   resim_cli params [--config FILE] [--set k=v]... [--save FILE] [--markdown]
 //   resim_cli schedule --variant optimized --width 4
 //   resim_cli vhdl  --out dir [--pht 4096 --hist 8 --btb 512 --ras 16]
+//
+// Every simulated-machine knob is a ParamRegistry dotted path
+// (docs/CONFIG.md): --config loads a key=value file, --set overrides a
+// single parameter, and the legacy shorthand flags (--width, --rob, ...)
+// remain as aliases. Precedence: defaults < --config < shorthand flags
+// < --set (left to right).
 #include <cctype>
-#include <cerrno>
 #include <chrono>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -23,14 +30,23 @@
 #include <string>
 #include <vector>
 
+#include "config/config_file.hpp"
+#include "config/names.hpp"
+#include "config/param_registry.hpp"
+#include "config/sweep_spec.hpp"
 #include "core/cmp.hpp"
+#include "driver/result_export.hpp"
+#include "driver/sweep_grid.hpp"
 #include "resim/resim.hpp"
 
 namespace {
 
 using namespace resim;
 
-using Args = std::map<std::string, std::string>;
+struct Args {
+  std::map<std::string, std::string> kv;  ///< last occurrence wins
+  std::vector<std::string> sets;          ///< every --set, in order
+};
 
 // A flag token is "--name" or a short "-x" (exactly one character, so
 // values like "-results.csv" or "-3" still parse as values).
@@ -41,7 +57,7 @@ bool is_flag_token(const std::string& s) {
 
 /// The only flags that take no value; every other flag requires one.
 bool is_boolean_flag(const std::string& key) {
-  return key == "report" || key == "stream";
+  return key == "report" || key == "stream" || key == "markdown";
 }
 
 Args parse_args(int argc, char** argv, int first) {
@@ -55,9 +71,13 @@ Args parse_args(int argc, char** argv, int first) {
     // insert_or_assign with an explicit std::string sidesteps GCC 12's
     // -Wrestrict false positive on map::operator[] + char* assign at -O3.
     if (is_boolean_flag(key)) {
-      args.insert_or_assign(key, std::string("1"));
+      args.kv.insert_or_assign(key, std::string("1"));
     } else if (i + 1 < argc && !is_flag_token(argv[i + 1])) {
-      args.insert_or_assign(key, std::string(argv[++i]));
+      if (key == "set") {
+        args.sets.emplace_back(argv[++i]);
+      } else {
+        args.kv.insert_or_assign(key, std::string(argv[++i]));
+      }
     } else {
       throw std::invalid_argument("flag " + tok + " requires a value");
     }
@@ -66,66 +86,45 @@ Args parse_args(int argc, char** argv, int first) {
 }
 
 std::string get(const Args& a, const std::string& key, const std::string& def) {
-  const auto it = a.find(key);
-  return it == a.end() ? def : it->second;
+  const auto it = a.kv.find(key);
+  return it == a.kv.end() ? def : it->second;
 }
 
-/// Strict decimal parse: the whole token must be an unsigned number
-/// (strtoull alone would silently wrap a leading '-' or clamp on ERANGE).
-std::uint64_t parse_u64(const std::string& s, const std::string& what) {
-  char* end = nullptr;
-  errno = 0;
-  const auto v = std::strtoull(s.c_str(), &end, 10);
-  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])) ||
-      end == s.c_str() || *end != '\0' || errno == ERANGE) {
-    throw std::invalid_argument(what + ": expected a number, got: " + s);
-  }
-  return v;
-}
+bool has(const Args& a, const std::string& key) { return a.kv.count(key) != 0; }
 
 std::uint64_t get_u64(const Args& a, const std::string& key, std::uint64_t def) {
-  const auto it = a.find(key);
-  return it == a.end() ? def : parse_u64(it->second, "--" + key);
+  const auto it = a.kv.find(key);
+  return it == a.kv.end() ? def : config::parse_u64(it->second, "--" + key);
 }
 
-bpred::DirKind bp_kind(const std::string& name) {
-  if (name == "2lev") return bpred::DirKind::kTwoLevel;
-  if (name == "bimodal") return bpred::DirKind::kBimodal;
-  if (name == "gshare") return bpred::DirKind::kGShare;
-  if (name == "comb") return bpred::DirKind::kCombined;
-  if (name == "perfect") return bpred::DirKind::kPerfect;
-  if (name == "taken") return bpred::DirKind::kAlwaysTaken;
-  if (name == "nottaken") return bpred::DirKind::kAlwaysNotTaken;
-  throw std::invalid_argument("unknown predictor: " + name);
-}
-
-core::PipelineVariant variant_of(const std::string& name) {
-  if (name == "simple") return core::PipelineVariant::kSimple;
-  if (name == "efficient") return core::PipelineVariant::kEfficient;
-  if (name == "optimized") return core::PipelineVariant::kOptimized;
-  throw std::invalid_argument("unknown variant: " + name);
-}
-
+/// Resolve the simulated-machine configuration:
+/// paper_4wide_perfect defaults, then --config FILE, then the legacy
+/// shorthand flags, then --set overrides; validate() last so cross-field
+/// constraints judge the final configuration.
 core::CoreConfig config_from(const Args& a) {
   core::CoreConfig cfg = core::CoreConfig::paper_4wide_perfect();
-  cfg.width = static_cast<unsigned>(get_u64(a, "width", cfg.width));
-  cfg.rob_size = static_cast<unsigned>(get_u64(a, "rob", cfg.rob_size));
-  cfg.lsq_size = static_cast<unsigned>(get_u64(a, "lsq", cfg.lsq_size));
-  cfg.ifq_size = static_cast<unsigned>(get_u64(a, "ifq", std::max(cfg.ifq_size, cfg.width)));
-  cfg.variant = variant_of(get(a, "variant", "optimized"));
-  cfg.bp.kind = bp_kind(get(a, "bp", "2lev"));
-  cfg.mem_read_ports =
-      static_cast<unsigned>(get_u64(a, "ports", std::max(1u, cfg.width - 1)));
-  const std::string mem = get(a, "mem", "perfect");
-  if (mem == "perfect") {
-    cfg.mem = cache::MemSysConfig::perfect_memory();
-  } else if (mem == "l1") {
-    cfg.mem = cache::MemSysConfig::paper_l1();
-  } else if (mem == "l2") {
-    cfg.mem = cache::MemSysConfig::with_unified_l2();
-  } else {
-    throw std::invalid_argument("unknown memory system: " + mem);
+  // Declarative mode (--config / --set) disables the legacy "scale the
+  // IFQ and memory ports with --width" conveniences: a config file or
+  // --set names every value it wants, and silently rewriting one of its
+  // parameters behind its back would make files non-reproducible.
+  const bool declarative = has(a, "config") || !a.sets.empty();
+  if (has(a, "config")) config::load_config_file(get(a, "config", ""), cfg);
+
+  if (has(a, "width")) cfg.width = static_cast<unsigned>(get_u64(a, "width", 0));
+  if (has(a, "rob")) cfg.rob_size = static_cast<unsigned>(get_u64(a, "rob", 0));
+  if (has(a, "lsq")) cfg.lsq_size = static_cast<unsigned>(get_u64(a, "lsq", 0));
+  if (has(a, "ifq")) cfg.ifq_size = static_cast<unsigned>(get_u64(a, "ifq", 0));
+  if (has(a, "ports")) cfg.mem_read_ports = static_cast<unsigned>(get_u64(a, "ports", 0));
+  if (has(a, "variant")) cfg.variant = config::variant_of(get(a, "variant", ""));
+  if (has(a, "bp")) cfg.bp.kind = config::dir_kind_of(get(a, "bp", ""));
+  if (has(a, "mem")) cfg.mem = config::memsys_of(get(a, "mem", ""));
+
+  if (!declarative) {
+    if (!has(a, "ifq")) cfg.ifq_size = std::max(cfg.ifq_size, cfg.width);
+    if (!has(a, "ports")) cfg.mem_read_ports = std::max(1u, cfg.width - 1);
   }
+
+  config::apply_sets(cfg, a.sets);
   cfg.validate();
   return cfg;
 }
@@ -135,7 +134,7 @@ int cmd_gen(const Args& a) {
   const std::string out = get(a, "out", bench + ".rsim");
   trace::TraceGenConfig g;
   g.max_insts = get_u64(a, "insts", 1'000'000);
-  g.bp.kind = bp_kind(get(a, "bp", "2lev"));
+  g.bp.kind = config::dir_kind_of(get(a, "bp", "2lev"));
   trace::TraceGenerator gen(workload::make_workload(bench), g);
   const trace::Trace t = gen.generate();
   const std::uint64_t chunk = get_u64(a, "chunk", trace::kDefaultChunkRecords);
@@ -149,10 +148,14 @@ int cmd_gen(const Args& a) {
 }
 
 int cmd_stats(const Args& a) {
+  // stats itself is configuration-independent, but --config/--set are
+  // still resolved and validated so the command doubles as a config
+  // checker next to a trace inspection.
+  if (has(a, "config") || !a.sets.empty()) (void)config_from(a);
   const std::string path = get(a, "trace", "trace.rsim");
   std::string name;
   trace::TraceStats s;
-  if (a.count("stream")) {
+  if (has(a, "stream")) {
     // Constant-memory pass: one decoded chunk at a time.
     trace::FileTraceSource src(path);
     name = src.trace_name();
@@ -176,12 +179,12 @@ int cmd_sim(const Args& a) {
 
   const std::uint64_t skip = get_u64(a, "skip", 0);
   const std::uint64_t warmup = get_u64(a, "warmup", 0);
-  const bool windowed = skip != 0 || warmup != 0 || a.count("max-records") != 0;
+  const bool windowed = skip != 0 || warmup != 0 || has(a, "max-records");
   // --max-records caps the TOTAL simulated window (warm-up included), so
   // the flag means what it says; TraceWindow's third parameter counts
   // records after warm-up.
   const std::uint64_t max_records =
-      a.count("max-records") ? get_u64(a, "max-records", 0) : trace::TraceWindow::kAll;
+      has(a, "max-records") ? get_u64(a, "max-records", 0) : trace::TraceWindow::kAll;
   if (max_records < warmup) {  // kAll compares greater than any warmup
     throw std::invalid_argument(
         "--max-records caps the total window (warm-up included) and must be >= --warmup");
@@ -198,7 +201,7 @@ int cmd_sim(const Args& a) {
   std::optional<trace::FileTraceSource> file;
   std::string name;
   trace::TraceSource* base = nullptr;
-  if (a.count("stream")) {
+  if (has(a, "stream")) {
     file.emplace(path);
     name = file->trace_name();
     base = &*file;
@@ -245,6 +248,10 @@ int cmd_sim(const Args& a) {
   if (windowed) {
     std::cout << "window: skipped " << skip << " records, warm-up " << warmup
               << ", simulated " << r.trace_records << " records\n";
+    if (file) {
+      std::cout << "window: chunk-skip seek jumped " << file->chunks_skipped()
+                << " chunks unread\n";
+    }
   }
   if (win && warmup > 0) {
     if (win->records_consumed() < warmup) {
@@ -261,80 +268,105 @@ int cmd_sim(const Args& a) {
                 << '\n';
     }
   }
-  if (a.count("report")) {
+  if (has(a, "report")) {
     std::cout << "\n-- statistics --\n" << r.stats.report();
+  }
+  if (has(a, "json")) {
+    driver::JobResult jr;
+    jr.label = name;
+    jr.workload = name;
+    jr.config = cfg;
+    jr.result = std::move(r);
+    std::ofstream f(get(a, "json", ""));
+    if (!f) throw std::runtime_error("cannot open output file: " + get(a, "json", ""));
+    f << driver::result_json(jr) << '\n';
   }
   return 0;
 }
 
-std::vector<std::string> split_list(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
+/// The legacy flag-driven sweep as a SweepSpec: same axes, same nesting
+/// order, same labels — expand_spec reproduces the old loop nest's CSV
+/// byte for byte.
+config::SweepSpec legacy_sweep_spec(const Args& a, const core::CoreConfig& base) {
+  config::SweepSpec spec;
+  spec.base = base;
+  spec.axes = {
+      {"bench", config::split_list(get(a, "bench", "gzip"), "--bench")},
+      {"pipeline.variant", config::split_list(get(a, "variants", "optimized"), "--variants")},
+      {"core.width", config::split_list(get(a, "widths", "2,4,8"), "--widths")},
+      {"core.rob_size", config::split_list(get(a, "robs", "16"), "--robs")},
+      {"bp.kind", config::split_list(get(a, "bps", "2lev"), "--bps")},
+  };
+  return spec;
 }
 
 // Cross-product design-space sweep sharded across host cores
 // (driver::BatchRunner). Output is a CSV, byte-identical for any -j.
+// The grid comes from a sweep-spec file (--spec, docs/CONFIG.md) or the
+// legacy axis flags; both paths expand through driver::expand_spec.
 int cmd_sweep(const Args& a) {
-  std::vector<std::string> benches = split_list(get(a, "bench", "gzip"));
-  if (benches.size() == 1 && benches[0] == "all") benches = workload::suite_names();
-  const std::uint64_t insts = get_u64(a, "insts", 100'000);
-  const bool stream = a.count("stream") != 0;
+  core::CoreConfig base = core::CoreConfig::paper_4wide_perfect();
+  // Parameters named explicitly on the command line (config file or
+  // --set) are pinned: expansion's width-linked derivations must not
+  // silently rewrite them.
+  std::vector<std::string> cli_pinned;
+  if (has(a, "config")) config::load_config_file(get(a, "config", ""), base, &cli_pinned);
+  for (const auto& key : config::apply_sets(base, a.sets)) cli_pinned.push_back(key);
+
+  config::SweepSpec spec;
+  if (has(a, "spec")) {
+    for (const char* legacy : {"bench", "variants", "widths", "robs", "bps"}) {
+      if (has(a, legacy)) {
+        throw std::invalid_argument(std::string("--") + legacy +
+                                    " conflicts with --spec (axes come from the spec)");
+      }
+    }
+    spec = config::load_sweep_spec_file(get(a, "spec", ""), base);
+    // The spec's own `set` lines landed on top of the CLI overlays;
+    // re-apply --set so its documented highest precedence holds.
+    (void)config::apply_sets(spec.base, a.sets);
+  } else {
+    spec = legacy_sweep_spec(a, base);
+  }
+  spec.pinned.insert(spec.pinned.end(), cli_pinned.begin(), cli_pinned.end());
+  if (has(a, "insts")) spec.insts = get_u64(a, "insts", 0);
+
+  const bool stream = has(a, "stream");
 
   // --trace FILE sweeps configurations over one prepared trace instead
-  // of generating per job. With --stream every worker streams the file
-  // through a private FileTraceSource, so peak memory stays O(chunk) no
-  // matter how long the trace; without it the trace is decoded once and
-  // shared read-only.
+  // of generating per job: the bench axis collapses to the trace's own
+  // benchmark name. With --stream every worker streams the file through
+  // a private FileTraceSource, so peak memory stays O(chunk) no matter
+  // how long the trace; without it the trace is decoded once and shared
+  // read-only.
   const std::string trace_file = get(a, "trace", "");
   std::shared_ptr<const trace::Trace> shared_trace;
   if (!trace_file.empty()) {
+    std::string bench_name;
     if (stream) {
       // Header-only open: just recover the benchmark name.
-      benches = {trace::FileTraceSource(trace_file).trace_name()};
+      bench_name = trace::FileTraceSource(trace_file).trace_name();
     } else {
       shared_trace = std::make_shared<trace::Trace>(trace::load_trace(trace_file));
-      benches = {shared_trace->name};
+      bench_name = shared_trace->name;
     }
+    bool found = false;
+    for (auto& axis : spec.axes) {
+      if (axis.path == "bench") {
+        axis.values = {bench_name};
+        found = true;
+      }
+    }
+    if (!found) spec.axes.insert(spec.axes.begin(), {"bench", {bench_name}});
   }
 
-  const auto variants = split_list(get(a, "variants", "optimized"));
-  const auto widths = split_list(get(a, "widths", "2,4,8"));
-  const auto robs = split_list(get(a, "robs", "16"));
-  const auto bps = split_list(get(a, "bps", "2lev"));
-
-  std::vector<driver::SimJob> jobs;
-  for (const auto& bench : benches) {
-    for (const auto& vname : variants) {
-      for (const auto& width_s : widths) {
-        for (const auto& rob_s : robs) {
-          for (const auto& bp : bps) {
-            core::CoreConfig cfg = core::CoreConfig::paper_4wide_perfect();
-            cfg.variant = variant_of(vname);
-            cfg.width = static_cast<unsigned>(parse_u64(width_s, "--widths"));
-            cfg.rob_size = static_cast<unsigned>(parse_u64(rob_s, "--robs"));
-            cfg.lsq_size = std::max(2u, cfg.rob_size / 2);
-            cfg.ifq_size = std::max(cfg.ifq_size, cfg.width);
-            cfg.mem_read_ports = std::max(1u, cfg.width - 1);
-            cfg.bp.kind = bp_kind(bp);
-            const std::string label = bench + "/" + vname + "/w" + width_s + "/rob" +
-                                      rob_s + "/" + bp;
-            driver::SimJob job = driver::SimJob::sweep_point(label, bench, cfg, insts);
-            if (!trace_file.empty()) {
-              if (stream) {
-                job.trace_path = trace_file;
-              } else {
-                job.trace = shared_trace;
-              }
-            }
-            jobs.push_back(std::move(job));
-          }
-        }
-      }
+  auto grid = driver::expand_spec(spec);
+  for (auto& job : grid.jobs) {
+    if (trace_file.empty()) continue;
+    if (stream) {
+      job.trace_path = trace_file;
+    } else {
+      job.trace = shared_trace;
     }
   }
 
@@ -342,31 +374,72 @@ int cmd_sweep(const Args& a) {
   // private .rsim file and simulates it with a constant-memory
   // FileTraceSource instead of a decoded vector. The codec is lossless,
   // so the CSV stays byte-identical to the in-memory sweep.
-  if (stream && trace_file.empty()) driver::use_streamed_sources(jobs, "resim_sweep");
+  if (stream && trace_file.empty()) driver::use_streamed_sources(grid.jobs, "resim_sweep");
 
   const driver::BatchRunner runner(static_cast<unsigned>(get_u64(a, "j", 1)));
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = runner.run(jobs);
+  const auto results = runner.run(grid.jobs);
   const double secs = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - t0).count();
 
   const std::string out = get(a, "out", "");
   if (out.empty()) {
-    driver::write_csv(std::cout, results);
+    driver::write_csv(std::cout, results, grid.extra_csv_paths);
   } else {
     std::ofstream f(out);
     if (!f) throw std::runtime_error("cannot open output file: " + out);
-    driver::write_csv(f, results);
+    driver::write_csv(f, results, grid.extra_csv_paths);
   }
-  std::cerr << "sweep: " << jobs.size() << " configs, " << runner.threads()
+  if (has(a, "json")) {
+    std::ofstream f(get(a, "json", ""));
+    if (!f) throw std::runtime_error("cannot open output file: " + get(a, "json", ""));
+    driver::write_json(f, results);
+  }
+  if (has(a, "csv-full")) {
+    std::ofstream f(get(a, "csv-full", ""));
+    if (!f) throw std::runtime_error("cannot open output file: " + get(a, "csv-full", ""));
+    driver::write_config_csv(f, results);
+  }
+  std::cerr << "sweep: " << grid.jobs.size() << " configs, " << runner.threads()
             << " threads, " << secs << " s ("
-            << static_cast<double>(jobs.size()) / secs << " jobs/s)\n";
+            << static_cast<double>(grid.jobs.size()) / secs << " jobs/s)\n";
+  return 0;
+}
+
+/// List every registry parameter with its current value (after --config
+/// and --set), or save the resolved configuration as a config file.
+int cmd_params(const Args& a) {
+  const auto& reg = config::ParamRegistry::instance();
+  core::CoreConfig cfg = core::CoreConfig::paper_4wide_perfect();
+  if (has(a, "config")) config::load_config_file(get(a, "config", ""), cfg);
+  config::apply_sets(cfg, a.sets);
+  cfg.validate();
+
+  if (has(a, "save")) {
+    config::save_config_file(get(a, "save", ""), cfg);
+    std::cout << "wrote " << reg.params().size() << " parameters to "
+              << get(a, "save", "") << '\n';
+    return 0;
+  }
+  if (has(a, "markdown")) {
+    std::cout << reg.markdown_table();
+    return 0;
+  }
+  for (const auto& p : reg.params()) {
+    std::ostringstream line;
+    line << p.path << " = " << reg.format(p, cfg);
+    std::cout << std::left << std::setw(40) << line.str() << " # [" << p.type_name()
+              << "] " << p.doc;
+    const std::string c = p.constraint_doc();
+    if (!c.empty()) std::cout << " (" << c << ")";
+    std::cout << '\n';
+  }
   return 0;
 }
 
 int cmd_schedule(const Args& a) {
   const auto s = core::PipelineSchedule::make(
-      variant_of(get(a, "variant", "optimized")),
+      config::variant_of(get(a, "variant", "optimized")),
       static_cast<unsigned>(get_u64(a, "width", 4)));
   std::cout << s.render();
   return 0;
@@ -390,16 +463,22 @@ int usage() {
   std::cerr <<
       "usage: resim_cli <command> [flags]\n"
       "  gen      --bench NAME --insts N --out FILE [--bp KIND] [--chunk N]\n"
-      "  sim      --trace FILE [--width N --rob N --lsq N --ifq N --ports N]\n"
+      "  sim      --trace FILE [--config FILE] [--set key=value]...\n"
+      "           [--width N --rob N --lsq N --ifq N --ports N]\n"
       "           [--variant simple|efficient|optimized] [--mem perfect|l1|l2]\n"
-      "           [--bp 2lev|bimodal|gshare|comb|perfect] [--device NAME] [--report]\n"
+      "           [--bp 2lev|bimodal|gshare|comb|perfect] [--device NAME]\n"
+      "           [--report] [--json FILE]\n"
       "           [--stream] [--skip N] [--warmup N] [--max-records N]\n"
-      "  stats    --trace FILE [--stream]\n"
-      "  sweep    [-j N] [--bench NAME[,NAME..]|all | --trace FILE] [--insts N]\n"
-      "           [--widths 2,4,8] [--robs 8,16,32] [--bps 2lev,perfect]\n"
-      "           [--variants simple,efficient,optimized] [--stream] [--out FILE]\n"
+      "  stats    --trace FILE [--stream] [--config FILE] [--set key=value]...\n"
+      "  sweep    [-j N] [--spec FILE | --bench NAME[,NAME..]|all [--widths 2,4,8]\n"
+      "           [--robs 8,16,32] [--bps 2lev,perfect] [--variants ...]]\n"
+      "           [--config FILE] [--set key=value]... [--trace FILE] [--insts N]\n"
+      "           [--stream] [--out FILE] [--json FILE] [--csv-full FILE]\n"
+      "  params   [--config FILE] [--set key=value]... [--save FILE] [--markdown]\n"
       "  schedule --variant NAME --width N\n"
-      "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n";
+      "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n"
+      "config and sweep-spec file grammars, and the full parameter table:\n"
+      "docs/CONFIG.md (or `resim_cli params`).\n";
   return 2;
 }
 
@@ -414,6 +493,7 @@ int main(int argc, char** argv) {
     if (cmd == "sim") return cmd_sim(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "params") return cmd_params(args);
     if (cmd == "schedule") return cmd_schedule(args);
     if (cmd == "vhdl") return cmd_vhdl(args);
     return usage();
