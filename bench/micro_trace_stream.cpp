@@ -1,12 +1,20 @@
-// Streamed vs. in-memory trace feed throughput (the Table 3 angle:
-// ReSim's appetite for trace bandwidth is what makes the trace path a
-// hot path worth measuring).
+// Trace-feed throughput across every .rsim reading backend (the Table 3
+// angle: ReSim's appetite for trace bandwidth is what makes the trace
+// path a hot path worth measuring, and what the CI perf gate watches).
 //
-// Generates one trace, saves it as a chunked v2 .rsim, then drains it
-//   (a) from a decoded in-memory vector (VectorTraceSource), and
-//   (b) chunk-streamed off the file (FileTraceSource, O(chunk) memory),
-// reporting records/s and wire MB/s for each, plus a full engine run on
-// both sources as a bit-identity self-check (exit 1 on mismatch).
+// Generates one trace, saves it both as a raw chunked v2 .rsim and as a
+// compressed v3 .rsim, then drains it
+//   (a) from a decoded in-memory vector   (VectorTraceSource),
+//   (b) chunk-streamed off each file      (FileTraceSource, O(chunk)),
+//   (c) memory-mapped, decoded in place   (MmapTraceSource),
+// reporting records/s and decoded-wire MB/s for each, plus a full engine
+// run on every source as a bit-identity self-check (exit 1 on mismatch).
+//
+// Besides the table, the run is saved as machine-readable
+// BENCH_trace_io.json (path override: RESIM_BENCH_JSON env var) with one
+// entry per backend and the v3/v2 compression ratio, so the CI
+// perf-regression gate has MB/s numbers to compare against
+// bench/baselines/BENCH_trace_io.json (docs/CI.md).
 //
 //   ./micro_trace_stream [reps]        (RESIM_BENCH_INSTS sizes the trace)
 #include <unistd.h>
@@ -15,9 +23,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "trace/file_source.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/writer.hpp"
 
 namespace resim::bench {
@@ -26,13 +39,20 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 struct DrainResult {
+  std::string name;
   double secs = 0;
   std::uint64_t records = 0;
   std::uint64_t bits = 0;
+
+  [[nodiscard]] double mrecords_per_sec() const {
+    return static_cast<double>(records) / secs / 1e6;
+  }
+  [[nodiscard]] double mb_per_sec() const {
+    return static_cast<double>(bits) / 8.0 / 1e6 / secs;
+  }
 };
 
-template <typename Source>
-DrainResult drain(Source& src) {
+DrainResult drain(trace::TraceSource& src) {
   DrainResult d;
   const auto t0 = Clock::now();
   while (src.peek() != nullptr) (void)src.next();
@@ -42,11 +62,23 @@ DrainResult drain(Source& src) {
   return d;
 }
 
-void report(const char* label, const DrainResult& d) {
-  const double mb = static_cast<double>(d.bits) / 8.0 / 1e6;
-  std::cout << std::left << std::setw(22) << label << std::right << std::fixed
-            << std::setprecision(1) << std::setw(14) << (static_cast<double>(d.records) / d.secs / 1e6)
-            << std::setw(14) << (mb / d.secs) << '\n';
+/// Best-of-reps drain through sources built fresh per rep.
+DrainResult best_drain(const std::string& name, int reps,
+                       const std::function<std::unique_ptr<trace::TraceSource>()>& make) {
+  DrainResult best;
+  for (int i = 0; i < reps; ++i) {
+    const auto src = make();
+    const auto d = drain(*src);
+    if (best.secs == 0 || d.secs < best.secs) best = d;
+  }
+  best.name = name;
+  return best;
+}
+
+void report(const DrainResult& d) {
+  std::cout << std::left << std::setw(22) << d.name << std::right << std::fixed
+            << std::setprecision(1) << std::setw(14) << d.mrecords_per_sec()
+            << std::setw(14) << d.mb_per_sec() << '\n';
 }
 
 int run(int reps) {
@@ -61,50 +93,97 @@ int run(int reps) {
       trace::TraceGenerator(workload::make_workload("gzip"), g).generate();
 
   // Pid-suffixed so concurrent invocations on one host never collide.
-  const std::string path =
+  const std::string stem =
       (std::filesystem::temp_directory_path() / "micro_trace_stream_").string() +
-      std::to_string(::getpid()) + ".rsim";
-  trace::save_trace(t, path);
+      std::to_string(::getpid());
+  const std::string raw_path = stem + "_v2.rsim";
+  const std::string lz_path = stem + "_v3.rsim";
+  trace::save_trace(t, raw_path);
+  trace::save_trace(t, lz_path, trace::kDefaultChunkRecords, /*compress=*/true);
+  const auto raw_file_bytes = std::filesystem::file_size(raw_path);
+  const auto lz_file_bytes = std::filesystem::file_size(lz_path);
+  const double ratio =
+      static_cast<double>(raw_file_bytes) / static_cast<double>(lz_file_bytes);
 
-  print_header("Trace feed throughput: in-memory vs. chunk-streamed .rsim (v2)");
-  std::cout << "trace: gzip, " << t.records.size() << " records, "
-            << (t.total_bits() + 7) / 8 << " payload bytes, chunk = "
+  print_header("Trace feed throughput: memory vs stream vs mmap, raw vs compressed");
+  std::cout << "trace: gzip, " << t.records.size() << " records, v2 "
+            << raw_file_bytes << " bytes, v3 " << lz_file_bytes << " bytes ("
+            << std::fixed << std::setprecision(2) << ratio << "x), chunk = "
             << trace::kDefaultChunkRecords << " records, " << reps << " reps\n\n";
   std::cout << std::left << std::setw(22) << "source" << std::right << std::setw(14)
             << "Mrecords/s" << std::setw(14) << "wire MB/s" << '\n';
   print_rule(50);
 
-  DrainResult vec_best, file_best;
-  for (int i = 0; i < reps; ++i) {
-    trace::VectorTraceSource vsrc(t);
-    const auto d = drain(vsrc);
-    if (vec_best.secs == 0 || d.secs < vec_best.secs) vec_best = d;
-  }
-  for (int i = 0; i < reps; ++i) {
-    trace::FileTraceSource fsrc(path);
-    const auto d = drain(fsrc);
-    if (file_best.secs == 0 || d.secs < file_best.secs) file_best = d;
-  }
-  report("VectorTraceSource", vec_best);
-  report("FileTraceSource", file_best);
+  std::vector<DrainResult> results;
+  results.push_back(best_drain("memory", reps, [&] {
+    // The vector source reads a prepared decoded trace; its "drain" is
+    // the in-memory upper bound the file backends chase.
+    return std::make_unique<trace::VectorTraceSource>(t);
+  }));
+  results.push_back(best_drain("stream/raw", reps, [&] {
+    return std::make_unique<trace::FileTraceSource>(raw_path);
+  }));
+  results.push_back(best_drain("stream/lz", reps, [&] {
+    return std::make_unique<trace::FileTraceSource>(lz_path);
+  }));
+  results.push_back(best_drain("mmap/raw", reps, [&] {
+    return std::make_unique<trace::MmapTraceSource>(raw_path);
+  }));
+  results.push_back(best_drain("mmap/lz", reps, [&] {
+    return std::make_unique<trace::MmapTraceSource>(lz_path);
+  }));
+  for (const auto& r : results) report(r);
 
-  bool ok = vec_best.records == file_best.records && vec_best.bits == file_best.bits;
+  bool ok = true;
+  for (const auto& r : results) {
+    ok = ok && r.records == results[0].records && r.bits == results[0].bits;
+  }
 
-  // Engine-level identity: the whole point of the streaming path.
+  // Engine-level identity: the whole point of interchangeable backends.
   trace::VectorTraceSource vsrc(t);
   const auto rv = core::ReSimEngine(cfg, vsrc).run();
-  trace::FileTraceSource fsrc(path);
-  const auto rf = core::ReSimEngine(cfg, fsrc).run();
-  ok = ok && rv.committed == rf.committed && rv.major_cycles == rf.major_cycles &&
-       rv.trace_records == rf.trace_records && rv.trace_bits == rf.trace_bits;
+  for (const std::string& path : {raw_path, lz_path}) {
+    trace::FileTraceSource fsrc(path);
+    const auto rf = core::ReSimEngine(cfg, fsrc).run();
+    trace::MmapTraceSource msrc(path);
+    const auto rm = core::ReSimEngine(cfg, msrc).run();
+    for (const auto& r : {rf, rm}) {
+      ok = ok && rv.committed == r.committed && rv.major_cycles == r.major_cycles &&
+           rv.trace_records == r.trace_records && rv.trace_bits == r.trace_bits;
+    }
+  }
+  std::cout << "\nengine identity check across backends: committed " << rv.committed
+            << ", cycles " << rv.major_cycles << " -> " << (ok ? "OK" : "MISMATCH")
+            << '\n';
 
-  std::cout << "\nengine identity check: committed " << rv.committed << " vs "
-            << rf.committed << ", cycles " << rv.major_cycles << " vs "
-            << rf.major_cycles << ", peak stream buffer "
-            << fsrc.max_buffered_records() << " records -> "
-            << (ok ? "OK" : "MISMATCH") << '\n';
+  // Machine-readable results for the CI perf-regression gate.
+  const char* json_env = std::getenv("RESIM_BENCH_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_trace_io.json";
+  std::ofstream jf(json_path);
+  if (!jf) {
+    std::cerr << "warning: cannot write " << json_path << '\n';
+  } else {
+    jf << std::fixed << std::setprecision(6);
+    jf << "{\n"
+       << "  \"bench\": \"micro_trace_stream\",\n"
+       << "  \"records\": " << t.records.size() << ",\n"
+       << "  \"v2_file_bytes\": " << raw_file_bytes << ",\n"
+       << "  \"v3_file_bytes\": " << lz_file_bytes << ",\n"
+       << "  \"compression_ratio\": " << ratio << ",\n"
+       << "  \"identity_ok\": " << (ok ? "true" : "false") << ",\n"
+       << "  \"backends\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      jf << "    {\"name\": \"" << results[i].name
+         << "\", \"mrecords_per_sec\": " << results[i].mrecords_per_sec()
+         << ", \"mb_per_sec\": " << results[i].mb_per_sec() << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    jf << "  ]\n}\n";
+    std::cout << "wrote " << json_path << " (" << results.size() << " backends)\n";
+  }
 
-  std::remove(path.c_str());
+  std::remove(raw_path.c_str());
+  std::remove(lz_path.c_str());
   return ok ? 0 : 1;
 }
 

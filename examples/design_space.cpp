@@ -9,12 +9,15 @@
 // estimated area — the reconfigurability payoff. The output is
 // identical for any thread count.
 //
-// With a 4th argument "stream", every worker simulates from a private
-// constant-memory trace::FileTraceSource (its generated trace
-// round-tripped through a temp .rsim file) instead of a decoded vector —
-// every result row is identical either way, because the codec is lossless.
+// A 4th argument selects the trace backend (the `trace.backend`
+// registry parameter): "stream" makes every worker simulate from a
+// private constant-memory trace::FileTraceSource, "mmap" from an
+// in-place trace::MmapTraceSource (each worker's generated trace
+// round-tripped through a temp .rsim file); the default decodes in
+// memory. Every result row is identical on every backend, because the
+// codec is lossless.
 //
-//   ./design_space [benchmark] [instructions] [threads] [stream]
+//   ./design_space [benchmark] [instructions] [threads] [memory|stream|mmap]
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -57,7 +60,8 @@ int main(int argc, char** argv) {
   const std::uint64_t insts = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100'000;
   const unsigned threads =
       argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10)) : 0;
-  const bool stream = argc > 4 && std::string(argv[4]) == "stream";
+  const core::TraceBackend backend =
+      argc > 4 ? config::trace_backend_of(argv[4]) : core::TraceBackend::kMemory;
 
   // The sweep: three declarative specs, one SimJob per design point,
   // grouped for the report. Unpinned parameters follow the width-linked
@@ -76,13 +80,15 @@ int main(int argc, char** argv) {
     group_ends.push_back(jobs.size());
   }
 
-  if (stream) driver::use_streamed_sources(jobs, "resim_ds");
+  // One line of backend plumbing: the runner reads each job's
+  // trace.backend and does the right thing per worker.
+  for (auto& job : jobs) job.config.trace_backend = backend;
 
   const driver::BatchRunner runner(threads);
   std::cout << "design-space exploration on '" << bench << "' (" << insts
             << " instructions per point, " << jobs.size() << " points, "
-            << runner.threads() << " host threads"
-            << (stream ? ", streamed traces" : "") << ")\n\n";
+            << runner.threads() << " host threads, "
+            << config::trace_backend_name(backend) << " trace backend)\n\n";
   std::cout << std::left << std::setw(34) << "configuration" << std::right << std::setw(8)
             << "IPC" << std::setw(10) << "MIPS@V4" << std::setw(12) << "slices" << '\n';
   std::cout << std::string(64, '-') << '\n';

@@ -1,0 +1,62 @@
+// In-tree LZ77 byte codec (LZ4-block-style) for .rsim chunk compression.
+//
+// The trace container compresses each chunk independently so compressed
+// files keep the chunk-skipping seek property (docs/TRACE_FORMAT.md).
+// Hard requirements, in order: no external dependency, deterministic
+// output (sweep artifacts are byte-compared across hosts), decode speed
+// (the simulator drains traces at memory bandwidth), and a safe decoder
+// (trace files are untrusted input).
+//
+// Wire format — a sequence of variable-length "sequences":
+//
+//   token     1 byte: high nibble = literal count, low nibble = match
+//             length - kMinMatch. A nibble of 15 is extended by
+//             following bytes, each adding 0..255, terminated by the
+//             first byte < 255 (LZ4's length coding).
+//   [lit ext] only when the high nibble is 15
+//   literals  `literal count` raw bytes
+//   offset    u16 LE, 1..65535 bytes back into the decoded output;
+//             absent in the final sequence
+//   [match ext] only when the low nibble is 15
+//
+// Every sequence except the last names a match; the last sequence is
+// literals-only and its match nibble must be zero. Matches may overlap
+// their own output (offset < length), which encodes runs. A decoder
+// knows the exact decompressed size from the container framing, so
+// decompress() takes the destination size as ground truth and rejects
+// any stream that does not produce exactly that many bytes.
+#ifndef RESIM_COMMON_LZ_H
+#define RESIM_COMMON_LZ_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace resim::lz {
+
+/// Smallest match worth encoding (token + offset = 3 bytes overhead).
+inline constexpr std::size_t kMinMatch = 4;
+
+/// Maximum match distance (u16 offset, 0 is invalid).
+inline constexpr std::size_t kMaxOffset = 65535;
+
+/// Upper bound on compress() output for `n` input bytes (the all-literal
+/// expansion: one token per 15+255*k literals, plus slack).
+[[nodiscard]] std::size_t compress_bound(std::size_t n);
+
+/// Compresses `src`. Deterministic: identical input yields identical
+/// bytes on every host. The result may be larger than the input
+/// (incompressible data); callers store the raw bytes instead when so.
+[[nodiscard]] std::vector<std::uint8_t> compress(std::span<const std::uint8_t> src);
+
+/// Decompresses `src` into exactly dst.size() bytes. Throws
+/// std::runtime_error on any malformed stream: truncated sequence,
+/// zero or out-of-range offset, output overrun or underrun, or
+/// trailing input after the final sequence. Never reads or writes out
+/// of bounds on hostile input.
+void decompress(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
+
+}  // namespace resim::lz
+
+#endif  // RESIM_COMMON_LZ_H

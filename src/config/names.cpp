@@ -39,6 +39,11 @@ const std::vector<std::string>& repl_names() {
   return names;
 }
 
+const std::vector<std::string>& trace_backend_names() {
+  static const std::vector<std::string> names = {"memory", "stream", "mmap"};
+  return names;
+}
+
 const char* dir_kind_name(bpred::DirKind k) {
   return dir_kind_names()[static_cast<std::size_t>(k)].c_str();
 }
@@ -59,6 +64,15 @@ core::PipelineVariant variant_of(const std::string& name) {
 cache::ReplPolicy repl_of(const std::string& name) {
   return static_cast<cache::ReplPolicy>(
       index_of(repl_names(), name, "replacement policy"));
+}
+
+const char* trace_backend_name(core::TraceBackend b) {
+  return trace_backend_names()[static_cast<std::size_t>(b)].c_str();
+}
+
+core::TraceBackend trace_backend_of(const std::string& name) {
+  return static_cast<core::TraceBackend>(
+      index_of(trace_backend_names(), name, "trace backend"));
 }
 
 const char* memsys_kind_name(const cache::MemSysConfig& m) {

@@ -13,6 +13,7 @@
 #include "bpred/config.hpp"
 #include "cache/cache.hpp"
 #include "cache/memsys.hpp"
+#include "core/config.hpp"
 #include "core/schedule.hpp"
 
 namespace resim::config {
@@ -22,15 +23,18 @@ namespace resim::config {
 [[nodiscard]] const std::vector<std::string>& dir_kind_names();
 [[nodiscard]] const std::vector<std::string>& variant_names();
 [[nodiscard]] const std::vector<std::string>& repl_names();
+[[nodiscard]] const std::vector<std::string>& trace_backend_names();
 
 [[nodiscard]] const char* dir_kind_name(bpred::DirKind k);
 [[nodiscard]] const char* repl_name(cache::ReplPolicy p);
+[[nodiscard]] const char* trace_backend_name(core::TraceBackend b);
 
 // Throwing reverse maps; the error names the offending value and lists
 // the accepted spellings.
 [[nodiscard]] bpred::DirKind dir_kind_of(const std::string& name);
 [[nodiscard]] core::PipelineVariant variant_of(const std::string& name);
 [[nodiscard]] cache::ReplPolicy repl_of(const std::string& name);
+[[nodiscard]] core::TraceBackend trace_backend_of(const std::string& name);
 
 /// One-word summary of a memory system ("perfect", "l1", "l2") and the
 /// matching preset factory (the CLI's --mem shorthand).

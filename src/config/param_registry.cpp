@@ -208,6 +208,11 @@ ParamRegistry::ParamRegistry() {
   RESIM_CACHE_PARAMS("mem.l1d", mem.l1d, "L1 data cache");
   RESIM_CACHE_PARAMS("mem.l2", mem.l2, "unified L2 cache");
 #undef RESIM_CACHE_PARAMS
+
+  // --- trace.* (host-side; never changes simulation results) --------------
+  enum_p("trace.backend", trace_backend_names(),
+         RESIM_ACC(trace_backend, core::TraceBackend),
+         "worker trace source: decoded in memory, chunk-streamed, or mmap'd");
 }
 
 #undef RESIM_ACC

@@ -35,6 +35,15 @@ struct FuPoolConfig {
   }
 };
 
+/// How a simulation worker feeds itself trace records (a host-side
+/// knob, not a property of the simulated machine): decode the whole
+/// trace up front (memory), stream a .rsim file chunk-at-a-time in
+/// O(chunk) RSS (stream), or map it read-only and decode in place
+/// (mmap). Reflected as the `trace.backend` registry parameter so
+/// sweeps can be driven onto any backend declaratively; every backend
+/// produces bit-identical simulation results.
+enum class TraceBackend : std::uint8_t { kMemory, kStream, kMmap };
+
 struct CoreConfig {
   unsigned width = 4;       ///< N: fetch/dispatch/issue/writeback/commit width
   unsigned ifq_size = 8;    ///< instruction fetch queue entries
@@ -52,6 +61,10 @@ struct CoreConfig {
   cache::MemSysConfig mem = cache::MemSysConfig::perfect_memory();
 
   PipelineVariant variant = PipelineVariant::kOptimized;
+
+  /// Host trace-source backend (never affects simulation results; see
+  /// TraceBackend above and docs/CONFIG.md).
+  TraceBackend trace_backend = TraceBackend::kMemory;
 
   /// Conservative wrong-path window (ROB + IFQ, paper §V.A).
   [[nodiscard]] unsigned wrong_path_block() const { return rob_size + ifq_size; }

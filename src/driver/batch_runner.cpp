@@ -16,6 +16,7 @@
 #include "config/names.hpp"
 #include "config/param_registry.hpp"
 #include "trace/file_source.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/reader.hpp"
 #include "workload/suite.hpp"
 
@@ -51,15 +52,64 @@ void use_streamed_sources(std::vector<SimJob>& jobs, const std::string& tag) {
   }
 }
 
-TraceSourceFactory streamed_gen_source(std::string workload, trace::TraceGenConfig gen,
-                                       std::string path) {
-  return [workload = std::move(workload), gen,
-          path = std::move(path)]() -> std::unique_ptr<trace::TraceSource> {
+namespace {
+
+/// Opens an on-disk .rsim through the requested file-reading backend.
+std::unique_ptr<trace::TraceSource> open_backend(const std::string& path,
+                                                 core::TraceBackend backend) {
+  if (backend == core::TraceBackend::kMmap) {
+    return std::make_unique<trace::MmapTraceSource>(path);
+  }
+  return std::make_unique<trace::FileTraceSource>(path);
+}
+
+/// Worker-private temp .rsim path: pid + a process-wide counter, so
+/// concurrent processes and worker threads never collide.
+std::string private_temp_path() {
+  static std::atomic<std::uint64_t> counter{0};
+  // Built with += to sidestep GCC 12's -Wrestrict false positive
+  // (PR105651) on "literal" + std::string chains at -O3.
+  std::string p = (std::filesystem::temp_directory_path() / "resim_job").string();
+  p += '_';
+  p += std::to_string(::getpid());
+  p += '_';
+  p += std::to_string(counter.fetch_add(1));
+  p += ".rsim";
+  return p;
+}
+
+/// Round-trips already-decoded records through a temp file and reopens
+/// them via `backend`; the codec is lossless, so the record stream is
+/// unchanged. Unlinks the temp file as soon as the source opens.
+std::unique_ptr<trace::TraceSource> roundtrip_source(const trace::Trace& t,
+                                                     core::TraceBackend backend) {
+  const std::string path = private_temp_path();
+  trace::save_trace(t, path);
+  try {
+    auto src = open_backend(path, backend);
+    std::remove(path.c_str());  // the open stream / mapping keeps the inode alive
+    return src;
+  } catch (...) {
+    std::remove(path.c_str());  // don't leak the temp file on open failure
+    throw;
+  }
+}
+
+}  // namespace
+
+TraceSourceFactory backend_gen_source(std::string workload, trace::TraceGenConfig gen,
+                                      std::string path, core::TraceBackend backend) {
+  if (backend == core::TraceBackend::kMemory) {
+    throw std::invalid_argument(
+        "backend_gen_source: the memory backend needs no file round trip");
+  }
+  return [workload = std::move(workload), gen, path = std::move(path),
+          backend]() -> std::unique_ptr<trace::TraceSource> {
     const trace::Trace t =
         trace::TraceGenerator(workload::make_workload(workload), gen).generate();
     trace::save_trace(t, path);
     try {
-      auto src = std::make_unique<trace::FileTraceSource>(path);
+      auto src = open_backend(path, backend);
       std::remove(path.c_str());  // the open stream keeps the inode alive
       return src;
     } catch (...) {
@@ -67,6 +117,12 @@ TraceSourceFactory streamed_gen_source(std::string workload, trace::TraceGenConf
       throw;
     }
   };
+}
+
+TraceSourceFactory streamed_gen_source(std::string workload, trace::TraceGenConfig gen,
+                                       std::string path) {
+  return backend_gen_source(std::move(workload), gen, std::move(path),
+                            core::TraceBackend::kStream);
 }
 
 BatchRunner::BatchRunner(unsigned threads)
@@ -79,21 +135,39 @@ JobResult BatchRunner::run_one(const SimJob& job) {
   out.label = job.label;
   out.workload = job.workload;
   out.config = job.config;
+  const core::TraceBackend backend = job.config.trace_backend;
   if (job.source) {
     const std::unique_ptr<trace::TraceSource> src = job.source();
     if (!src) throw std::runtime_error("SimJob: source factory returned null");
     out.result = core::ReSimEngine(job.config, *src).run();
   } else if (!job.trace_path.empty()) {
-    trace::FileTraceSource src(job.trace_path);
-    out.result = core::ReSimEngine(job.config, src).run();
+    if (backend == core::TraceBackend::kMemory) {
+      const trace::Trace t = trace::load_trace(job.trace_path);
+      trace::VectorTraceSource src(t);
+      out.result = core::ReSimEngine(job.config, src).run();
+    } else {
+      const std::unique_ptr<trace::TraceSource> src =
+          open_backend(job.trace_path, backend);
+      out.result = core::ReSimEngine(job.config, *src).run();
+    }
   } else if (job.trace) {
-    trace::VectorTraceSource src(*job.trace);
-    out.result = core::ReSimEngine(job.config, src).run();
+    if (backend == core::TraceBackend::kMemory) {
+      trace::VectorTraceSource src(*job.trace);
+      out.result = core::ReSimEngine(job.config, src).run();
+    } else {
+      const std::unique_ptr<trace::TraceSource> src = roundtrip_source(*job.trace, backend);
+      out.result = core::ReSimEngine(job.config, *src).run();
+    }
   } else {
     const trace::Trace t =
         trace::TraceGenerator(workload::make_workload(job.workload), job.gen).generate();
-    trace::VectorTraceSource src(t);
-    out.result = core::ReSimEngine(job.config, src).run();
+    if (backend == core::TraceBackend::kMemory) {
+      trace::VectorTraceSource src(t);
+      out.result = core::ReSimEngine(job.config, src).run();
+    } else {
+      const std::unique_ptr<trace::TraceSource> src = roundtrip_source(t, backend);
+      out.result = core::ReSimEngine(job.config, *src).run();
+    }
   }
   return out;
 }

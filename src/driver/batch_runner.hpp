@@ -32,23 +32,39 @@ namespace resim::driver {
 using TraceSourceFactory = std::function<std::unique_ptr<trace::TraceSource>()>;
 
 /// Factory that generates `workload`'s trace with `gen`, round-trips it
-/// through a private .rsim file at `path`, and streams it back with a
-/// constant-memory trace::FileTraceSource. The file is unlinked as soon
-/// as the stream opens (the open stream keeps the inode alive on POSIX),
-/// so disk usage is bounded by the jobs in flight.
+/// through a private .rsim file at `path`, and reads it back through
+/// `backend` (kStream: constant-memory trace::FileTraceSource; kMmap:
+/// in-place trace::MmapTraceSource; kMemory is rejected — a memory job
+/// needs no file round trip). The file is unlinked as soon as the
+/// source opens (the open stream / mapping keeps the inode alive on
+/// POSIX), so disk usage is bounded by the jobs in flight.
+[[nodiscard]] TraceSourceFactory backend_gen_source(std::string workload,
+                                                    trace::TraceGenConfig gen,
+                                                    std::string path,
+                                                    core::TraceBackend backend);
+
+/// backend_gen_source pinned to the stream backend (the pre-backend API).
 [[nodiscard]] TraceSourceFactory streamed_gen_source(std::string workload,
                                                      trace::TraceGenConfig gen,
                                                      std::string path);
 
 /// One point of a design-space sweep.
 ///
-/// Record-source precedence: `source` (factory), then `trace_path` (the
-/// worker streams the on-disk .rsim through a private constant-memory
-/// FileTraceSource — peak RSS stays O(chunk) however long the trace),
-/// then `trace` (prepared decoded trace shared read-only across jobs,
-/// the paper's "traces prepared off-line" mode), else the worker
-/// generates the trace itself from `workload` and `gen` — trace
-/// generation is seeded and therefore deterministic.
+/// Record-source precedence: `source` (factory), then `trace_path`
+/// (the worker opens the on-disk .rsim itself), then `trace` (prepared
+/// decoded trace shared read-only across jobs, the paper's "traces
+/// prepared off-line" mode), else the worker generates the trace
+/// itself from `workload` and `gen` — trace generation is seeded and
+/// therefore deterministic.
+///
+/// config.trace_backend (the `trace.backend` registry parameter)
+/// selects how the non-factory paths read records: kMemory decodes the
+/// whole trace up front; kStream uses a constant-memory
+/// FileTraceSource; kMmap maps the file and decodes in place. Jobs
+/// without a file (generated or prepared-trace jobs) under a non-memory
+/// backend round-trip their records through a private temp .rsim,
+/// unlinked as soon as the source opens. Every backend is bit-identical
+/// in results; only host memory behavior differs.
 struct SimJob {
   std::string label;     ///< row label in reports/CSV
   std::string workload;  ///< benchmark name (workload::make_workload registry)

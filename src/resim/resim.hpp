@@ -39,8 +39,10 @@
 #include "fpga/device.hpp"
 #include "fpga/fit.hpp"
 #include "fpga/literature.hpp"
+#include "common/lz.hpp"
 #include "trace/container.hpp"
 #include "trace/file_source.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/reader.hpp"
 #include "trace/trace_stats.hpp"
 #include "trace/tracegen.hpp"

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/lz.hpp"
 #include "trace/format.hpp"
 
 namespace resim::trace {
@@ -17,6 +18,23 @@ namespace {
 }
 
 }  // namespace
+
+void StreamByteSource::read(void* dst, std::size_t n, const char* field) {
+  is_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (!is_) throw std::runtime_error(std::string("load_trace: truncated field ") + field);
+}
+
+std::uint64_t StreamByteSource::pos() const { return static_cast<std::uint64_t>(is_.tellg()); }
+
+void SpanByteSource::read(void* dst, std::size_t n, const char* field) {
+  // offset_ may sit past the end after an advance() over lying framing;
+  // order the comparison so it cannot underflow.
+  if (offset_ > data_.size() || n > data_.size() - offset_) {
+    throw std::runtime_error(std::string("load_trace: truncated field ") + field);
+  }
+  std::memcpy(dst, data_.data() + offset_, n);
+  offset_ += n;
+}
 
 void write_u32le(std::ostream& os, std::uint32_t v) {
   std::array<char, 4> b;
@@ -30,22 +48,30 @@ void write_u64le(std::ostream& os, std::uint64_t v) {
   os.write(b.data(), b.size());
 }
 
-std::uint32_t read_u32le(std::istream& is, const char* field) {
+std::uint32_t read_u32le(ByteSource& src, const char* field) {
   std::array<unsigned char, 4> b;
-  is.read(reinterpret_cast<char*>(b.data()), b.size());
-  if (!is) throw std::runtime_error(std::string("load_trace: truncated field ") + field);
+  src.read(b.data(), b.size(), field);
   std::uint32_t v = 0;
   for (unsigned i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
   return v;
 }
 
-std::uint64_t read_u64le(std::istream& is, const char* field) {
+std::uint64_t read_u64le(ByteSource& src, const char* field) {
   std::array<unsigned char, 8> b;
-  is.read(reinterpret_cast<char*>(b.data()), b.size());
-  if (!is) throw std::runtime_error(std::string("load_trace: truncated field ") + field);
+  src.read(b.data(), b.size(), field);
   std::uint64_t v = 0;
   for (unsigned i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
   return v;
+}
+
+std::uint32_t read_u32le(std::istream& is, const char* field) {
+  StreamByteSource src(is);
+  return read_u32le(src, field);
+}
+
+std::uint64_t read_u64le(std::istream& is, const char* field) {
+  StreamByteSource src(is);
+  return read_u64le(src, field);
 }
 
 void decode_records(BitReader& br, std::uint64_t count, std::uint64_t first_index,
@@ -61,6 +87,34 @@ void decode_records(BitReader& br, std::uint64_t count, std::uint64_t first_inde
   }
 }
 
+std::uint64_t skip_whole_chunks(ByteSource& src, const ContainerHeader& hdr,
+                                std::uint64_t want, std::uint64_t file_size,
+                                const std::string& path,
+                                const std::function<void(const ChunkHeader&)>& hop,
+                                ChunkProgress& prog, std::uint64_t& consumed,
+                                std::uint64_t& bits) {
+  std::uint64_t done = 0;
+  while (done < want && prog.next_record < hdr.record_count) {
+    const std::uint64_t remaining = hdr.record_count - prog.next_record;
+    const std::uint64_t chunk_records =
+        remaining < hdr.chunk_records ? remaining : hdr.chunk_records;
+    if (want - done < chunk_records) break;  // partial chunk: caller decodes
+    const ChunkHeader ch = read_chunk_header(src, hdr, remaining, file_size, path);
+    hop(ch);
+    prog.next_record += ch.record_count;
+    consumed += ch.record_count;
+    bits += std::uint64_t{ch.raw_bytes} * 8;
+    done += ch.record_count;
+    ++prog.chunks_read;
+    ++prog.chunks_skipped;
+    if (prog.chunks_read == hdr.chunk_count && src.pos() != file_size) {
+      throw std::runtime_error("load_trace: trailing garbage after last chunk in " +
+                               path);
+    }
+  }
+  return done;
+}
+
 std::uint64_t min_payload_bytes(std::uint64_t records) {
   return (records * kOtherBits + 7) / 8;
 }
@@ -69,34 +123,50 @@ std::uint64_t max_payload_bytes(std::uint64_t records) {
   return (records * kBranchBits + 7) / 8;
 }
 
-ContainerHeader read_container_header(std::istream& is, std::uint64_t file_size,
+std::span<const std::uint8_t> chunk_raw_payload(std::span<const std::uint8_t> payload,
+                                                const ChunkHeader& ch,
+                                                std::uint64_t chunk_index,
+                                                std::vector<std::uint8_t>& scratch,
+                                                const std::string& path) {
+  if (!ch.compressed()) return payload;
+  scratch.resize(ch.raw_bytes);
+  try {
+    lz::decompress(payload, scratch);
+  } catch (const std::runtime_error& e) {
+    fail(path, "corrupt compressed payload in chunk " + std::to_string(chunk_index) +
+                   " (" + e.what() + ")");
+  }
+  return scratch;
+}
+
+ContainerHeader read_container_header(ByteSource& src, std::uint64_t file_size,
                                       const std::string& path) {
   char magic[4];
-  is.read(magic, sizeof magic);
-  if (!is || std::memcmp(magic, kContainerMagic, sizeof magic) != 0) {
+  src.read(magic, sizeof magic, "magic");
+  if (std::memcmp(magic, kContainerMagic, sizeof magic) != 0) {
     fail(path, "bad magic");
   }
 
   ContainerHeader h;
-  h.version = read_u32le(is, "version");
-  if (h.version != kContainerV1 && h.version != kContainerV2) {
+  h.version = read_u32le(src, "version");
+  if (h.version != kContainerV1 && h.version != kContainerV2 &&
+      h.version != kContainerV3) {
     fail(path, "unsupported version " + std::to_string(h.version));
   }
 
-  const std::uint32_t name_len = read_u32le(is, "name_len");
+  const std::uint32_t name_len = read_u32le(src, "name_len");
   if (name_len > kMaxNameLen || name_len > file_size) {
     fail(path, "name_len " + std::to_string(name_len) + " out of range");
   }
   h.name.resize(name_len);
-  is.read(h.name.data(), name_len);
-  if (!is) fail(path, "truncated field name");
+  src.read(h.name.data(), name_len, "name");
 
-  h.start_pc = read_u64le(is, "start_pc");
-  h.record_count = read_u64le(is, "count");
+  h.start_pc = read_u64le(src, "start_pc");
+  h.record_count = read_u64le(src, "count");
 
   if (h.version == kContainerV1) {
-    h.payload_len = read_u64le(is, "payload_len");
-    h.payload_start = static_cast<std::uint64_t>(is.tellg());
+    h.payload_len = read_u64le(src, "payload_len");
+    h.payload_start = src.pos();
     if (h.payload_len > file_size - h.payload_start) {
       fail(path, "payload_len " + std::to_string(h.payload_len) +
                      " exceeds file size " + std::to_string(file_size));
@@ -118,9 +188,9 @@ ContainerHeader read_container_header(std::istream& is, std::uint64_t file_size,
     return h;
   }
 
-  h.chunk_records = read_u32le(is, "chunk_records");
-  h.chunk_count = read_u32le(is, "chunk_count");
-  h.payload_start = static_cast<std::uint64_t>(is.tellg());
+  h.chunk_records = read_u32le(src, "chunk_records");
+  h.chunk_count = read_u32le(src, "chunk_count");
+  h.payload_start = src.pos();
   if (h.chunk_records == 0 || h.chunk_records > kMaxChunkRecords) {
     fail(path, "chunk_records " + std::to_string(h.chunk_records) + " out of range");
   }
@@ -130,41 +200,91 @@ ContainerHeader read_container_header(std::istream& is, std::uint64_t file_size,
     fail(path, "chunk_count " + std::to_string(h.chunk_count) +
                    " inconsistent with count " + std::to_string(h.record_count));
   }
-  // Cheap whole-file lower bound before any chunk is read: every chunk
-  // carries an 8-byte header and every record at least kOtherBits bits.
+  // Cheap whole-file lower bound before any chunk is read. v2 chunks
+  // carry at least min_payload_bytes of records; v3 chunks may be
+  // LZ-compressed, whose floor is one payload byte per non-empty chunk.
+  const std::uint64_t hdr_bytes = chunk_header_bytes(h.version);
   const std::uint64_t body = file_size - h.payload_start;
-  if (body < h.chunk_count * 8ULL ||
-      body - h.chunk_count * 8ULL < min_payload_bytes(h.record_count)) {
+  const std::uint64_t min_body =
+      h.chunk_count * hdr_bytes + (h.version == kContainerV2
+                                       ? min_payload_bytes(h.record_count)
+                                       : std::uint64_t{h.chunk_count});
+  if (body < min_body) {
     fail(path, "count " + std::to_string(h.record_count) + " exceeds file size " +
                    std::to_string(file_size));
   }
   return h;
 }
 
-ChunkHeader read_chunk_header(std::istream& is, const ContainerHeader& hdr,
+ChunkHeader read_chunk_header(ByteSource& src, const ContainerHeader& hdr,
                               std::uint64_t records_remaining, std::uint64_t file_size,
                               const std::string& path) {
   ChunkHeader c;
-  c.record_count = read_u32le(is, "chunk record_count");
-  c.payload_bytes = read_u32le(is, "chunk payload_bytes");
+  c.record_count = read_u32le(src, "chunk record_count");
   const std::uint64_t expected =
       records_remaining < hdr.chunk_records ? records_remaining : hdr.chunk_records;
   if (c.record_count != expected) {
     fail(path, "chunk record_count " + std::to_string(c.record_count) +
                    " (expected " + std::to_string(expected) + ")");
   }
-  if (c.payload_bytes < min_payload_bytes(c.record_count) ||
-      c.payload_bytes > max_payload_bytes(c.record_count)) {
-    fail(path, "chunk payload_bytes " + std::to_string(c.payload_bytes) +
-                   " inconsistent with its record_count " +
-                   std::to_string(c.record_count));
+
+  if (hdr.version >= kContainerV3) {
+    c.flags = read_u32le(src, "chunk flags");
+    c.raw_bytes = read_u32le(src, "chunk raw_bytes");
+    c.payload_bytes = read_u32le(src, "chunk compressed_bytes");
+    if ((c.flags & ~kChunkFlagCompressed) != 0) {
+      fail(path, "chunk flags " + std::to_string(c.flags) + " has unknown bits");
+    }
+    if (c.raw_bytes < min_payload_bytes(c.record_count) ||
+        c.raw_bytes > max_payload_bytes(c.record_count)) {
+      fail(path, "chunk raw_bytes " + std::to_string(c.raw_bytes) +
+                     " inconsistent with its record_count " +
+                     std::to_string(c.record_count));
+    }
+    if (c.compressed()) {
+      // The writer stores compressed bytes only when strictly smaller;
+      // an equal-or-larger value is corruption (oversized), zero is a
+      // payload that cannot exist (truncated at write time).
+      if (c.payload_bytes == 0 || c.payload_bytes >= c.raw_bytes) {
+        fail(path, "chunk compressed_bytes " + std::to_string(c.payload_bytes) +
+                       " inconsistent with raw_bytes " + std::to_string(c.raw_bytes));
+      }
+    } else if (c.payload_bytes != c.raw_bytes) {
+      fail(path, "chunk compressed_bytes " + std::to_string(c.payload_bytes) +
+                     " != raw_bytes " + std::to_string(c.raw_bytes) +
+                     " on an uncompressed chunk");
+    }
+  } else {
+    c.payload_bytes = read_u32le(src, "chunk payload_bytes");
+    c.raw_bytes = c.payload_bytes;
+    if (c.payload_bytes < min_payload_bytes(c.record_count) ||
+        c.payload_bytes > max_payload_bytes(c.record_count)) {
+      fail(path, "chunk payload_bytes " + std::to_string(c.payload_bytes) +
+                     " inconsistent with its record_count " +
+                     std::to_string(c.record_count));
+    }
   }
-  const std::uint64_t pos = static_cast<std::uint64_t>(is.tellg());
-  if (c.payload_bytes > file_size - pos) {
-    fail(path, "chunk payload_bytes " + std::to_string(c.payload_bytes) +
-                   " exceeds file size " + std::to_string(file_size));
+
+  const char* size_field =
+      hdr.version >= kContainerV3 ? "chunk compressed_bytes " : "chunk payload_bytes ";
+  if (c.payload_bytes > file_size - src.pos()) {
+    fail(path, size_field + std::to_string(c.payload_bytes) + " exceeds file size " +
+                   std::to_string(file_size));
   }
   return c;
+}
+
+ContainerHeader read_container_header(std::istream& is, std::uint64_t file_size,
+                                      const std::string& path) {
+  StreamByteSource src(is);
+  return read_container_header(src, file_size, path);
+}
+
+ChunkHeader read_chunk_header(std::istream& is, const ContainerHeader& hdr,
+                              std::uint64_t records_remaining, std::uint64_t file_size,
+                              const std::string& path) {
+  StreamByteSource src(is);
+  return read_chunk_header(src, hdr, records_remaining, file_size, path);
 }
 
 }  // namespace resim::trace

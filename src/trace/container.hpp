@@ -8,7 +8,7 @@
 // historically written in host byte order, which on the little-endian
 // hosts every trace was produced on matches this spec exactly.
 //
-// Version 2 (current, written by save_trace):
+// Version 2 (default output of save_trace):
 //   magic "RSIM" | u32 version=2 | u32 name_len | name bytes
 //   | u64 start_pc | u64 record_count | u32 chunk_records | u32 chunk_count
 //   then chunk_count times:
@@ -16,14 +16,28 @@
 // Every chunk holds exactly chunk_records records except the last, and
 // every chunk payload is independently byte-aligned, so a reader can
 // skip a chunk by seeking payload_bytes without decoding it — the basis
-// of the constant-memory FileTraceSource. All integers little-endian.
+// of the constant-memory FileTraceSource.
+//
+// Version 3 (written by save_trace with compression requested): same
+// header as v2 but version=3, and each chunk header grows to
+//     u32 record_count | u32 flags | u32 raw_bytes | u32 compressed_bytes
+//     | payload[compressed_bytes]
+// flags bit 0 set means the payload is the chunk's bit-packed record
+// bytes compressed with the in-tree LZ codec (common/lz.hpp) and
+// raw_bytes is the decompressed size; flags 0 means the payload is
+// stored raw and compressed_bytes == raw_bytes. Compression is decided
+// per chunk (incompressible chunks stay raw), and chunk-skipping seek
+// still works unread: the stored size is always compressed_bytes.
+// All integers little-endian.
 //
 // Full bit-exact specification: docs/TRACE_FORMAT.md.
 #ifndef RESIM_TRACE_CONTAINER_H
 #define RESIM_TRACE_CONTAINER_H
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +50,10 @@ namespace resim::trace {
 inline constexpr char kContainerMagic[4] = {'R', 'S', 'I', 'M'};
 inline constexpr std::uint32_t kContainerV1 = 1;
 inline constexpr std::uint32_t kContainerV2 = 2;
+inline constexpr std::uint32_t kContainerV3 = 3;
+
+/// v3 chunk flags. Unknown bits are rejected as corruption.
+inline constexpr std::uint32_t kChunkFlagCompressed = 1u << 0;
 
 /// Records per full chunk written by save_trace. 4096 records is at most
 /// ~42 KiB of encoded payload (all-branch worst case), so a streaming
@@ -47,30 +65,86 @@ inline constexpr std::uint32_t kDefaultChunkRecords = 4096;
 inline constexpr std::uint32_t kMaxNameLen = 4096;
 inline constexpr std::uint32_t kMaxChunkRecords = 1u << 20;
 
-/// Everything before the first payload byte (v1) / first chunk header (v2).
+/// Everything before the first payload byte (v1) / first chunk header (v2+).
 struct ContainerHeader {
   std::uint32_t version = kContainerV2;
   std::string name;
   Addr start_pc = 0;
   std::uint64_t record_count = 0;
   std::uint64_t payload_len = 0;       ///< v1 only: bytes of the single payload
-  std::uint32_t chunk_records = 0;     ///< v2 only: records per full chunk
-  std::uint32_t chunk_count = 0;       ///< v2 only
+  std::uint32_t chunk_records = 0;     ///< v2+: records per full chunk
+  std::uint32_t chunk_count = 0;       ///< v2+
   std::uint64_t payload_start = 0;     ///< file offset just past this header
 };
 
-/// v2 per-chunk framing.
+/// Per-chunk framing, normalized across versions: a v2 chunk reads as
+/// flags == 0 with raw_bytes == payload_bytes, so consumers only ever
+/// branch on kChunkFlagCompressed.
 struct ChunkHeader {
   std::uint32_t record_count = 0;
-  std::uint32_t payload_bytes = 0;
+  std::uint32_t flags = 0;          ///< v3 only on the wire; 0 for v2
+  std::uint32_t raw_bytes = 0;      ///< decoded (bit-packed) payload bytes
+  std::uint32_t payload_bytes = 0;  ///< bytes stored in the file
+  [[nodiscard]] bool compressed() const { return (flags & kChunkFlagCompressed) != 0; }
+};
+
+/// On-disk size of a chunk header for container version `version`.
+[[nodiscard]] constexpr std::uint64_t chunk_header_bytes(std::uint32_t version) {
+  return version >= kContainerV3 ? 16 : 8;
+}
+
+// --- byte sources ----------------------------------------------------------
+// The header parsers read through this minimal abstraction so one
+// validation implementation serves both the seekable-stream reader
+// (FileTraceSource) and the memory-mapped reader (MmapTraceSource).
+// Every read checks for truncation and throws std::runtime_error naming
+// the field on a short read.
+
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Reads exactly `n` bytes into `dst` or throws
+  /// "load_trace: truncated field <field>".
+  virtual void read(void* dst, std::size_t n, const char* field) = 0;
+  /// Bytes consumed since the start of the container.
+  [[nodiscard]] virtual std::uint64_t pos() const = 0;
+};
+
+/// ByteSource over a std::istream (checks stream state after each read).
+class StreamByteSource final : public ByteSource {
+ public:
+  explicit StreamByteSource(std::istream& is) : is_(is) {}
+  void read(void* dst, std::size_t n, const char* field) override;
+  [[nodiscard]] std::uint64_t pos() const override;
+
+ private:
+  std::istream& is_;
+};
+
+/// ByteSource over an in-memory byte range (an mmap'd file).
+class SpanByteSource final : public ByteSource {
+ public:
+  explicit SpanByteSource(std::span<const std::uint8_t> data, std::size_t offset = 0)
+      : data_(data), offset_(offset) {}
+  void read(void* dst, std::size_t n, const char* field) override;
+  [[nodiscard]] std::uint64_t pos() const override { return offset_; }
+
+  /// Hop past bytes without reading them (chunk-skipping seek). May
+  /// legally land exactly at the end; read() treats any overshoot as
+  /// truncation.
+  void advance(std::size_t n) { offset_ += n; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
 };
 
 // --- little-endian primitives (byte-shift, no reinterpret_cast) ------------
-// Readers check stream state after every field and throw
-// std::runtime_error naming the field on a short or failed read.
 
 void write_u32le(std::ostream& os, std::uint32_t v);
 void write_u64le(std::ostream& os, std::uint64_t v);
+[[nodiscard]] std::uint32_t read_u32le(ByteSource& src, const char* field);
+[[nodiscard]] std::uint64_t read_u64le(ByteSource& src, const char* field);
 [[nodiscard]] std::uint32_t read_u32le(std::istream& is, const char* field);
 [[nodiscard]] std::uint64_t read_u64le(std::istream& is, const char* field);
 
@@ -78,14 +152,24 @@ void write_u64le(std::ostream& os, std::uint64_t v);
 /// Every length/count is checked against `file_size` before any
 /// allocation sized from it. Throws std::runtime_error naming the
 /// offending field.
+[[nodiscard]] ContainerHeader read_container_header(ByteSource& src,
+                                                    std::uint64_t file_size,
+                                                    const std::string& path);
 [[nodiscard]] ContainerHeader read_container_header(std::istream& is,
                                                     std::uint64_t file_size,
                                                     const std::string& path);
 
-/// Reads and validates one v2 chunk header at the current position.
+/// Reads and validates one v2/v3 chunk header at the current position.
 /// `records_remaining` is the count of records the container still owes;
 /// the chunk must deliver min(records_remaining, hdr.chunk_records) of
-/// them and its payload must fit both the record count and the file.
+/// them, its raw_bytes must fit the record count, and its stored payload
+/// must fit the file. For v3, unknown flag bits are rejected, a
+/// compressed chunk's compressed_bytes must be non-zero and smaller than
+/// raw_bytes, and a raw chunk's compressed_bytes must equal raw_bytes.
+[[nodiscard]] ChunkHeader read_chunk_header(ByteSource& src, const ContainerHeader& hdr,
+                                            std::uint64_t records_remaining,
+                                            std::uint64_t file_size,
+                                            const std::string& path);
 [[nodiscard]] ChunkHeader read_chunk_header(std::istream& is, const ContainerHeader& hdr,
                                             std::uint64_t records_remaining,
                                             std::uint64_t file_size,
@@ -95,6 +179,40 @@ void write_u64le(std::ostream& os, std::uint64_t v);
 /// (all-Other vs all-Branch); used to reject impossible payload lengths.
 [[nodiscard]] std::uint64_t min_payload_bytes(std::uint64_t records);
 [[nodiscard]] std::uint64_t max_payload_bytes(std::uint64_t records);
+
+/// Chunk bookkeeping shared by the file-backed sources (stream + mmap).
+struct ChunkProgress {
+  std::uint64_t next_record = 0;     ///< records decoded or seeked past so far
+  std::uint64_t chunks_read = 0;     ///< chunks consumed (decoded or seeked)
+  std::uint64_t chunks_skipped = 0;  ///< chunks seeked past unread
+  void reset() { *this = ChunkProgress{}; }
+};
+
+/// The chunk-skipping seek loop shared by FileTraceSource and
+/// MmapTraceSource: for each whole chunk inside the remaining skip
+/// region, validates its header, calls `hop(ch)` to advance the backend
+/// past the stored payload (after which src.pos() must sit past it),
+/// and applies the frame-granular accounting — consumed counts the
+/// records, bits counts raw_bytes * 8, so compressed and raw containers
+/// agree on bits_consumed. Enforces the trailing-garbage check after
+/// the last chunk. Stops before a chunk the caller must decode
+/// partially; returns records skipped.
+std::uint64_t skip_whole_chunks(ByteSource& src, const ContainerHeader& hdr,
+                                std::uint64_t want, std::uint64_t file_size,
+                                const std::string& path,
+                                const std::function<void(const ChunkHeader&)>& hop,
+                                ChunkProgress& prog, std::uint64_t& consumed,
+                                std::uint64_t& bits);
+
+/// Decompresses a kChunkFlagCompressed payload into `scratch` (resized
+/// to ch.raw_bytes) and returns the bit-packed bytes to decode — the
+/// payload itself for raw chunks, so raw mmap'd chunks decode in place
+/// with zero copies. LZ corruption is converted to the container's
+/// std::runtime_error contract naming chunk `chunk_index`.
+[[nodiscard]] std::span<const std::uint8_t> chunk_raw_payload(
+    std::span<const std::uint8_t> payload, const ChunkHeader& ch,
+    std::uint64_t chunk_index, std::vector<std::uint8_t>& scratch,
+    const std::string& path);
 
 /// Appends `count` decoded records to `out`, converting the codec's
 /// std::out_of_range (truncated bit stream) into the container level's

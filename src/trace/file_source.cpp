@@ -34,35 +34,37 @@ void FileTraceSource::decode_batch(BitReader& br, std::uint64_t n) {
   buf_.clear();
   buf_pos_ = 0;
   buf_.reserve(n);  // no-op after the first chunk: capacity is reused
-  decode_records(br, n, decoded_from_file_, buf_, "load_trace", " in " + path_);
-  decoded_from_file_ += n;
+  decode_records(br, n, prog_.next_record, buf_, "load_trace", " in " + path_);
+  prog_.next_record += n;
   max_buffered_ = std::max(max_buffered_, buf_.size());
 }
 
 void FileTraceSource::refill() {
   if (hdr_.version == kContainerV1) {
     const std::uint64_t n = std::min<std::uint64_t>(
-        kDefaultChunkRecords, hdr_.record_count - decoded_from_file_);
+        kDefaultChunkRecords, hdr_.record_count - prog_.next_record);
     decode_batch(*reader_, n);
-    if (decoded_from_file_ == hdr_.record_count && reader_->bits_remaining() >= 8) {
+    if (prog_.next_record == hdr_.record_count && reader_->bits_remaining() >= 8) {
       throw std::runtime_error("load_trace: trailing garbage after record " +
                                std::to_string(hdr_.record_count) + " in " + path_);
     }
   } else {
-    const std::uint64_t remaining = hdr_.record_count - decoded_from_file_;
+    const std::uint64_t remaining = hdr_.record_count - prog_.next_record;
     const ChunkHeader ch = read_chunk_header(is_, hdr_, remaining, file_size_, path_);
     encoded_.resize(ch.payload_bytes);
     is_.read(reinterpret_cast<char*>(encoded_.data()),
              static_cast<std::streamsize>(encoded_.size()));
     if (!is_) throw std::runtime_error("load_trace: truncated chunk in " + path_);
-    BitReader br(encoded_);
+    // v3 compressed chunks expand into the reused raw_ scratch; raw
+    // chunks (all of v2) decode straight from the read buffer.
+    BitReader br(chunk_raw_payload(encoded_, ch, prog_.chunks_read, raw_, path_));
     decode_batch(br, ch.record_count);
     if (br.bits_remaining() >= 8) {
       throw std::runtime_error("load_trace: trailing garbage in chunk " +
-                               std::to_string(chunks_read_) + " of " + path_);
+                               std::to_string(prog_.chunks_read) + " of " + path_);
     }
-    ++chunks_read_;
-    if (chunks_read_ == hdr_.chunk_count &&
+    ++prog_.chunks_read;
+    if (prog_.chunks_read == hdr_.chunk_count &&
         static_cast<std::uint64_t>(is_.tellg()) != file_size_) {
       throw std::runtime_error("load_trace: trailing garbage after last chunk in " +
                                path_);
@@ -78,29 +80,21 @@ std::uint64_t FileTraceSource::skip(std::uint64_t n) {
     (void)next();
     ++done;
   }
-  if (hdr_.version == kContainerV2) {
-    // Whole chunks inside the remaining skip region: validate the 8-byte
-    // chunk header, then seek past the payload without reading it.
-    while (done < n && decoded_from_file_ < hdr_.record_count) {
-      const std::uint64_t remaining = hdr_.record_count - decoded_from_file_;
-      const std::uint64_t chunk_records =
-          std::min<std::uint64_t>(hdr_.chunk_records, remaining);
-      if (n - done < chunk_records) break;  // partial chunk: decode below
-      const ChunkHeader ch = read_chunk_header(is_, hdr_, remaining, file_size_, path_);
-      is_.seekg(static_cast<std::streamoff>(ch.payload_bytes), std::ios::cur);
-      if (!is_) throw std::runtime_error("load_trace: truncated chunk in " + path_);
-      decoded_from_file_ += ch.record_count;
-      consumed_ += ch.record_count;
-      bits_ += std::uint64_t{ch.payload_bytes} * 8;
-      done += ch.record_count;
-      ++chunks_read_;
-      ++chunks_skipped_;
-      if (chunks_read_ == hdr_.chunk_count &&
-          static_cast<std::uint64_t>(is_.tellg()) != file_size_) {
-        throw std::runtime_error("load_trace: trailing garbage after last chunk in " +
-                                 path_);
-      }
-    }
+  if (hdr_.version >= kContainerV2) {
+    // Whole chunks inside the remaining skip region: the shared seek
+    // loop validates each header; this backend hops with a relative
+    // seekg past the stored payload.
+    StreamByteSource src(is_);
+    done += skip_whole_chunks(src, hdr_, n - done, file_size_, path_,
+                              [this](const ChunkHeader& ch) {
+                                is_.seekg(static_cast<std::streamoff>(ch.payload_bytes),
+                                          std::ios::cur);
+                                if (!is_) {
+                                  throw std::runtime_error(
+                                      "load_trace: truncated chunk in " + path_);
+                                }
+                              },
+                              prog_, consumed_, bits_);
   }
   // Remainder (a partial chunk, or any v1 stream): decode and discard.
   while (done < n && peek() != nullptr) {
@@ -112,7 +106,7 @@ std::uint64_t FileTraceSource::skip(std::uint64_t n) {
 
 const TraceRecord* FileTraceSource::peek() {
   while (buf_pos_ == buf_.size()) {
-    if (decoded_from_file_ >= hdr_.record_count) return nullptr;
+    if (prog_.next_record >= hdr_.record_count) return nullptr;
     refill();
   }
   return &buf_[buf_pos_];
@@ -131,9 +125,7 @@ TraceRecord FileTraceSource::next() {
 void FileTraceSource::rewind() {
   consumed_ = 0;
   bits_ = 0;
-  decoded_from_file_ = 0;
-  chunks_read_ = 0;
-  chunks_skipped_ = 0;
+  prog_.reset();
   buf_.clear();
   buf_pos_ = 0;
   if (hdr_.version == kContainerV1) {

@@ -62,7 +62,7 @@ class FileTraceSource final : public TraceSource {
 
   /// Chunks seeked past (never decoded) by skip(); tests prove the
   /// chunk-skipping fast path actually engaged.
-  [[nodiscard]] std::uint64_t chunks_skipped() const { return chunks_skipped_; }
+  [[nodiscard]] std::uint64_t chunks_skipped() const { return prog_.chunks_skipped; }
 
  private:
   void refill();
@@ -75,11 +75,10 @@ class FileTraceSource final : public TraceSource {
   std::ifstream is_;
   ContainerHeader hdr_;
 
-  std::uint64_t decoded_from_file_ = 0;  ///< records decoded or seeked past so far
-  std::uint64_t chunks_read_ = 0;        ///< v2: chunks consumed (decoded or seeked)
-  std::uint64_t chunks_skipped_ = 0;     ///< v2: chunks seeked past unread
+  ChunkProgress prog_;  ///< records/chunks decoded or seeked so far
 
-  std::vector<std::uint8_t> encoded_;    ///< v2: current chunk; v1: whole payload
+  std::vector<std::uint8_t> encoded_;    ///< v2+: current chunk as stored; v1: whole payload
+  std::vector<std::uint8_t> raw_;        ///< v3: decompressed chunk scratch (reused)
   std::optional<BitReader> reader_;      ///< v1 only: persists across batches
 
   std::vector<TraceRecord> buf_;         ///< decoded records of the current chunk

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/lz.hpp"
 #include "trace/container.hpp"
 #include "trace/file_source.hpp"
 
@@ -31,7 +32,8 @@ std::vector<TraceRecord> Trace::decode_payload(std::span<const std::uint8_t> pay
   return out;
 }
 
-void save_trace(const Trace& t, const std::string& path, std::uint32_t chunk_records) {
+void save_trace(const Trace& t, const std::string& path, std::uint32_t chunk_records,
+                bool compress) {
   if (chunk_records == 0 || chunk_records > kMaxChunkRecords) {
     throw std::invalid_argument("save_trace: chunk_records out of range");
   }
@@ -52,7 +54,7 @@ void save_trace(const Trace& t, const std::string& path, std::uint32_t chunk_rec
   }
 
   os.write(kContainerMagic, sizeof kContainerMagic);
-  write_u32le(os, kContainerV2);
+  write_u32le(os, compress ? kContainerV3 : kContainerV2);
   write_u32le(os, static_cast<std::uint32_t>(t.name.size()));
   os.write(t.name.data(), static_cast<std::streamsize>(t.name.size()));
   write_u64le(os, t.start_pc);
@@ -66,11 +68,24 @@ void save_trace(const Trace& t, const std::string& path, std::uint32_t chunk_rec
     w.clear();
     for (std::uint64_t i = 0; i < n; ++i) encode(t.records[first + i], w);
     w.align_byte();
-    const auto& bytes = w.bytes();
+    const auto& raw = w.bytes();
     write_u32le(os, static_cast<std::uint32_t>(n));
-    write_u32le(os, static_cast<std::uint32_t>(bytes.size()));
-    os.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
+    if (compress) {
+      // Per-chunk decision: store compressed only when strictly smaller,
+      // so incompressible chunks never grow the file.
+      const std::vector<std::uint8_t> packed = lz::compress(raw);
+      const bool shrank = packed.size() < raw.size();
+      const auto& payload = shrank ? packed : raw;
+      write_u32le(os, shrank ? kChunkFlagCompressed : 0u);
+      write_u32le(os, static_cast<std::uint32_t>(raw.size()));
+      write_u32le(os, static_cast<std::uint32_t>(payload.size()));
+      os.write(reinterpret_cast<const char*>(payload.data()),
+               static_cast<std::streamsize>(payload.size()));
+    } else {
+      write_u32le(os, static_cast<std::uint32_t>(raw.size()));
+      os.write(reinterpret_cast<const char*>(raw.data()),
+               static_cast<std::streamsize>(raw.size()));
+    }
   }
   if (!os) throw std::runtime_error("save_trace: write failed for " + path);
 }

@@ -40,15 +40,19 @@ struct Trace {
       std::span<const std::uint8_t> payload, std::uint64_t count);
 };
 
-/// Writes the container-v2 chunked format (see docs/TRACE_FORMAT.md):
+/// Writes the chunked container format (see docs/TRACE_FORMAT.md):
 /// little-endian framing, `chunk_records` records per chunk so readers
 /// can stream or skip chunks without decoding the whole payload.
+/// `compress` selects container v3 with per-chunk LZ compression
+/// (common/lz.hpp); chunks that don't shrink are stored raw inside the
+/// v3 framing. The default stays the bit-stable v2 output.
 void save_trace(const Trace& t, const std::string& path,
-                std::uint32_t chunk_records = kDefaultChunkRecords);
+                std::uint32_t chunk_records = kDefaultChunkRecords,
+                bool compress = false);
 
-/// Reads container v1 and v2. Every header field is validated against
-/// the file size before use; corrupt files throw std::runtime_error
-/// naming the offending field.
+/// Reads container v1, v2 and v3. Every header field is validated
+/// against the file size before use; corrupt files throw
+/// std::runtime_error naming the offending field.
 [[nodiscard]] Trace load_trace(const std::string& path);
 
 }  // namespace resim::trace

@@ -1,0 +1,157 @@
+// In-tree LZ codec: round trips, determinism, and hostile-input safety.
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/lz.hpp"
+#include "common/rng.hpp"
+
+namespace resim::lz {
+namespace {
+
+std::vector<std::uint8_t> roundtrip(const std::vector<std::uint8_t>& in) {
+  const auto packed = compress(in);
+  std::vector<std::uint8_t> out(in.size());
+  decompress(packed, out);
+  return out;
+}
+
+TEST(Lz, EmptyInput) {
+  const std::vector<std::uint8_t> empty;
+  const auto packed = compress(empty);
+  EXPECT_FALSE(packed.empty());  // the final literals-only token
+  std::vector<std::uint8_t> out;
+  decompress(packed, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Lz, ShortLiteralOnlyInput) {
+  const std::vector<std::uint8_t> in = {1, 2, 3};
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Lz, LongRunCompressesHard) {
+  const std::vector<std::uint8_t> in(100000, 0x5A);
+  const auto packed = compress(in);
+  EXPECT_LT(packed.size(), in.size() / 100);  // overlapping-match run coding
+  std::vector<std::uint8_t> out(in.size());
+  decompress(packed, out);
+  EXPECT_EQ(out, in);
+}
+
+TEST(Lz, RepeatedPatternRoundTrip) {
+  // Period 37 (not byte-power-aligned) across many repeats, the shape of
+  // a loopy trace payload.
+  std::vector<std::uint8_t> in;
+  for (int rep = 0; rep < 800; ++rep) {
+    for (int i = 0; i < 37; ++i) in.push_back(static_cast<std::uint8_t>(i * 7 + 3));
+  }
+  const auto packed = compress(in);
+  EXPECT_LT(packed.size(), in.size() / 4);
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Lz, IncompressibleRandomRoundTrip) {
+  Rng rng(0xC0FFEE);
+  std::vector<std::uint8_t> in(50000);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next());
+  const auto packed = compress(in);
+  EXPECT_LE(packed.size(), compress_bound(in.size()));
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Lz, MixedStructureRoundTrip) {
+  // Compressible stretches interleaved with noise; matches end at
+  // structure boundaries.
+  Rng rng(42);
+  std::vector<std::uint8_t> in;
+  for (int block = 0; block < 50; ++block) {
+    for (int i = 0; i < 300; ++i) in.push_back(static_cast<std::uint8_t>(block));
+    for (int i = 0; i < 100; ++i) in.push_back(static_cast<std::uint8_t>(rng.next()));
+  }
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Lz, DeterministicOutput) {
+  // Sweep artifacts are byte-compared across hosts; the compressor must
+  // be a pure function of its input.
+  Rng rng(7);
+  std::vector<std::uint8_t> in(20000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>(i % 251 + (rng.chance(1, 16) ? rng.next() : 0));
+  }
+  EXPECT_EQ(compress(in), compress(in));
+}
+
+TEST(Lz, MatchesFarApartWithinWindow) {
+  // Two copies ~60000 bytes apart: still inside the u16 offset window.
+  Rng rng(9);
+  std::vector<std::uint8_t> chunk(2000);
+  for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> in = chunk;
+  in.resize(60000, 0);
+  in.insert(in.end(), chunk.begin(), chunk.end());
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+// ---- hostile input --------------------------------------------------------
+
+void expect_corrupt(const std::vector<std::uint8_t>& packed, std::size_t out_size) {
+  std::vector<std::uint8_t> out(out_size);
+  EXPECT_THROW(decompress(packed, out), std::runtime_error);
+}
+
+TEST(Lz, TruncatedStreamRejected) {
+  std::vector<std::uint8_t> in(5000, 1);
+  in[100] = 2;  // force more than one sequence
+  auto packed = compress(in);
+  for (const std::size_t cut : {packed.size() - 1, packed.size() / 2, std::size_t{1}}) {
+    auto trunc = packed;
+    trunc.resize(cut);
+    expect_corrupt(trunc, in.size());
+  }
+}
+
+TEST(Lz, EmptyStreamRejected) { expect_corrupt({}, 0); }
+
+TEST(Lz, ZeroOffsetRejected) {
+  // token: 4 literals + match; offset bytes forged to zero.
+  std::vector<std::uint8_t> packed = {0x40, 'a', 'b', 'c', 'd', 0x00, 0x00, 0x00};
+  expect_corrupt(packed, 32);
+}
+
+TEST(Lz, OffsetBeforeStartRejected) {
+  // 1 literal then a match reaching 9 bytes back.
+  std::vector<std::uint8_t> packed = {0x10, 'x', 0x09, 0x00, 0x00};
+  expect_corrupt(packed, 32);
+}
+
+TEST(Lz, OutputOverrunRejected) {
+  const std::vector<std::uint8_t> in(1000, 7);
+  const auto packed = compress(in);
+  expect_corrupt(packed, in.size() - 1);  // declared size too small
+}
+
+TEST(Lz, OutputUnderrunRejected) {
+  const std::vector<std::uint8_t> in(1000, 7);
+  const auto packed = compress(in);
+  expect_corrupt(packed, in.size() + 1);  // declared size too large
+}
+
+TEST(Lz, FinalSequenceWithMatchNibbleRejected) {
+  // A stream ending right after literals whose token still names a match.
+  std::vector<std::uint8_t> packed = {0x21, 'a', 'b'};
+  expect_corrupt(packed, 2);
+}
+
+TEST(Lz, UnterminatedLengthExtensionRejected) {
+  // Literal nibble 15 with every extension byte 255 and then EOF.
+  std::vector<std::uint8_t> packed = {0xF0, 255, 255, 255};
+  expect_corrupt(packed, 4096);
+}
+
+}  // namespace
+}  // namespace resim::lz

@@ -1,5 +1,7 @@
-// Trace record wire format: exact sizes, round-trips, file container.
+// Trace record wire format: exact sizes, round-trips, file container
+// (v1 compat, v2 chunked, v3 per-chunk compressed), corruption rejection.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
@@ -194,7 +196,7 @@ TEST(TraceFile, MultiChunkRoundTrip) {
   std::remove(path.c_str());
 }
 
-// ---- corrupt containers ---------------------------------------------------
+// ---- corruption helpers ---------------------------------------------------
 
 namespace corrupt {
 
@@ -222,6 +224,196 @@ void expect_rejected(const std::string& path, const std::string& field) {
 }
 
 }  // namespace corrupt
+
+// ---- container v3 (per-chunk compression) ---------------------------------
+
+namespace v3 {
+
+/// Highly repetitive records so every chunk actually engages the LZ path
+/// (random records can legitimately store raw inside v3).
+Trace loopy_trace(int n) {
+  Trace t;
+  t.name = "loopy";
+  t.start_pc = 0x400000;
+  for (int i = 0; i < n; ++i) {
+    switch (i % 3) {
+      case 0:
+        t.records.push_back(TraceRecord::other(OtherFu::kAlu, 1, 2, 3));
+        break;
+      case 1:
+        t.records.push_back(TraceRecord::mem(false, 0x1000, 4, 5, kNoReg));
+        break;
+      default:
+        t.records.push_back(TraceRecord::branch(isa::CtrlType::kCond, true, 0x400010,
+                                                0x400000, 6, 7));
+        break;
+    }
+  }
+  return t;
+}
+
+/// File offset of the first chunk header (fixed header + name).
+std::uint64_t first_chunk_off(const Trace& t) {
+  return 4 + 4 + 4 + t.name.size() + 8 + 8 + 4 + 4;
+}
+
+void poke(const std::string& path, std::uint64_t off, const void* bytes, std::size_t n) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(off));
+  f.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(n));
+}
+
+void poke_u32(const std::string& path, std::uint64_t off, std::uint32_t v) {
+  char b[4];
+  for (unsigned i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  poke(path, off, b, 4);
+}
+
+}  // namespace v3
+
+TEST(TraceFileV3, CompressedRoundTripIsByteIdentityOfDecodedRecords) {
+  const Trace t = v3::loopy_trace(3000);
+  const std::string raw_path = ::testing::TempDir() + "/v3_raw.rsim";
+  const std::string lz_path = ::testing::TempDir() + "/v3_lz.rsim";
+  save_trace(t, raw_path, /*chunk_records=*/512);
+  save_trace(t, lz_path, /*chunk_records=*/512, /*compress=*/true);
+
+  // The compressed container is materially smaller on loopy input...
+  EXPECT_LT(std::ifstream(lz_path, std::ios::ate | std::ios::binary).tellg(),
+            std::ifstream(raw_path, std::ios::ate | std::ios::binary).tellg() / 2);
+
+  // ...and decodes to exactly the same records as the raw container.
+  const Trace raw = load_trace(raw_path);
+  const Trace lz = load_trace(lz_path);
+  ASSERT_EQ(lz.records.size(), t.records.size());
+  EXPECT_EQ(lz.name, t.name);
+  EXPECT_EQ(lz.start_pc, t.start_pc);
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    ASSERT_TRUE(records_equal(lz.records[i], t.records[i]));
+    ASSERT_TRUE(records_equal(lz.records[i], raw.records[i]));
+  }
+  std::remove(raw_path.c_str());
+  std::remove(lz_path.c_str());
+}
+
+TEST(TraceFileV3, RandomRecordsRoundTripEvenWhenChunksStayRaw) {
+  // Random records are near-incompressible; v3 must store such chunks
+  // raw (flags 0) and still round-trip.
+  Rng rng(31);
+  Trace t;
+  t.name = "rnd";
+  for (int i = 0; i < 700; ++i) t.records.push_back(random_record(rng));
+  const std::string path = ::testing::TempDir() + "/v3_rnd.rsim";
+  save_trace(t, path, /*chunk_records=*/128, /*compress=*/true);
+  const Trace u = load_trace(path);
+  ASSERT_EQ(u.records.size(), t.records.size());
+  for (std::size_t i = 0; i < u.records.size(); ++i) {
+    ASSERT_TRUE(records_equal(t.records[i], u.records[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileV3, EmptyTraceRoundTrip) {
+  Trace t;
+  t.name = "empty3";
+  const std::string path = ::testing::TempDir() + "/v3_empty.rsim";
+  save_trace(t, path, kDefaultChunkRecords, /*compress=*/true);
+  const Trace u = load_trace(path);
+  EXPECT_EQ(u.name, "empty3");
+  EXPECT_TRUE(u.records.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileV3, SaveTraceRejectsZeroChunkRecords) {
+  // Regression for `resim_cli gen --chunk 0`: a zero chunk size must die
+  // loudly before any chunk-count arithmetic divides by it.
+  const Trace t = v3::loopy_trace(10);
+  const std::string path = ::testing::TempDir() + "/v3_chunk0.rsim";
+  EXPECT_THROW(save_trace(t, path, /*chunk_records=*/0), std::invalid_argument);
+  EXPECT_THROW(save_trace(t, path, /*chunk_records=*/0, /*compress=*/true),
+               std::invalid_argument);
+  EXPECT_THROW(save_trace(t, path, kMaxChunkRecords + 1), std::invalid_argument);
+}
+
+TEST(TraceFileV3, UnknownChunkFlagsRejected) {
+  const Trace t = v3::loopy_trace(600);
+  const std::string path = ::testing::TempDir() + "/v3_flags.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+  v3::poke_u32(path, v3::first_chunk_off(t) + 4, 0x4u);  // unknown flag bit
+  corrupt::expect_rejected(path, "chunk flags");
+}
+
+TEST(TraceFileV3, OversizedCompressedBytesRejected) {
+  // compressed_bytes claiming more bytes than raw_bytes (or than the
+  // file holds) is corruption, named after the field.
+  const Trace t = v3::loopy_trace(600);
+  const std::string path = ::testing::TempDir() + "/v3_oversized.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+  v3::poke_u32(path, v3::first_chunk_off(t) + 12, 0x0FFF'FFFFu);
+  corrupt::expect_rejected(path, "compressed_bytes");
+}
+
+TEST(TraceFileV3, CompressedBytesNotSmallerThanRawRejected) {
+  // The writer only stores compressed chunks that strictly shrank;
+  // compressed_bytes == raw_bytes under the compressed flag is forged.
+  const Trace t = v3::loopy_trace(600);
+  const std::string path = ::testing::TempDir() + "/v3_eq.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+  // Read back the first chunk's raw_bytes, then forge compressed_bytes
+  // to the same value.
+  std::uint32_t raw_bytes = 0;
+  {
+    std::ifstream f(path, std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(v3::first_chunk_off(t) + 8));
+    raw_bytes = read_u32le(f, "raw_bytes");
+  }
+  v3::poke_u32(path, v3::first_chunk_off(t) + 12, raw_bytes);
+  corrupt::expect_rejected(path, "compressed_bytes");
+}
+
+TEST(TraceFileV3, RawBytesInconsistentWithRecordCountRejected) {
+  const Trace t = v3::loopy_trace(600);
+  const std::string path = ::testing::TempDir() + "/v3_rawbytes.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+  v3::poke_u32(path, v3::first_chunk_off(t) + 8, 3u);  // < min for 512 records
+  corrupt::expect_rejected(path, "raw_bytes");
+}
+
+TEST(TraceFileV3, TruncatedCompressedPayloadRejected) {
+  const Trace t = v3::loopy_trace(2000);
+  const std::string path = ::testing::TempDir() + "/v3_trunc.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+  // Chop the file mid-way through the last chunk's payload.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 7);
+  EXPECT_THROW((void)load_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileV3, CorruptCompressedPayloadRejected) {
+  const Trace t = v3::loopy_trace(600);
+  const std::string path = ::testing::TempDir() + "/v3_garble.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+  // Overwrite the start of the first compressed payload with a sequence
+  // whose match reaches before the start of the output: a deterministic
+  // LZ-level corruption.
+  const unsigned char evil[] = {0x10, 'x', 0x09, 0x00, 0x00};
+  v3::poke(path, v3::first_chunk_off(t) + 16, evil, sizeof evil);
+  corrupt::expect_rejected(path, "corrupt compressed payload");
+}
+
+TEST(TraceFileV3, TrailingGarbageRejected) {
+  const Trace t = v3::loopy_trace(600);
+  const std::string path = ::testing::TempDir() + "/v3_trailing.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.write("JUNKJUNK", 8);
+  }
+  corrupt::expect_rejected(path, "trailing garbage");
+}
+
+// ---- corrupt containers (v1/v2) -------------------------------------------
 
 TEST(TraceFile, V1ContainerStillLoads) {
   const Trace t = corrupt::small_trace(3, 200);

@@ -2,7 +2,9 @@
 // O(chunk) memory, rewind, TraceWindow regions, and factory-built
 // sources in the batch runner.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -12,6 +14,7 @@
 #include "core/engine.hpp"
 #include "driver/batch_runner.hpp"
 #include "trace/file_source.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/tracegen.hpp"
 #include "trace/window.hpp"
 #include "trace/writer.hpp"
@@ -361,6 +364,176 @@ TEST(TraceWindow, LayersOverFileTraceSource) {
   std::remove(path.c_str());
 }
 
+// ---- MmapTraceSource ------------------------------------------------------
+
+class MmapVsVector : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MmapVsVector, RecordStreamMatchesVectorSource) {
+  const bool compress = GetParam();
+  const Trace t = generate("gzip", 6000);
+  const std::string path = temp_path(compress ? "mmap_lz.rsim" : "mmap_raw.rsim");
+  save_trace(t, path, /*chunk_records=*/512, compress);
+
+  MmapTraceSource msrc(path);
+  EXPECT_EQ(msrc.trace_name(), t.name);
+  EXPECT_EQ(msrc.start_pc(), t.start_pc);
+  EXPECT_EQ(msrc.total_records(), t.records.size());
+  EXPECT_EQ(msrc.container_version(), compress ? kContainerV3 : kContainerV2);
+
+  VectorTraceSource vsrc(t);
+  while (vsrc.peek() != nullptr) {
+    ASSERT_NE(msrc.peek(), nullptr);
+    ASSERT_TRUE(records_equal(msrc.next(), vsrc.next()));
+  }
+  EXPECT_EQ(msrc.peek(), nullptr);
+  EXPECT_EQ(msrc.records_consumed(), vsrc.records_consumed());
+  EXPECT_EQ(msrc.bits_consumed(), vsrc.bits_consumed());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(RawAndCompressed, MmapVsVector, ::testing::Bool(),
+                         [](const auto& info) { return info.param ? "v3lz" : "v2raw"; });
+
+TEST(MmapTraceSource, ReadsLegacyV1Container) {
+  const Trace t = generate("vpr", 2000);
+  const std::string path = temp_path("mmap_v1.rsim");
+  testutil::write_v1(path, t, t.records.size());
+  MmapTraceSource src(path);
+  EXPECT_EQ(src.container_version(), kContainerV1);
+  std::uint64_t n = 0;
+  while (src.peek() != nullptr) {
+    ASSERT_TRUE(records_equal(src.next(), t.records[n]));
+    ++n;
+  }
+  EXPECT_EQ(n, t.records.size());
+  std::remove(path.c_str());
+}
+
+TEST(MmapTraceSource, NextPastEndThrowsAndEmptyTraceLoads) {
+  Trace t;
+  t.name = "empty";
+  const std::string path = temp_path("mmap_empty.rsim");
+  save_trace(t, path, kDefaultChunkRecords, /*compress=*/true);
+  MmapTraceSource src(path);
+  EXPECT_EQ(src.peek(), nullptr);
+  EXPECT_THROW((void)src.next(), std::out_of_range);
+  std::remove(path.c_str());
+}
+
+TEST(MmapTraceSource, RewindRestartsAndResetsCounters) {
+  const Trace t = generate("parser", 3000);
+  const std::string path = temp_path("mmap_rewind.rsim");
+  save_trace(t, path, /*chunk_records=*/256, /*compress=*/true);
+
+  MmapTraceSource src(path);
+  for (int i = 0; i < 700; ++i) (void)src.next();  // stop mid-chunk
+  src.rewind();
+  EXPECT_EQ(src.records_consumed(), 0u);
+  EXPECT_EQ(src.bits_consumed(), 0u);
+  std::uint64_t n = 0;
+  while (src.peek() != nullptr) {
+    ASSERT_TRUE(records_equal(src.next(), t.records[n]));
+    ++n;
+  }
+  EXPECT_EQ(n, t.records.size());
+  std::remove(path.c_str());
+}
+
+TEST(MmapTraceSource, MissingFileRejected) {
+  EXPECT_THROW(MmapTraceSource("/nonexistent/path/to.trace"), std::runtime_error);
+}
+
+// ---- chunk-skipping seek over compressed chunks ---------------------------
+
+class CompressedChunkSkip : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CompressedChunkSkip, SkipSeeksCompressedChunksUnread) {
+  // skip() must hop whole compressed chunks via their compressed_bytes
+  // framing without ever decompressing them, on both file backends.
+  const bool use_mmap = GetParam();
+  const Trace t = chunked_trace("gzip");
+  const std::string path = temp_path("lz_skip.rsim");
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+
+  std::unique_ptr<TraceSource> src;
+  std::function<std::uint64_t()> skipped;
+  if (use_mmap) {
+    auto m = std::make_unique<MmapTraceSource>(path);
+    skipped = [p = m.get()] { return p->chunks_skipped(); };
+    src = std::move(m);
+  } else {
+    auto f = std::make_unique<FileTraceSource>(path);
+    skipped = [p = f.get()] { return p->chunks_skipped(); };
+    src = std::move(f);
+  }
+
+  EXPECT_EQ(src->skip(2100), 2100u);
+  EXPECT_EQ(src->records_consumed(), 2100u);
+  EXPECT_EQ(skipped(), 4u);  // all four full chunks seeked, never inflated
+  for (std::size_t i = 2100; i < t.records.size(); ++i) {
+    ASSERT_NE(src->peek(), nullptr);
+    ASSERT_TRUE(records_equal(src->next(), t.records[i]));
+  }
+  EXPECT_EQ(src->peek(), nullptr);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CompressedChunkSkip, ::testing::Bool(),
+                         [](const auto& info) { return info.param ? "mmap" : "stream"; });
+
+TEST(TraceWindow, CompressedMmapWindowedSimBitIdentical) {
+  const auto cfg = core::CoreConfig::paper_4wide_perfect();
+  Trace t;
+  {
+    TraceGenConfig g;
+    g.max_insts = 4000;
+    g.bp = cfg.bp;
+    g.wrong_path_block = cfg.wrong_path_block();
+    t = TraceGenerator(workload::make_workload("gzip"), g).generate();
+  }
+  ASSERT_GE(t.records.size(), 2348u);
+  t.records.resize(2348);
+  const std::string path = temp_path("mmap_window_lz.rsim");
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+
+  VectorTraceSource vbase(t);
+  TraceWindow vwin(vbase, /*skip=*/2100, /*warmup=*/0, TraceWindow::kAll);
+  const auto rv = core::ReSimEngine(cfg, vwin).run();
+
+  MmapTraceSource mbase(path);
+  TraceWindow mwin(mbase, /*skip=*/2100, /*warmup=*/0, TraceWindow::kAll);
+  const auto rm = core::ReSimEngine(cfg, mwin).run();
+
+  EXPECT_EQ(rm.committed, rv.committed);
+  EXPECT_EQ(rm.major_cycles, rv.major_cycles);
+  EXPECT_EQ(rm.minor_cycles, rv.minor_cycles);
+  EXPECT_EQ(rm.trace_records, rv.trace_records);
+  EXPECT_EQ(rm.trace_bits, rv.trace_bits);
+  EXPECT_EQ(mbase.chunks_skipped(), 4u);
+  std::remove(path.c_str());
+}
+
+// ---- compression ratio on suite workloads ---------------------------------
+
+TEST(TraceFileV3, SuiteWorkloadCompressesAtLeastTwofold) {
+  // The acceptance criterion: compressed .rsim for suite workloads at
+  // least 2x smaller than v2. Deterministic (seeded tracegen), so this
+  // is a stable property of codec + workload, not of the host.
+  for (const auto& name : workload::suite_names()) {
+    const Trace t = generate(name, 20000);
+    const std::string raw_path = temp_path("ratio_raw_" + name + ".rsim");
+    const std::string lz_path = temp_path("ratio_lz_" + name + ".rsim");
+    save_trace(t, raw_path);
+    save_trace(t, lz_path, kDefaultChunkRecords, /*compress=*/true);
+    const auto raw_size = std::filesystem::file_size(raw_path);
+    const auto lz_size = std::filesystem::file_size(lz_path);
+    EXPECT_GE(raw_size, 2 * lz_size)
+        << name << ": v2 " << raw_size << " bytes, v3 " << lz_size << " bytes";
+    std::remove(raw_path.c_str());
+    std::remove(lz_path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace resim::trace
 
@@ -456,6 +629,89 @@ TEST(BatchRunnerStream, NullFactoryResultThrows) {
   SimJob job = SimJob::sweep_point("bad", "gzip", core::CoreConfig::paper_4wide_perfect(), 100);
   job.source = []() -> std::unique_ptr<trace::TraceSource> { return nullptr; };
   EXPECT_THROW((void)BatchRunner::run_one(job), std::runtime_error);
+}
+
+// ---- trace.backend dispatch ------------------------------------------------
+
+TEST(BatchRunnerBackend, EveryBackendYieldsIdenticalCsvRows) {
+  // The tentpole contract: trace.backend is a host knob, never a result
+  // knob. Generated jobs and trace_path jobs (raw v2 and compressed v3)
+  // must produce byte-identical CSV rows on memory, stream and mmap, at
+  // any thread count.
+  const std::uint64_t insts = 4000;
+  std::vector<SimJob> jobs;
+  for (unsigned width : {2u, 4u}) {
+    auto cfg = core::CoreConfig::paper_4wide_perfect();
+    cfg.width = width;
+    cfg.mem_read_ports = width - 1;
+    jobs.push_back(SimJob::sweep_point("w" + std::to_string(width), "gzip", cfg, insts));
+  }
+  const auto baseline = BatchRunner(1).run(jobs);
+
+  const std::string raw_path = ::testing::TempDir() + "/backend_raw.rsim";
+  const std::string lz_path = ::testing::TempDir() + "/backend_lz.rsim";
+  {
+    const trace::Trace t =
+        trace::TraceGenerator(workload::make_workload("gzip"), jobs[0].gen).generate();
+    trace::save_trace(t, raw_path);
+    trace::save_trace(t, lz_path, trace::kDefaultChunkRecords, /*compress=*/true);
+  }
+
+  for (const auto backend : {core::TraceBackend::kMemory, core::TraceBackend::kStream,
+                             core::TraceBackend::kMmap}) {
+    for (const std::string& path : {std::string(), raw_path, lz_path}) {
+      std::vector<SimJob> variant = jobs;
+      for (auto& job : variant) {
+        job.config.trace_backend = backend;
+        job.trace_path = path;
+      }
+      for (unsigned threads : {1u, 4u}) {
+        const auto results = BatchRunner(threads).run(variant);
+        ASSERT_EQ(results.size(), baseline.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          // The config CSV column set carries no backend column, so rows
+          // must match the memory baseline byte for byte.
+          EXPECT_EQ(csv_row(results[i]), csv_row(baseline[i]))
+              << "backend " << static_cast<int>(backend) << " path '" << path
+              << "' threads " << threads;
+        }
+      }
+    }
+  }
+  std::remove(raw_path.c_str());
+  std::remove(lz_path.c_str());
+}
+
+TEST(BatchRunnerBackend, PreparedTraceJobRoundTripsUnderFileBackends) {
+  // A shared decoded trace with a non-memory backend round-trips through
+  // a private temp file; results must be unchanged (lossless codec).
+  trace::TraceGenConfig g;
+  g.max_insts = 3000;
+  auto shared = std::make_shared<trace::Trace>(
+      trace::TraceGenerator(workload::make_workload("vpr"), g).generate());
+  SimJob job;
+  job.label = "prepared";
+  job.workload = shared->name;
+  job.config = core::CoreConfig::paper_4wide_perfect();
+  job.trace = shared;
+  const auto want = BatchRunner::run_one(job);
+  for (const auto backend : {core::TraceBackend::kStream, core::TraceBackend::kMmap}) {
+    SimJob j = job;
+    j.config.trace_backend = backend;
+    const auto got = BatchRunner::run_one(j);
+    EXPECT_EQ(got.result.committed, want.result.committed);
+    EXPECT_EQ(got.result.major_cycles, want.result.major_cycles);
+    EXPECT_EQ(got.result.trace_records, want.result.trace_records);
+    EXPECT_EQ(got.result.trace_bits, want.result.trace_bits);
+  }
+}
+
+TEST(BatchRunnerBackend, BackendGenSourceRejectsMemory) {
+  trace::TraceGenConfig g;
+  g.max_insts = 100;
+  EXPECT_THROW((void)backend_gen_source("gzip", g, "/tmp/x.rsim",
+                                        core::TraceBackend::kMemory),
+               std::invalid_argument);
 }
 
 }  // namespace

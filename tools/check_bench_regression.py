@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for ReSim's BENCH_*.json artifacts.
+
+Compares a freshly measured bench JSON against the checked-in baseline
+under bench/baselines/ and fails (exit 1) when any throughput metric
+drops by more than --max-drop-pct percent. Stdlib only.
+
+Understood schemas (see docs/CI.md):
+  BENCH_sweep.json     micro_batch_scaling: jobs_per_sec per thread count
+                       (compared on the best point, so a runner with a
+                       different core count still compares peak rates)
+  BENCH_trace_io.json  micro_trace_stream: mb_per_sec per backend, plus
+                       compression_ratio and the identity_ok flag
+
+Usage:
+  tools/check_bench_regression.py --baseline bench/baselines/BENCH_sweep.json \
+      --current BENCH_sweep.json [--max-drop-pct 25]
+
+Baselines were measured on a specific machine; CI runners drift. The gate
+is therefore a coarse tripwire, and a PR labeled `perf-exempt` skips it
+(the workflow checks the label, not this script).
+
+Refreshing a baseline (docs/CI.md): run the bench on a quiet machine,
+then derate its throughput metrics so runner jitter cannot trip the gate:
+
+  tools/check_bench_regression.py --rebaseline \
+      --current BENCH_sweep.json --out bench/baselines/BENCH_sweep.json \
+      [--derate 0.7]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"PERF GATE: FAIL: {msg}")
+    return 1
+
+
+def metrics_of(doc):
+    """Extract {metric_name: value} throughput metrics from a bench JSON."""
+    out = {}
+    if "points" in doc:  # micro_batch_scaling
+        best = max((p["jobs_per_sec"] for p in doc["points"]), default=0.0)
+        out["jobs_per_sec(best)"] = best
+    if "backends" in doc:  # micro_trace_stream
+        for b in doc["backends"]:
+            out[f"mb_per_sec({b['name']})"] = b["mb_per_sec"]
+        if "compression_ratio" in doc:
+            out["compression_ratio"] = doc["compression_ratio"]
+    return out
+
+
+def rebaseline(current_path, out_path, derate):
+    """Write a derated copy of a measured bench JSON as the new baseline."""
+    with open(current_path) as f:
+        doc = json.load(f)
+    for b in doc.get("backends", []):
+        b["mb_per_sec"] = round(b["mb_per_sec"] * derate, 6)
+        b["mrecords_per_sec"] = round(b["mrecords_per_sec"] * derate, 6)
+    for p in doc.get("points", []):
+        p["jobs_per_sec"] = round(p["jobs_per_sec"] * derate, 6)
+    doc["derated"] = derate
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"PERF GATE: wrote {out_path} (throughput metrics derated to {derate:g}x)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline")
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--max-drop-pct", type=float, default=25.0)
+    ap.add_argument("--rebaseline", action="store_true",
+                    help="write a derated baseline from --current instead of comparing")
+    ap.add_argument("--out", help="output path for --rebaseline")
+    ap.add_argument("--derate", type=float, default=0.7)
+    args = ap.parse_args()
+
+    if args.rebaseline:
+        if not args.out:
+            ap.error("--rebaseline requires --out")
+        return rebaseline(args.current, args.out, args.derate)
+    if not args.baseline:
+        ap.error("--baseline is required unless --rebaseline")
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    if cur.get("identity_ok") is False:
+        return fail("bench reported identity_ok=false (backends disagree)")
+
+    base_m = metrics_of(base)
+    cur_m = metrics_of(cur)
+    if not base_m:
+        return fail(f"no known metrics in baseline {args.baseline}")
+
+    worst = []
+    for name, base_v in sorted(base_m.items()):
+        cur_v = cur_m.get(name)
+        if cur_v is None:
+            worst.append((name, base_v, None, None))
+            continue
+        drop = 0.0 if base_v <= 0 else (base_v - cur_v) / base_v * 100.0
+        status = "OK" if drop <= args.max_drop_pct else "REGRESSED"
+        print(f"PERF GATE: {name}: baseline {base_v:.3f} -> current {cur_v:.3f} "
+              f"({-drop:+.1f}%) {status}")
+        if drop > args.max_drop_pct:
+            worst.append((name, base_v, cur_v, drop))
+
+    if worst:
+        for name, base_v, cur_v, drop in worst:
+            if cur_v is None:
+                print(f"PERF GATE: metric {name} missing from current run")
+            else:
+                print(f"PERF GATE: {name} dropped {drop:.1f}% "
+                      f"(limit {args.max_drop_pct:.0f}%)")
+        return fail(f"{len(worst)} metric(s) regressed or missing; "
+                    "label the PR `perf-exempt` to override (docs/CI.md)")
+
+    print("PERF GATE: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

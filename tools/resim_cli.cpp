@@ -1,12 +1,14 @@
 // resim_cli — command-line front end, SimpleScalar-style.
 //
 //   resim_cli gen   --bench gzip --insts 1000000 --out gzip.rsim [--bp 2lev]
+//                   [--chunk N] [--compress]
 //   resim_cli sim   --trace gzip.rsim [--config FILE] [--set key=value]...
 //                   [--width 4 --rob 16 --lsq 8] [--variant optimized]
 //                   [--mem perfect|l1|l2] [--bp 2lev|...] [--device xc4vlx40]
 //                   [--report] [--json FILE]
-//                   [--stream] [--skip N --warmup N --max-records N]
-//   resim_cli stats --trace gzip.rsim [--stream]
+//                   [--backend memory|stream|mmap] [--stream]
+//                   [--skip N --warmup N --max-records N]
+//   resim_cli stats --trace gzip.rsim [--backend memory|stream|mmap]
 //   resim_cli sweep --spec FILE [-j N] [--config FILE] [--set k=v]...
 //                   [--out FILE] [--json FILE] [--csv-full FILE]
 //   resim_cli params [--config FILE] [--set k=v]... [--save FILE] [--markdown]
@@ -57,7 +59,7 @@ bool is_flag_token(const std::string& s) {
 
 /// The only flags that take no value; every other flag requires one.
 bool is_boolean_flag(const std::string& key) {
-  return key == "report" || key == "stream" || key == "markdown";
+  return key == "report" || key == "stream" || key == "markdown" || key == "compress";
 }
 
 Args parse_args(int argc, char** argv, int first) {
@@ -118,6 +120,9 @@ core::CoreConfig config_from(const Args& a) {
   if (has(a, "variant")) cfg.variant = config::variant_of(get(a, "variant", ""));
   if (has(a, "bp")) cfg.bp.kind = config::dir_kind_of(get(a, "bp", ""));
   if (has(a, "mem")) cfg.mem = config::memsys_of(get(a, "mem", ""));
+  // --stream is shorthand for --backend stream (the pre-backend flag).
+  if (has(a, "stream")) cfg.trace_backend = core::TraceBackend::kStream;
+  if (has(a, "backend")) cfg.trace_backend = config::trace_backend_of(get(a, "backend", ""));
 
   if (!declarative) {
     if (!has(a, "ifq")) cfg.ifq_size = std::max(cfg.ifq_size, cfg.width);
@@ -135,35 +140,68 @@ int cmd_gen(const Args& a) {
   trace::TraceGenConfig g;
   g.max_insts = get_u64(a, "insts", 1'000'000);
   g.bp.kind = config::dir_kind_of(get(a, "bp", "2lev"));
-  trace::TraceGenerator gen(workload::make_workload(bench), g);
-  const trace::Trace t = gen.generate();
   const std::uint64_t chunk = get_u64(a, "chunk", trace::kDefaultChunkRecords);
   if (chunk == 0 || chunk > trace::kMaxChunkRecords) {
+    // Guard before any work: chunk_records sizes every chunk-count
+    // division downstream, so 0 must die here, loudly, not as a
+    // divide-by-zero or a headerless file.
     throw std::invalid_argument("--chunk: must be in [1, " +
                                 std::to_string(trace::kMaxChunkRecords) + "]");
   }
-  trace::save_trace(t, out, static_cast<std::uint32_t>(chunk));
+  trace::TraceGenerator gen(workload::make_workload(bench), g);
+  const trace::Trace t = gen.generate();
+  const bool compress = has(a, "compress");
+  trace::save_trace(t, out, static_cast<std::uint32_t>(chunk), compress);
   std::cout << "wrote " << out << ": " << trace::analyze(t).summary() << '\n';
+  if (compress) {
+    // Ratio defined exactly as the CI gate and the benches define it:
+    // the bytes an uncompressed v2 container of this trace would take,
+    // over the v3 file actually written.
+    std::uint64_t v2_bytes = 4 + 4 + 4 + t.name.size() + 8 + 8 + 4 + 4;
+    for (std::uint64_t first = 0; first < t.records.size(); first += chunk) {
+      const std::uint64_t n = std::min<std::uint64_t>(chunk, t.records.size() - first);
+      std::uint64_t bits = 0;
+      for (std::uint64_t i = 0; i < n; ++i) bits += trace::encoded_bits(t.records[first + i]);
+      v2_bytes += 8 + (bits + 7) / 8;  // chunk header + byte-aligned payload
+    }
+    const auto file_bytes = std::filesystem::file_size(out);
+    std::cout << "compressed (container v3): " << file_bytes << " bytes on disk vs "
+              << v2_bytes << " uncompressed (v2), "
+              << static_cast<double>(v2_bytes) / static_cast<double>(file_bytes)
+              << "x smaller\n";
+  }
   return 0;
 }
 
 int cmd_stats(const Args& a) {
   // stats itself is configuration-independent, but --config/--set are
   // still resolved and validated so the command doubles as a config
-  // checker next to a trace inspection.
-  if (has(a, "config") || !a.sets.empty()) (void)config_from(a);
+  // checker next to a trace inspection. The resolved trace.backend also
+  // drives how this very inspection reads the file.
+  const auto cfg = config_from(a);
   const std::string path = get(a, "trace", "trace.rsim");
   std::string name;
   trace::TraceStats s;
-  if (has(a, "stream")) {
-    // Constant-memory pass: one decoded chunk at a time.
-    trace::FileTraceSource src(path);
-    name = src.trace_name();
-    s = trace::analyze(src);
-  } else {
-    const trace::Trace t = trace::load_trace(path);
-    name = t.name;
-    s = trace::analyze(t);
+  switch (cfg.trace_backend) {
+    case core::TraceBackend::kStream: {
+      // Constant-memory pass: one decoded chunk at a time.
+      trace::FileTraceSource src(path);
+      name = src.trace_name();
+      s = trace::analyze(src);
+      break;
+    }
+    case core::TraceBackend::kMmap: {
+      trace::MmapTraceSource src(path);
+      name = src.trace_name();
+      s = trace::analyze(src);
+      break;
+    }
+    case core::TraceBackend::kMemory: {
+      const trace::Trace t = trace::load_trace(path);
+      name = t.name;
+      s = trace::analyze(t);
+      break;
+    }
   }
   std::cout << name << ": " << s.summary() << '\n'
             << "  loads " << s.load_records << ", stores " << s.store_records
@@ -193,23 +231,33 @@ int cmd_sim(const Args& a) {
                                      ? trace::TraceWindow::kAll
                                      : max_records - warmup;
 
-  // --stream simulates straight off the file in O(chunk) memory; the
-  // default decodes the whole trace up front. Both produce bit-identical
-  // SimResults.
+  // trace.backend (--backend, or the --stream shorthand) picks how the
+  // file is read: decoded up front (memory), chunk-streamed in O(chunk)
+  // RSS (stream), or mapped and decoded in place (mmap). All three
+  // produce bit-identical SimResults.
   trace::Trace t;
   std::optional<trace::VectorTraceSource> vec;
   std::optional<trace::FileTraceSource> file;
+  std::optional<trace::MmapTraceSource> mapped;
   std::string name;
   trace::TraceSource* base = nullptr;
-  if (has(a, "stream")) {
-    file.emplace(path);
-    name = file->trace_name();
-    base = &*file;
-  } else {
-    t = trace::load_trace(path);
-    name = t.name;
-    vec.emplace(t);
-    base = &*vec;
+  switch (cfg.trace_backend) {
+    case core::TraceBackend::kStream:
+      file.emplace(path);
+      name = file->trace_name();
+      base = &*file;
+      break;
+    case core::TraceBackend::kMmap:
+      mapped.emplace(path);
+      name = mapped->trace_name();
+      base = &*mapped;
+      break;
+    case core::TraceBackend::kMemory:
+      t = trace::load_trace(path);
+      name = t.name;
+      vec.emplace(t);
+      base = &*vec;
+      break;
   }
   std::optional<trace::TraceWindow> win;
   if (windowed) win.emplace(*base, skip, warmup, simulate);
@@ -248,9 +296,11 @@ int cmd_sim(const Args& a) {
   if (windowed) {
     std::cout << "window: skipped " << skip << " records, warm-up " << warmup
               << ", simulated " << r.trace_records << " records\n";
-    if (file) {
-      std::cout << "window: chunk-skip seek jumped " << file->chunks_skipped()
-                << " chunks unread\n";
+    const std::uint64_t jumped = file   ? file->chunks_skipped()
+                                 : mapped ? mapped->chunks_skipped()
+                                          : 0;
+    if (file || mapped) {
+      std::cout << "window: chunk-skip seek jumped " << jumped << " chunks unread\n";
     }
   }
   if (win && warmup > 0) {
@@ -311,6 +361,13 @@ int cmd_sweep(const Args& a) {
   // silently rewrite them.
   std::vector<std::string> cli_pinned;
   if (has(a, "config")) config::load_config_file(get(a, "config", ""), base, &cli_pinned);
+  // --backend (and the --stream shorthand) slots in at legacy-flag
+  // precedence: above --config, below --set.
+  if (has(a, "stream")) base.trace_backend = core::TraceBackend::kStream;
+  if (has(a, "backend")) {
+    base.trace_backend = config::trace_backend_of(get(a, "backend", ""));
+  }
+  if (has(a, "stream") || has(a, "backend")) cli_pinned.push_back("trace.backend");
   for (const auto& key : config::apply_sets(base, a.sets)) cli_pinned.push_back(key);
 
   config::SweepSpec spec;
@@ -331,25 +388,20 @@ int cmd_sweep(const Args& a) {
   spec.pinned.insert(spec.pinned.end(), cli_pinned.begin(), cli_pinned.end());
   if (has(a, "insts")) spec.insts = get_u64(a, "insts", 0);
 
-  const bool stream = has(a, "stream");
-
   // --trace FILE sweeps configurations over one prepared trace instead
   // of generating per job: the bench axis collapses to the trace's own
-  // benchmark name. With --stream every worker streams the file through
-  // a private FileTraceSource, so peak memory stays O(chunk) no matter
-  // how long the trace; without it the trace is decoded once and shared
-  // read-only.
+  // benchmark name. Each job's trace.backend (flag, --set, or even a
+  // sweep axis) then decides how its worker reads the file: memory
+  // backends share one decoded read-only copy, stream/mmap workers open
+  // the file privately in O(chunk) / O(pages) memory. Generated jobs
+  // under a non-memory backend round-trip a private temp .rsim inside
+  // the runner. The codec is lossless, so the CSV stays byte-identical
+  // across backends.
   const std::string trace_file = get(a, "trace", "");
   std::shared_ptr<const trace::Trace> shared_trace;
   if (!trace_file.empty()) {
-    std::string bench_name;
-    if (stream) {
-      // Header-only open: just recover the benchmark name.
-      bench_name = trace::FileTraceSource(trace_file).trace_name();
-    } else {
-      shared_trace = std::make_shared<trace::Trace>(trace::load_trace(trace_file));
-      bench_name = shared_trace->name;
-    }
+    // Header-only open: just recover the benchmark name.
+    const std::string bench_name = trace::FileTraceSource(trace_file).trace_name();
     bool found = false;
     for (auto& axis : spec.axes) {
       if (axis.path == "bench") {
@@ -363,18 +415,15 @@ int cmd_sweep(const Args& a) {
   auto grid = driver::expand_spec(spec);
   for (auto& job : grid.jobs) {
     if (trace_file.empty()) continue;
-    if (stream) {
-      job.trace_path = trace_file;
-    } else {
+    if (job.config.trace_backend == core::TraceBackend::kMemory) {
+      if (!shared_trace) {
+        shared_trace = std::make_shared<trace::Trace>(trace::load_trace(trace_file));
+      }
       job.trace = shared_trace;
+    } else {
+      job.trace_path = trace_file;
     }
   }
-
-  // --stream: every worker round-trips its generated trace through a
-  // private .rsim file and simulates it with a constant-memory
-  // FileTraceSource instead of a decoded vector. The codec is lossless,
-  // so the CSV stays byte-identical to the in-memory sweep.
-  if (stream && trace_file.empty()) driver::use_streamed_sources(grid.jobs, "resim_sweep");
 
   const driver::BatchRunner runner(static_cast<unsigned>(get_u64(a, "j", 1)));
   const auto t0 = std::chrono::steady_clock::now();
@@ -463,22 +512,27 @@ int usage() {
   std::cerr <<
       "usage: resim_cli <command> [flags]\n"
       "  gen      --bench NAME --insts N --out FILE [--bp KIND] [--chunk N]\n"
+      "           [--compress]\n"
       "  sim      --trace FILE [--config FILE] [--set key=value]...\n"
       "           [--width N --rob N --lsq N --ifq N --ports N]\n"
       "           [--variant simple|efficient|optimized] [--mem perfect|l1|l2]\n"
       "           [--bp 2lev|bimodal|gshare|comb|perfect] [--device NAME]\n"
       "           [--report] [--json FILE]\n"
-      "           [--stream] [--skip N] [--warmup N] [--max-records N]\n"
-      "  stats    --trace FILE [--stream] [--config FILE] [--set key=value]...\n"
+      "           [--backend memory|stream|mmap] [--stream]\n"
+      "           [--skip N] [--warmup N] [--max-records N]\n"
+      "  stats    --trace FILE [--backend memory|stream|mmap] [--stream]\n"
+      "           [--config FILE] [--set key=value]...\n"
       "  sweep    [-j N] [--spec FILE | --bench NAME[,NAME..]|all [--widths 2,4,8]\n"
       "           [--robs 8,16,32] [--bps 2lev,perfect] [--variants ...]]\n"
       "           [--config FILE] [--set key=value]... [--trace FILE] [--insts N]\n"
-      "           [--stream] [--out FILE] [--json FILE] [--csv-full FILE]\n"
+      "           [--backend memory|stream|mmap] [--stream]\n"
+      "           [--out FILE] [--json FILE] [--csv-full FILE]\n"
       "  params   [--config FILE] [--set key=value]... [--save FILE] [--markdown]\n"
       "  schedule --variant NAME --width N\n"
       "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n"
-      "config and sweep-spec file grammars, and the full parameter table:\n"
-      "docs/CONFIG.md (or `resim_cli params`).\n";
+      "--stream is shorthand for --backend stream; every backend produces\n"
+      "bit-identical results. config and sweep-spec file grammars, and the\n"
+      "full parameter table: docs/CONFIG.md (or `resim_cli params`).\n";
   return 2;
 }
 
