@@ -72,7 +72,8 @@ int run() {
   std::cout << std::fixed << std::setprecision(2)                                   //
             << "  functional-only simulation:          " << fn.mips() << " MIPS\n"  //
             << "  execution-driven (coupled) timing:   " << coupled.host_mips
-            << " MIPS  (sim-outorder-class detail)\n"
+            << " MIPS, " << coupled.host_mcycles_per_sec
+            << " Mcycles/s  (sim-outorder-class detail)\n"
             << "  trace-driven timing (host ReSim):    " << timed.mips() << " MIPS\n"
             << "  modeled ReSim on Virtex-5 FPGA:      " << resim_4w << " MIPS\n";
   std::cout << "(paper context: sim-outorder ~0.3 MIPS on a 2.4 GHz Xeon of 2009;\n"

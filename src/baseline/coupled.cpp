@@ -17,6 +17,8 @@ CoupledResult run_coupled(const workload::Workload& wl, const core::CoreConfig& 
   r.host_seconds = std::chrono::duration<double>(t1 - t0).count();
   if (r.host_seconds > 0) {
     r.host_mips = static_cast<double>(r.sim.committed) / r.host_seconds / 1e6;
+    r.host_mcycles_per_sec =
+        static_cast<double>(r.sim.major_cycles) / r.host_seconds / 1e6;
   }
   return r;
 }

@@ -62,6 +62,11 @@ struct CoupledResult {
   core::SimResult sim;
   double host_seconds = 0;   ///< wall-clock time of the coupled run
   double host_mips = 0;      ///< committed instructions / host second / 1e6
+  /// Simulated major cycles / host second / 1e6 — the same engine-core
+  /// throughput metric bench/micro_engine_throughput gates in CI, so the
+  /// coupled baseline and the trace-driven engine are compared on one
+  /// surface.
+  double host_mcycles_per_sec = 0;
 };
 
 /// Run workload -> (functional sim + predictor) -> timing engine, fused.

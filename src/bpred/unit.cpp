@@ -4,6 +4,12 @@ namespace resim::bpred {
 
 using isa::CtrlType;
 
+BranchPredictorUnit::UnitStats::UnitStats(StatsRegistry& reg)
+    : lookups(reg.counter("bpred.lookups")),
+      ras_pops(reg.counter("bpred.ras_pops")),
+      ras_pushes(reg.counter("bpred.ras_pushes")),
+      commits(reg.counter("bpred.commits")) {}
+
 BranchPredictorUnit::BranchPredictorUnit(const BPredConfig& cfg)
     : cfg_(cfg),
       dir_(cfg.kind == DirKind::kPerfect ? nullptr : make_direction_predictor(cfg)),
@@ -14,7 +20,7 @@ BranchPredictorUnit::BranchPredictorUnit(const BPredConfig& cfg)
 
 Prediction BranchPredictorUnit::predict(Addr pc, CtrlType ct, Addr fallthrough,
                                         bool actual_taken, Addr actual_next) {
-  stats_.counter("bpred.lookups").add();
+  ustat_.lookups.add();
   Prediction p;
 
   if (is_perfect()) {
@@ -46,7 +52,7 @@ Prediction BranchPredictorUnit::predict(Addr pc, CtrlType ct, Addr fallthrough,
         p.next_pc = *t;
         p.has_target = true;
         p.from_ras = true;
-        stats_.counter("bpred.ras_pops").add();
+        ustat_.ras_pops.add();
       }
     } else {
       if (const auto t = btb_.lookup(pc)) {
@@ -62,7 +68,7 @@ Prediction BranchPredictorUnit::predict(Addr pc, CtrlType ct, Addr fallthrough,
 
   if (ct == CtrlType::kCall) {
     ras_.push(fallthrough);
-    stats_.counter("bpred.ras_pushes").add();
+    ustat_.ras_pushes.add();
   }
   return p;
 }
@@ -76,7 +82,7 @@ Outcome BranchPredictorUnit::classify(const Prediction& pred, bool actual_taken,
 
 void BranchPredictorUnit::update_commit(Addr pc, CtrlType ct, bool taken, Addr target,
                                         const Prediction& pred) {
-  stats_.counter("bpred.commits").add();
+  ustat_.commits.add();
   if (is_perfect()) return;
   if (ct == CtrlType::kCond) {
     dir_->update(pc, taken, pred.dir_snap);

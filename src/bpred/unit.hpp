@@ -40,6 +40,11 @@ class BranchPredictorUnit {
  public:
   explicit BranchPredictorUnit(const BPredConfig& cfg);
 
+  // ustat_ holds references into stats_; a copied or moved unit would
+  // keep counting into the source object's registry.
+  BranchPredictorUnit(const BranchPredictorUnit&) = delete;
+  BranchPredictorUnit& operator=(const BranchPredictorUnit&) = delete;
+
   /// Fetch-time prediction. The architectural outcome is passed in so the
   /// perfect (oracle) configuration can be expressed; real predictors
   /// ignore it. Performs speculative RAS push/pop.
@@ -70,11 +75,22 @@ class BranchPredictorUnit {
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
 
  private:
+  /// Resolve-once handles into stats_ (docs/STATS.md): predict() runs
+  /// per fetched branch, so lookups must not pay a map walk per event.
+  struct UnitStats {
+    explicit UnitStats(StatsRegistry& reg);
+    Counter& lookups;
+    Counter& ras_pops;
+    Counter& ras_pushes;
+    Counter& commits;
+  };
+
   BPredConfig cfg_;
   std::unique_ptr<DirectionPredictor> dir_;  ///< null for the perfect oracle
   Btb btb_;
   Ras ras_;
   StatsRegistry stats_;
+  UnitStats ustat_{stats_};
 };
 
 }  // namespace resim::bpred

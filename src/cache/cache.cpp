@@ -7,6 +7,20 @@ TagCache::TagCache(std::string name, const CacheConfig& cfg)
   cfg_.validate();
 }
 
+void TagCache::export_stats(StatsRegistry& reg) const {
+  // add() publishes the names even at zero, matching the report contract:
+  // a constructed cache always shows its three counters.
+  std::string key = name_;
+  key += ".accesses";
+  reg.counter(key).add(accesses_);
+  key.resize(name_.size());
+  key += ".hits";
+  reg.counter(key).add(hits_);
+  key.resize(name_.size());
+  key += ".misses";
+  reg.counter(key).add(misses());
+}
+
 std::size_t TagCache::set_of(Addr addr) const {
   return static_cast<std::size_t>((addr / cfg_.block_bytes) & (cfg_.sets() - 1));
 }

@@ -13,6 +13,7 @@
 
 #include "common/numeric.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace resim::cache {
@@ -73,6 +74,11 @@ class TagCache {
 
   /// Tag-array storage in bits (area model input): tag + valid per block.
   [[nodiscard]] std::uint64_t tag_storage_bits() const;
+
+  /// Publish "<name>.accesses/.hits/.misses" into a registry. Cache
+  /// counters stay plain struct fields on the access path (ChampSim
+  /// style); this is the one cold-path hand-off into the stats plane.
+  void export_stats(StatsRegistry& reg) const;
 
  private:
   struct Line {

@@ -11,6 +11,13 @@ MemorySystem::MemorySystem(const MemSysConfig& cfg) : cfg_(cfg) {
   }
 }
 
+void MemorySystem::export_stats(StatsRegistry& reg) const {
+  if (icache_) icache_->export_stats(reg);
+  if (dcache_) dcache_->export_stats(reg);
+  // No l2_: the paper-era report format carries only L1 statistics, and
+  // byte-compatibility of reports is a contract (docs/STATS.md).
+}
+
 AccessResult MemorySystem::refill_through_l2(const AccessResult& l1_miss, Addr addr,
                                              AccessKind kind) {
   if (l2_ == nullptr) return l1_miss;

@@ -67,6 +67,11 @@ class MemorySystem {
   AccessResult dread(Addr addr);
   AccessResult dwrite(Addr addr);
 
+  /// Publish L1 cache statistics into `reg` (il1.* / dl1.*). The L2, an
+  /// extension the paper's report format predates, intentionally stays
+  /// out so reports remain byte-compatible across configurations.
+  void export_stats(StatsRegistry& reg) const;
+
   [[nodiscard]] bool perfect() const { return cfg_.perfect; }
   [[nodiscard]] const TagCache* icache() const { return icache_.get(); }
   [[nodiscard]] const TagCache* dcache() const { return dcache_.get(); }

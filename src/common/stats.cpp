@@ -6,17 +6,19 @@
 namespace resim {
 
 Counter& StatsRegistry::counter(std::string_view name) {
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter{}).first;
+  // lower_bound + hinted emplace: one tree descent whether the name
+  // exists or not (find-then-emplace paid two on every first use).
+  auto it = counters_.lower_bound(name);
+  if (it == counters_.end() || it->first != name) {
+    it = counters_.emplace_hint(it, std::string(name), Counter{});
   }
   return it->second;
 }
 
 Occupancy& StatsRegistry::occupancy(std::string_view name) {
-  auto it = occupancies_.find(name);
-  if (it == occupancies_.end()) {
-    it = occupancies_.emplace(std::string(name), Occupancy{}).first;
+  auto it = occupancies_.lower_bound(name);
+  if (it == occupancies_.end() || it->first != name) {
+    it = occupancies_.emplace_hint(it, std::string(name), Occupancy{});
   }
   return it->second;
 }
@@ -27,13 +29,25 @@ std::uint64_t StatsRegistry::value(std::string_view name) const {
 }
 
 bool StatsRegistry::has_counter(std::string_view name) const {
-  return counters_.find(name) != counters_.end();
+  // Visibility contract: a resolved-but-silent handle is not "a counter"
+  // yet, exactly as it was absent under create-on-first-event.
+  const auto it = counters_.find(name);
+  return it != counters_.end() && it->second.touched();
 }
 
 double StatsRegistry::ratio(std::string_view num, std::string_view den) const {
   const auto d = value(den);
   if (d == 0) return 0.0;
   return static_cast<double>(value(num)) / static_cast<double>(d);
+}
+
+void StatsRegistry::merge(const StatsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    if (c.touched()) counter(name).add(c.value());
+  }
+  for (const auto& [name, o] : other.occupancies_) {
+    if (o.touched()) occupancy(name).merge_from(o);
+  }
 }
 
 void StatsRegistry::reset() {
@@ -43,13 +57,20 @@ void StatsRegistry::reset() {
 
 std::string StatsRegistry::report() const {
   std::ostringstream os;
+  std::string line_name;  // reused across lines: no per-line allocation churn
   for (const auto& [name, c] : counters_) {
+    if (!c.touched()) continue;
     os << std::left << std::setw(34) << name << ' ' << c.value() << '\n';
   }
   for (const auto& [name, o] : occupancies_) {
-    os << std::left << std::setw(34) << (name + ".avg") << ' ' << std::fixed
+    if (!o.touched()) continue;
+    line_name.assign(name);
+    line_name += ".avg";
+    os << std::left << std::setw(34) << line_name << ' ' << std::fixed
        << std::setprecision(4) << o.average() << '\n';
-    os << std::left << std::setw(34) << (name + ".max") << ' ' << o.max() << '\n';
+    line_name.resize(name.size());
+    line_name += ".max";
+    os << std::left << std::setw(34) << line_name << ' ' << o.max() << '\n';
   }
   return os.str();
 }

@@ -12,6 +12,19 @@
 
 namespace resim::core {
 
+CommitStats::CommitStats(StatsRegistry& reg)
+    : insts(reg.counter("commit.insts")),
+      loads(reg.counter("commit.loads")),
+      stores(reg.counter("commit.stores")),
+      branches(reg.counter("commit.branches")),
+      store_hits(reg.counter("commit.store_hits")),
+      store_misses(reg.counter("commit.store_misses")),
+      write_port_stalls(reg.counter("commit.write_port_stalls")),
+      squashes(reg.counter("commit.squashes")),
+      squashed_insts(reg.counter("commit.squashed_insts")),
+      discarded_tagged(reg.counter("fetch.discarded_tagged")) {}
+
+
 void ReSimEngine::stage_commit() {
   for (unsigned slot = 0; slot < cfg_.width; ++slot) {
     if (rob_.empty()) break;
@@ -30,12 +43,12 @@ void ReSimEngine::stage_commit() {
       // (§III/§IV.A: "D-Cache is also accessed when store instructions
       // are committed").
       if (write_ports_used_ >= cfg_.mem_write_ports) {
-        stats_.counter("commit.write_port_stalls").add();
+        cstat_.write_port_stalls.add();
         break;
       }
       ++write_ports_used_;
       const auto res = mem_.dwrite(lsq_.entry(e.lsq_slot).addr);
-      stats_.counter(res.hit ? "commit.store_hits" : "commit.store_misses").add();
+      (res.hit ? cstat_.store_hits : cstat_.store_misses).add();
     }
 
     // Retire.
@@ -49,8 +62,8 @@ void ReSimEngine::stage_commit() {
 
     ++committed_;
     last_commit_cycle_ = cycle_;
-    stats_.counter("commit.insts").add();
-    if (e.is_mem()) stats_.counter(e.is_store() ? "commit.stores" : "commit.loads").add();
+    cstat_.insts.add();
+    if (e.is_mem()) (e.is_store() ? cstat_.stores : cstat_.loads).add();
 
     const bool was_branch = e.is_branch();
     const auto outcome = e.fi.outcome;
@@ -58,7 +71,7 @@ void ReSimEngine::stage_commit() {
     rob_.pop_head();
 
     if (was_branch) {
-      stats_.counter("commit.branches").add();
+      cstat_.branches.add();
       const Addr actual_next = fi.rec.taken ? fi.rec.target : fi.pc + kInstBytes;
       bp_.update_commit(fi.pc, fi.rec.ctrl, fi.rec.taken, actual_next, fi.pred);
       if (outcome == bpred::Outcome::kMispredict) {

@@ -7,6 +7,14 @@
 
 namespace resim::core {
 
+DispatchStats::DispatchStats(StatsRegistry& reg)
+    : insts(reg.counter("dispatch.insts")),
+      loads(reg.counter("dispatch.loads")),
+      stores(reg.counter("dispatch.stores")),
+      rob_full(reg.counter("dispatch.rob_full")),
+      lsq_full(reg.counter("dispatch.lsq_full")) {}
+
+
 void ReSimEngine::stage_dispatch() {
   for (unsigned slot = 0; slot < cfg_.width; ++slot) {
     if (ifq_.empty()) break;
@@ -14,11 +22,11 @@ void ReSimEngine::stage_dispatch() {
     if (fi.fetched_at >= cycle_) break;  // decouple: fetched this very cycle
 
     if (rob_.full()) {
-      stats_.counter("dispatch.rob_full").add();
+      dstat_.rob_full.add();
       break;
     }
     if (fi.rec.is_mem() && lsq_.full()) {
-      stats_.counter("dispatch.lsq_full").add();
+      dstat_.lsq_full.add();
       break;
     }
 
@@ -55,10 +63,10 @@ void ReSimEngine::stage_dispatch() {
       m.seq = inst.seq;
       m.addr = inst.rec.addr;
       e.lsq_slot = lsq_slot;
-      stats_.counter(inst.rec.is_store ? "dispatch.stores" : "dispatch.loads").add();
+      (inst.rec.is_store ? dstat_.stores : dstat_.loads).add();
     }
 
-    stats_.counter("dispatch.insts").add();
+    dstat_.insts.add();
   }
 }
 

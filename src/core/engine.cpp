@@ -17,12 +17,25 @@ ReSimEngine::ReSimEngine(const CoreConfig& cfg, trace::TraceSource& source)
       fu_(cfg.fu.alu_count, cfg.fu.alu_latency, cfg.fu.alu_pipelined, cfg.fu.mul_count,
           cfg.fu.mul_latency, cfg.fu.mul_pipelined, cfg.fu.div_count, cfg.fu.div_latency,
           cfg.fu.div_pipelined),
-      ifq_(cfg.ifq_size) {
+      ifq_(cfg.ifq_size),
+      fstat_(stats_),
+      dstat_(stats_),
+      istat_(stats_),
+      lstat_(stats_),
+      wstat_(stats_),
+      cstat_(stats_),
+      ostat_(stats_) {
   cfg_.validate();
+  issue_cands_.reserve(cfg_.rob_size);
   // The first record carries no PC context: PCs are implicit from the
   // program base until the first branch record resyncs us (DESIGN.md §5).
   fetch_pc_ = isa::Program::kDefaultBase;
 }
+
+OccupancyStats::OccupancyStats(StatsRegistry& reg)
+    : ifq(reg.occupancy("occ.ifq")),
+      rob(reg.occupancy("occ.rob")),
+      lsq(reg.occupancy("occ.lsq")) {}
 
 bool ReSimEngine::pipeline_empty() const {
   return rob_.empty() && ifq_.empty();
@@ -57,9 +70,9 @@ bool ReSimEngine::step_major_cycle() {
 }
 
 void ReSimEngine::sample_occupancy_and_advance() {
-  stats_.occupancy("occ.ifq").sample(ifq_.size());
-  stats_.occupancy("occ.rob").sample(rob_.size());
-  stats_.occupancy("occ.lsq").sample(lsq_.size());
+  ostat_.ifq.sample(ifq_.size());
+  ostat_.rob.sample(rob_.size());
+  ostat_.lsq.sample(lsq_.size());
   ++cycle_;
 }
 
@@ -79,8 +92,8 @@ void ReSimEngine::squash_and_redirect(Addr resume_pc) {
   // Everything younger than the resolving branch is wrong-path by
   // construction (fetch only followed the tagged block).
   squashed_ += rob_.size() + ifq_.size();
-  stats_.counter("commit.squashed_insts").add(rob_.size() + ifq_.size());
-  stats_.counter("commit.squashes").add();
+  cstat_.squashed_insts.add(rob_.size() + ifq_.size());
+  cstat_.squashes.add();
   rob_.clear();
   lsq_.clear();
   ifq_.clear();
@@ -89,7 +102,7 @@ void ReSimEngine::squash_and_redirect(Addr resume_pc) {
   // Discard tagged records not fetched by the resolution point (§V.A).
   while (src_.peek() != nullptr && src_.peek()->wrong_path) {
     (void)src_.next();
-    stats_.counter("fetch.discarded_tagged").add();
+    cstat_.discarded_tagged.add();
   }
 
   wrong_path_active_ = false;
@@ -111,19 +124,8 @@ SimResult ReSimEngine::result() const {
   r.trace_bits = src_.bits_consumed();
   r.stats = stats_;
   // Fold predictor and cache statistics into the report.
-  for (const auto& [name, c] : bp_.stats().counters()) {
-    r.stats.counter(name).add(c.value());
-  }
-  if (const auto* ic = mem_.icache()) {
-    r.stats.counter("il1.accesses").add(ic->accesses());
-    r.stats.counter("il1.hits").add(ic->hits());
-    r.stats.counter("il1.misses").add(ic->misses());
-  }
-  if (const auto* dc = mem_.dcache()) {
-    r.stats.counter("dl1.accesses").add(dc->accesses());
-    r.stats.counter("dl1.hits").add(dc->hits());
-    r.stats.counter("dl1.misses").add(dc->misses());
-  }
+  r.stats.merge(bp_.stats());
+  mem_.export_stats(r.stats);
   return r;
 }
 

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "bpred/unit.hpp"
 #include "cache/memsys.hpp"
@@ -37,6 +38,86 @@
 #include "trace/reader.hpp"
 
 namespace resim::core {
+
+// --- per-stage statistics structs ------------------------------------------
+// Each stage resolves its counters ONCE at engine construction (the
+// constructors live in the stage's own translation unit, next to the code
+// that bumps them). The cycle loop then increments plain uint64_t slots
+// through stable StatsRegistry handles instead of paying a string-keyed
+// map lookup per event (docs/STATS.md). Resolution alone publishes
+// nothing: a counter appears in reports only once an event touches it.
+
+struct FetchStats {
+  explicit FetchStats(StatsRegistry& reg);
+  Counter& insts;
+  Counter& branches;
+  Counter& wrong_path_insts;
+  Counter& pc_resyncs;
+  Counter& taken_breaks;
+  Counter& misfetches;
+  Counter& mispredicts;
+  Counter& mispredict_without_block;
+  Counter& skipped_tagged;
+  Counter& icache_miss_stalls;
+  Counter& penalty_stall_cycles;
+  Counter& resolution_stall_cycles;
+  Counter& ifq_full;
+};
+
+struct DispatchStats {
+  explicit DispatchStats(StatsRegistry& reg);
+  Counter& insts;
+  Counter& loads;
+  Counter& stores;
+  Counter& rob_full;
+  Counter& lsq_full;
+};
+
+struct IssueStats {
+  explicit IssueStats(StatsRegistry& reg);
+  Counter& ops;
+  Counter& agen;
+  Counter& fu_stalls;
+  Counter& slot0_load_skips;
+  Counter& loads_forwarded;
+  Counter& read_port_stalls;
+  Counter& load_hits;
+  Counter& load_misses;
+};
+
+struct LsqRefreshStats {
+  explicit LsqRefreshStats(StatsRegistry& reg);
+  Counter& stores_completed;
+  Counter& loads_blocked;
+  Counter& loads_forwarded;
+  Counter& loads_ready;
+};
+
+struct WritebackStats {
+  explicit WritebackStats(StatsRegistry& reg);
+  Counter& broadcasts;
+};
+
+struct CommitStats {
+  explicit CommitStats(StatsRegistry& reg);
+  Counter& insts;
+  Counter& loads;
+  Counter& stores;
+  Counter& branches;
+  Counter& store_hits;
+  Counter& store_misses;
+  Counter& write_port_stalls;
+  Counter& squashes;
+  Counter& squashed_insts;
+  Counter& discarded_tagged;  ///< "fetch.discarded_tagged" (squash path)
+};
+
+struct OccupancyStats {
+  explicit OccupancyStats(StatsRegistry& reg);
+  Occupancy& ifq;
+  Occupancy& rob;
+  Occupancy& lsq;
+};
 
 /// Final outcome of a simulation run.
 struct SimResult {
@@ -71,6 +152,11 @@ struct SimResult {
 class ReSimEngine {
  public:
   ReSimEngine(const CoreConfig& cfg, trace::TraceSource& source);
+
+  // The stage stat structs hold references into stats_; a copied or
+  // moved engine would keep counting into the source object's registry.
+  ReSimEngine(const ReSimEngine&) = delete;
+  ReSimEngine& operator=(const ReSimEngine&) = delete;
 
   /// Run until the trace is exhausted and the pipeline drains.
   SimResult run();
@@ -121,6 +207,24 @@ class ReSimEngine {
   FuPool fu_;
   FixedQueue<FetchedInst> ifq_;
   StatsRegistry stats_;
+
+  // Resolve-once stat handles (must follow stats_: they bind into it).
+  FetchStats fstat_;
+  DispatchStats dstat_;
+  IssueStats istat_;
+  LsqRefreshStats lstat_;
+  WritebackStats wstat_;
+  CommitStats cstat_;
+  OccupancyStats ostat_;
+
+  // Issue-stage candidate scratch, hoisted out of the cycle loop so the
+  // hot path never allocates.
+  enum class IssueCandKind : std::uint8_t { kFuOp, kAgen, kLoadMem };
+  struct IssueCand {
+    int rob_slot;
+    IssueCandKind kind;
+  };
+  std::vector<IssueCand> issue_cands_;
 
   Cycle cycle_ = 0;
   InstSeq next_seq_ = 0;

@@ -15,19 +15,34 @@
 
 namespace resim::core {
 
+FetchStats::FetchStats(StatsRegistry& reg)
+    : insts(reg.counter("fetch.insts")),
+      branches(reg.counter("fetch.branches")),
+      wrong_path_insts(reg.counter("fetch.wrong_path_insts")),
+      pc_resyncs(reg.counter("fetch.pc_resyncs")),
+      taken_breaks(reg.counter("fetch.taken_breaks")),
+      misfetches(reg.counter("fetch.misfetches")),
+      mispredicts(reg.counter("fetch.mispredicts")),
+      mispredict_without_block(reg.counter("fetch.mispredict_without_block")),
+      skipped_tagged(reg.counter("fetch.skipped_tagged")),
+      icache_miss_stalls(reg.counter("fetch.icache_miss_stalls")),
+      penalty_stall_cycles(reg.counter("fetch.penalty_stall_cycles")),
+      resolution_stall_cycles(reg.counter("fetch.resolution_stall_cycles")),
+      ifq_full(reg.counter("fetch.ifq_full")) {}
+
 void ReSimEngine::stage_fetch() {
   if (cycle_ < fetch_stall_until_) {
-    stats_.counter("fetch.penalty_stall_cycles").add();
+    fstat_.penalty_stall_cycles.add();
     return;
   }
   if (awaiting_resolution_) {
-    stats_.counter("fetch.resolution_stall_cycles").add();
+    fstat_.resolution_stall_cycles.add();
     return;
   }
 
   for (unsigned slot = 0; slot < cfg_.width; ++slot) {
     if (ifq_.full()) {
-      stats_.counter("fetch.ifq_full").add();
+      fstat_.ifq_full.add();
       break;
     }
 
@@ -35,7 +50,7 @@ void ReSimEngine::stage_fetch() {
     // commit-time-trained predictor did not (DESIGN.md §5).
     while (!wrong_path_active_ && src_.peek() != nullptr && src_.peek()->wrong_path) {
       (void)src_.next();
-      stats_.counter("fetch.skipped_tagged").add();
+      fstat_.skipped_tagged.add();
     }
 
     const trace::TraceRecord* rec = src_.peek();
@@ -60,7 +75,7 @@ void ReSimEngine::stage_fetch() {
     if (wrong_path_active_) {
       const auto ic = mem_.ifetch(wrong_path_pc_);
       if (!ic.hit) {
-        stats_.counter("fetch.icache_miss_stalls").add();
+        fstat_.icache_miss_stalls.add();
         fetch_stall_until_ = cycle_ + ic.latency;
         break;
       }
@@ -73,8 +88,8 @@ void ReSimEngine::stage_fetch() {
       ifq_.push(fi);
       ++fetched_;
       ++wrong_path_fetched_;
-      stats_.counter("fetch.insts").add();
-      stats_.counter("fetch.wrong_path_insts").add();
+      fstat_.insts.add();
+      fstat_.wrong_path_insts.add();
       continue;
     }
 
@@ -83,7 +98,7 @@ void ReSimEngine::stage_fetch() {
     // stream and our bookkeeping ever disagree.
     Addr pc = fetch_pc_;
     if (rec->is_branch() && rec->pc != pc) {
-      stats_.counter("fetch.pc_resyncs").add();
+      fstat_.pc_resyncs.add();
       pc = rec->pc;
     }
 
@@ -91,7 +106,7 @@ void ReSimEngine::stage_fetch() {
     if (!ic.hit) {
       // Blocking I-cache: the line fills, fetch retries after the miss
       // latency (the access above installed the tags).
-      stats_.counter("fetch.icache_miss_stalls").add();
+      fstat_.icache_miss_stalls.add();
       fetch_stall_until_ = cycle_ + ic.latency;
       break;
     }
@@ -105,7 +120,7 @@ void ReSimEngine::stage_fetch() {
     if (!fi.rec.is_branch()) {
       ifq_.push(fi);
       ++fetched_;
-      stats_.counter("fetch.insts").add();
+      fstat_.insts.add();
       fetch_pc_ = pc + kInstBytes;
       continue;
     }
@@ -118,15 +133,15 @@ void ReSimEngine::stage_fetch() {
 
     ifq_.push(fi);
     ++fetched_;
-    stats_.counter("fetch.insts").add();
-    stats_.counter("fetch.branches").add();
+    fstat_.insts.add();
+    fstat_.branches.add();
 
     switch (fi.outcome) {
       case bpred::Outcome::kCorrect:
         fetch_pc_ = actual_next;
         if (fi.pred.dir_taken) {
           // Control-flow bubble: a predicted-taken branch ends the group.
-          stats_.counter("fetch.taken_breaks").add();
+          fstat_.taken_breaks.add();
           slot = cfg_.width;  // break out after accounting
         }
         break;
@@ -135,14 +150,14 @@ void ReSimEngine::stage_fetch() {
         // Direction right, target wrong: fetch went sequential; the front
         // end recovers after the misfetch delayed penalty and resumes on
         // the correct path.
-        stats_.counter("fetch.misfetches").add();
+        fstat_.misfetches.add();
         fetch_pc_ = actual_next;
         fetch_stall_until_ = cycle_ + 1 + cfg_.misfetch_penalty;
         slot = cfg_.width;
         break;
 
       case bpred::Outcome::kMispredict: {
-        stats_.counter("fetch.mispredicts").add();
+        fstat_.mispredicts.add();
         mispredict_inflight_ = true;
         resume_pc_ = actual_next;
         const trace::TraceRecord* nxt = src_.peek();
@@ -154,7 +169,7 @@ void ReSimEngine::stage_fetch() {
           // No block available (generator predicted correctly here):
           // nothing to fetch until resolution.
           awaiting_resolution_ = true;
-          stats_.counter("fetch.mispredict_without_block").add();
+          fstat_.mispredict_without_block.add();
         }
         slot = cfg_.width;
         break;

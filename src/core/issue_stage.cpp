@@ -18,21 +18,22 @@
 
 namespace resim::core {
 
-namespace {
-
-enum class CandKind : std::uint8_t { kFuOp, kAgen, kLoadMem };
-
-struct Candidate {
-  int rob_slot;
-  CandKind kind;
-};
-
-}  // namespace
+IssueStats::IssueStats(StatsRegistry& reg)
+    : ops(reg.counter("issue.ops")),
+      agen(reg.counter("issue.agen")),
+      fu_stalls(reg.counter("issue.fu_stalls")),
+      slot0_load_skips(reg.counter("issue.slot0_load_skips")),
+      loads_forwarded(reg.counter("issue.loads_forwarded")),
+      read_port_stalls(reg.counter("issue.read_port_stalls")),
+      load_hits(reg.counter("issue.load_hits")),
+      load_misses(reg.counter("issue.load_misses")) {}
 
 void ReSimEngine::stage_issue() {
   // Collect issue candidates oldest-first against begin-of-stage state.
-  std::vector<Candidate> cands;
-  cands.reserve(rob_.size());
+  // issue_cands_ is a member scratch buffer (capacity reserved once in
+  // the constructor): clearing keeps the allocation across cycles.
+  std::vector<IssueCand>& cands = issue_cands_;
+  cands.clear();
   for (unsigned i = 0; i < rob_.size(); ++i) {
     const int slot = rob_.slot_at(i);
     const RobEntry& e = rob_.entry(slot);
@@ -44,23 +45,23 @@ void ReSimEngine::stage_issue() {
       // in-flight store with late data does not hide its address from
       // Lsq_refresh's dependence checks.
       if (!e.agen_issued && e.src_rob[0] < 0) {
-        cands.push_back({slot, CandKind::kAgen});
+        cands.push_back({slot, IssueCandKind::kAgen});
       } else if (e.is_load() && !e.issued) {
         const LsqEntry& m = lsq_.entry(e.lsq_slot);
-        if (m.mem_ready && !m.mem_issued) cands.push_back({slot, CandKind::kLoadMem});
+        if (m.mem_ready && !m.mem_issued) cands.push_back({slot, IssueCandKind::kLoadMem});
       }
     } else if (!e.issued && e.src_pending == 0) {
-      cands.push_back({slot, CandKind::kFuOp});
+      cands.push_back({slot, IssueCandKind::kFuOp});
     }
   }
 
   // Optimized pipeline: if the oldest candidate is a load memory access,
   // pull the first non-load candidate into slot 0 (ages otherwise kept).
   if (!sched_.load_allowed_in_slot0() && !cands.empty() &&
-      cands.front().kind == CandKind::kLoadMem) {
+      cands.front().kind == IssueCandKind::kLoadMem) {
     for (std::size_t i = 1; i < cands.size(); ++i) {
-      if (cands[i].kind != CandKind::kLoadMem) {
-        const Candidate c = cands[i];
+      if (cands[i].kind != IssueCandKind::kLoadMem) {
+        const IssueCand c = cands[i];
         cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(i));
         cands.insert(cands.begin(), c);
         break;
@@ -69,47 +70,47 @@ void ReSimEngine::stage_issue() {
   }
 
   unsigned used_slots = 0;
-  for (const Candidate& c : cands) {
+  for (const IssueCand& c : cands) {
     if (used_slots >= cfg_.width) break;
     RobEntry& e = rob_.entry(c.rob_slot);
 
     switch (c.kind) {
-      case CandKind::kFuOp: {
+      case IssueCandKind::kFuOp: {
         // Branches and O-format ops bind their functional-unit class.
         const trace::OtherFu fu =
             e.is_branch() ? trace::OtherFu::kAlu : e.fi.rec.fu;
         const auto lat = fu_.try_issue(fu, cycle_);
         if (!lat) {
-          stats_.counter("issue.fu_stalls").add();
+          istat_.fu_stalls.add();
           continue;
         }
         e.issued = true;
         e.complete_at = cycle_ + *lat;
         ++used_slots;
-        stats_.counter("issue.ops").add();
+        istat_.ops.add();
         break;
       }
 
-      case CandKind::kAgen: {
+      case IssueCandKind::kAgen: {
         // Effective-address computation occupies an ALU for one op.
         const auto lat = fu_.try_issue_alu(cycle_);
         if (!lat) {
-          stats_.counter("issue.fu_stalls").add();
+          istat_.fu_stalls.add();
           continue;
         }
         e.agen_issued = true;
         lsq_.entry(e.lsq_slot).addr_ready_at = cycle_ + *lat;
         ++used_slots;
-        stats_.counter("issue.agen").add();
+        istat_.agen.add();
         break;
       }
 
-      case CandKind::kLoadMem: {
+      case IssueCandKind::kLoadMem: {
         // Optimized pipeline: no load in the major cycle's first slot.
         // With only load candidates ready, slot 0 stays empty and loads
         // occupy slots 1..N-1.
         if (used_slots == 0 && !sched_.load_allowed_in_slot0()) {
-          stats_.counter("issue.slot0_load_skips").add();
+          istat_.slot0_load_skips.add();
           used_slots = 1;
         }
         LsqEntry& m = lsq_.entry(e.lsq_slot);
@@ -119,10 +120,10 @@ void ReSimEngine::stage_issue() {
           e.issued = true;
           e.complete_at = cycle_ + 1;
           ++used_slots;
-          stats_.counter("issue.loads_forwarded").add();
+          istat_.loads_forwarded.add();
         } else {
           if (read_ports_used_ >= cfg_.mem_read_ports) {
-            stats_.counter("issue.read_port_stalls").add();
+            istat_.read_port_stalls.add();
             continue;
           }
           ++read_ports_used_;
@@ -131,7 +132,7 @@ void ReSimEngine::stage_issue() {
           e.issued = true;
           e.complete_at = cycle_ + res.latency;
           ++used_slots;
-          stats_.counter(res.hit ? "issue.load_hits" : "issue.load_misses").add();
+          (res.hit ? istat_.load_hits : istat_.load_misses).add();
         }
         break;
       }

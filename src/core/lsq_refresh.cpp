@@ -17,6 +17,13 @@
 
 namespace resim::core {
 
+LsqRefreshStats::LsqRefreshStats(StatsRegistry& reg)
+    : stores_completed(reg.counter("lsq.stores_completed")),
+      loads_blocked(reg.counter("lsq.loads_blocked")),
+      loads_forwarded(reg.counter("lsq.loads_forwarded")),
+      loads_ready(reg.counter("lsq.loads_ready")) {}
+
+
 void ReSimEngine::stage_lsq_refresh() {
   for (unsigned i = 0; i < lsq_.size(); ++i) {
     const int slot = lsq_.slot_at(i);
@@ -31,7 +38,7 @@ void ReSimEngine::stage_lsq_refresh() {
         // Stores produce no register value: completion bypasses the
         // writeback broadcast and the entry waits for Commit.
         e.completed = true;
-        stats_.counter("lsq.stores_completed").add();
+        lstat_.stores_completed.add();
       }
       continue;
     }
@@ -62,13 +69,13 @@ void ReSimEngine::stage_lsq_refresh() {
     }
 
     if (blocked) {
-      stats_.counter("lsq.loads_blocked").add();
+      lstat_.loads_blocked.add();
       continue;
     }
     m.mem_ready = true;
     m.forwarded = forwarded;
-    if (forwarded) stats_.counter("lsq.loads_forwarded").add();
-    stats_.counter("lsq.loads_ready").add();
+    if (forwarded) lstat_.loads_forwarded.add();
+    lstat_.loads_ready.add();
   }
 }
 

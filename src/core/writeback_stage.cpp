@@ -12,6 +12,10 @@
 
 namespace resim::core {
 
+WritebackStats::WritebackStats(StatsRegistry& reg)
+    : broadcasts(reg.counter("wb.broadcasts")) {}
+
+
 void ReSimEngine::stage_writeback() {
   unsigned broadcast = 0;
   for (unsigned i = 0; i < rob_.size() && broadcast < cfg_.width; ++i) {
@@ -21,7 +25,7 @@ void ReSimEngine::stage_writeback() {
 
     e.completed = true;
     ++broadcast;
-    stats_.counter("wb.broadcasts").add();
+    wstat_.broadcasts.add();
     wake_dependents(slot);
   }
 }

@@ -7,6 +7,7 @@
 #include <exception>
 #include <filesystem>
 #include <iomanip>
+#include <istream>
 #include <stdexcept>
 #include <ostream>
 #include <sstream>
@@ -251,6 +252,123 @@ void write_csv(std::ostream& os, const std::vector<JobResult>& results,
                const std::vector<std::string>& extra_params) {
   os << csv_header(extra_params) << '\n';
   for (const auto& r : results) os << csv_row(r, extra_params) << '\n';
+}
+
+namespace {
+
+/// The one RFC-4180 walk: split on unquoted commas, fields kept
+/// verbatim (quotes included). Joining the result with ',' reproduces
+/// the line, so every other helper derives from this split.
+std::vector<std::string> split_csv_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (const char c : line) {
+    if (c == '"') quoted = !quoted;
+    if (c == ',' && !quoted) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace
+
+std::string csv_first_field(const std::string& line) {
+  const std::string f = split_csv_fields(line).front();
+  if (f.empty() || f[0] != '"') return f;
+  std::string out;
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    if (f[i] == '"') {
+      if (i + 1 < f.size() && f[i + 1] == '"') {
+        out += '"';
+        ++i;  // doubled quote inside a quoted field
+      } else {
+        break;  // closing quote
+      }
+    } else {
+      out += f[i];
+    }
+  }
+  return out;
+}
+
+std::string csv_field_prefix(const std::string& line, std::size_t fields) {
+  const auto all = split_csv_fields(line);
+  std::string out;
+  for (std::size_t i = 0; i < std::min(fields, all.size()); ++i) {
+    if (i != 0) out += ',';
+    out += all[i];
+  }
+  return out;
+}
+
+std::size_t csv_config_fields(const std::vector<std::string>& extra_params) {
+  // Everything before the "committed" column is configuration (label,
+  // workload, the fixed config columns, then the extra dotted-path
+  // columns). Derived from csv_header itself so the two can never drift.
+  const auto fields = split_csv_fields(csv_header(extra_params));
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i] == "committed") return i;
+  }
+  return fields.size();
+}
+
+std::string csv_config_prefix(const SimJob& job,
+                              const std::vector<std::string>& extra_params,
+                              std::size_t fields) {
+  JobResult r;
+  r.label = job.label;
+  r.workload = job.workload;
+  r.config = job.config;
+  if (fields == 0) fields = csv_config_fields(extra_params);
+  return csv_field_prefix(csv_row(r, extra_params), fields);
+}
+
+namespace {
+
+/// Shape check for the final metric column (bits_per_record, always
+/// fixed-6 formatted): catches a row truncated inside its last field,
+/// which keeps the field count intact.
+bool is_fixed6(const std::string& f) {
+  const auto dot = f.find('.');
+  if (dot == std::string::npos || dot == 0 || f.size() - dot - 1 != 6) return false;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i == dot) continue;
+    if (f[i] < '0' || f[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResumeState parse_resume_csv(std::istream& existing,
+                             const std::string& expected_header) {
+  ResumeState st;
+  std::string line;
+  if (!std::getline(existing, line)) return st;  // empty file: nothing done yet
+  if (line != expected_header) {
+    throw std::runtime_error(
+        "--resume: existing CSV header does not match this sweep's layout; "
+        "refusing to append (file header \"" +
+        line + "\", sweep writes \"" + expected_header + "\")");
+  }
+  const std::size_t want = split_csv_fields(expected_header).size();
+  while (std::getline(existing, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv_fields(line);
+    if (fields.size() != want || !is_fixed6(fields.back())) {
+      ++st.dropped;  // truncated by a crash / full disk: the point re-runs
+      continue;
+    }
+    st.labels.push_back(csv_first_field(line));
+    st.rows.push_back(line);
+  }
+  return st;
 }
 
 }  // namespace resim::driver

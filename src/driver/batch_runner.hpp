@@ -129,6 +129,47 @@ class BatchRunner {
 void write_csv(std::ostream& os, const std::vector<JobResult>& results,
                const std::vector<std::string>& extra_params = {});
 
+// --- sweep resume (resim_cli sweep --resume FILE) --------------------------
+
+/// First CSV field of `line`, RFC-4180 unescaped (quoted labels may hold
+/// commas and doubled quotes).
+[[nodiscard]] std::string csv_first_field(const std::string& line);
+
+/// The first `fields` unquoted-comma-separated fields of a CSV line,
+/// verbatim (no unescaping). Used to compare a done row's configuration
+/// columns against the configuration the current sweep would write.
+[[nodiscard]] std::string csv_field_prefix(const std::string& line, std::size_t fields);
+
+/// Number of configuration columns a row of this sweep carries before
+/// the metric columns begin: label..mem plus one per extra param.
+[[nodiscard]] std::size_t csv_config_fields(const std::vector<std::string>& extra_params);
+
+/// What the configuration columns of `job`'s CSV row will look like —
+/// computable without running the job, so a resume can detect rows
+/// written by a sweep with different parameters. Pass a precomputed
+/// csv_config_fields value in `fields` to skip re-deriving it (0 derives).
+[[nodiscard]] std::string csv_config_prefix(const SimJob& job,
+                                            const std::vector<std::string>& extra_params,
+                                            std::size_t fields = 0);
+
+/// What an existing sweep CSV already holds, for `sweep --resume`.
+struct ResumeState {
+  std::vector<std::string> labels;  ///< labels of the complete rows, in order
+  std::vector<std::string> rows;    ///< those rows, verbatim
+  std::size_t dropped = 0;          ///< malformed rows ignored (truncated write)
+};
+
+/// Parse an existing sweep CSV. The stream's first line must equal
+/// `expected_header` — the header this sweep would write — or
+/// std::runtime_error is thrown: appending a different grid's rows into
+/// the file would silently interleave incompatible columns. Rows whose
+/// column count does not match the header (e.g. a line truncated by a
+/// crash or a full disk) are counted in `dropped` and NOT treated as
+/// done, so their grid points re-run. An empty stream yields an empty
+/// state (a fresh file).
+[[nodiscard]] ResumeState parse_resume_csv(std::istream& existing,
+                                           const std::string& expected_header);
+
 }  // namespace resim::driver
 
 #endif  // RESIM_DRIVER_BATCH_RUNNER_H

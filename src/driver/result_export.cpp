@@ -87,22 +87,25 @@ std::string result_json(const JobResult& r, unsigned indent) {
 
   os << in << "  \"stats\": {\n";
   os << in << "    \"counters\": {";
-  const auto& counters = r.result.stats.counters();
+  // Only touched stats are exported (the registry's visibility contract):
+  // resolve-once handles register names eagerly, and a silent counter
+  // must not appear where the lazy-creation binary printed nothing.
   std::size_t i = 0;
-  for (const auto& [name, c] : counters) {
+  for (const auto& [name, c] : r.result.stats.counters()) {
+    if (!c.touched()) continue;
     os << (i++ == 0 ? "\n" : ",\n") << in << "      \"" << json_escape(name)
        << "\": " << c.value();
   }
-  os << (counters.empty() ? "" : "\n" + in + "    ") << "},\n";
+  os << (i == 0 ? "" : "\n" + in + "    ") << "},\n";
   os << in << "    \"occupancies\": {";
-  const auto& occs = r.result.stats.occupancies();
   i = 0;
-  for (const auto& [name, o] : occs) {
+  for (const auto& [name, o] : r.result.stats.occupancies()) {
+    if (!o.touched()) continue;
     os << (i++ == 0 ? "\n" : ",\n") << in << "      \"" << json_escape(name)
        << "\": {\"average\": " << fixed6(o.average()) << ", \"max\": " << o.max()
        << ", \"samples\": " << o.samples() << "}";
   }
-  os << (occs.empty() ? "" : "\n" + in + "    ") << "}\n";
+  os << (i == 0 ? "" : "\n" + in + "    ") << "}\n";
   os << in << "  }\n";
   os << in << "}";
   return os.str();

@@ -4,6 +4,15 @@
 
 namespace resim::trace {
 
+TraceGenerator::GenStats::GenStats(StatsRegistry& reg)
+    : insts(reg.counter("tracegen.insts")),
+      branches(reg.counter("tracegen.branches")),
+      correct(reg.counter("tracegen.correct")),
+      misfetches(reg.counter("tracegen.misfetches")),
+      mispredicts(reg.counter("tracegen.mispredicts")),
+      wrong_path_insts(reg.counter("tracegen.wrong_path_insts")) {}
+
+
 using funcsim::DynInst;
 using isa::CtrlType;
 using isa::FuClass;
@@ -109,7 +118,7 @@ void TraceGenerator::emit_wrong_path_block(Addr wrong_pc, std::vector<TraceRecor
   Addr wpc = wrong_pc;
   for (std::uint32_t i = 0; i < cfg_.wrong_path_block; ++i) {
     out.push_back(wrong_path_record(wpc));
-    stats_.counter("tracegen.wrong_path_insts").add();
+    gstat_.wrong_path_insts.add();
     wpc += kInstBytes;
   }
 }
@@ -126,22 +135,22 @@ std::size_t TraceGenerator::step(std::vector<TraceRecord>& out) {
   }
   out.push_back(rec);
   ++correct_insts_;
-  stats_.counter("tracegen.insts").add();
+  gstat_.insts.add();
 
   if (d.is_branch()) {
-    stats_.counter("tracegen.branches").add();
+    gstat_.branches.add();
     const auto pred =
         bp_.predict(d.pc, d.si->ctrl(), d.pc + kInstBytes, d.taken, d.next_pc);
     const auto outcome = bpred::BranchPredictorUnit::classify(pred, d.taken, d.next_pc);
     switch (outcome) {
       case bpred::Outcome::kCorrect:
-        stats_.counter("tracegen.correct").add();
+        gstat_.correct.add();
         break;
       case bpred::Outcome::kMisfetch:
-        stats_.counter("tracegen.misfetches").add();
+        gstat_.misfetches.add();
         break;
       case bpred::Outcome::kMispredict:
-        stats_.counter("tracegen.mispredicts").add();
+        gstat_.mispredicts.add();
         if (cfg_.emit_wrong_path) emit_wrong_path_block(pred.next_pc, out);
         break;
     }

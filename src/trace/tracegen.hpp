@@ -39,6 +39,11 @@ class TraceGenerator {
  public:
   TraceGenerator(workload::Workload wl, const TraceGenConfig& cfg);
 
+  // gstat_ holds references into stats_; a copied or moved generator
+  // would keep counting into the source object's registry.
+  TraceGenerator(const TraceGenerator&) = delete;
+  TraceGenerator& operator=(const TraceGenerator&) = delete;
+
   /// Emit the records of one correct-path instruction (plus a tagged
   /// wrong-path block after a mispredicted branch). Returns the number of
   /// records appended; 0 means the stream has ended.
@@ -60,11 +65,24 @@ class TraceGenerator {
   void emit_wrong_path_block(Addr wrong_pc, std::vector<TraceRecord>& out);
   [[nodiscard]] TraceRecord wrong_path_record(Addr wpc) const;
 
+  /// Resolve-once stat handles (docs/STATS.md): step() runs per dynamic
+  /// instruction, so generation must not pay a map walk per event.
+  struct GenStats {
+    explicit GenStats(StatsRegistry& reg);
+    Counter& insts;
+    Counter& branches;
+    Counter& correct;
+    Counter& misfetches;
+    Counter& mispredicts;
+    Counter& wrong_path_insts;
+  };
+
   workload::Workload wl_;  // owned: keeps the Program alive for fsim_
   TraceGenConfig cfg_;
   funcsim::FuncSim fsim_;
   bpred::BranchPredictorUnit bp_;
   StatsRegistry stats_;
+  GenStats gstat_{stats_};
   std::uint64_t correct_insts_ = 0;
 };
 

@@ -150,5 +150,107 @@ TEST(BatchRunner, CsvHeaderColumnsMatchRows) {
   }
 }
 
+// ---- sweep --resume helpers -----------------------------------------------
+
+TEST(SweepResume, FirstFieldPlainAndQuoted) {
+  EXPECT_EQ(csv_first_field("gzip/w4/rob16,gzip,rest"), "gzip/w4/rob16");
+  EXPECT_EQ(csv_first_field("nocomma"), "nocomma");
+  EXPECT_EQ(csv_first_field("\"width 2 (ROB 16, LSQ 8)\",gzip,1"),
+            "width 2 (ROB 16, LSQ 8)");
+  EXPECT_EQ(csv_first_field("\"he said \"\"hi\"\"\",x"), "he said \"hi\"");
+  EXPECT_EQ(csv_first_field(""), "");
+}
+
+TEST(SweepResume, DoneLabelsRoundTripThroughWriteCsv) {
+  const auto jobs = sweep_jobs(1000);
+  const auto results = BatchRunner(1).run(jobs);
+  std::ostringstream csv;
+  write_csv(csv, results);
+  std::istringstream in(csv.str());
+  const auto st = parse_resume_csv(in, csv_header());
+  ASSERT_EQ(st.labels.size(), results.size());
+  EXPECT_EQ(st.dropped, 0u);
+  for (std::size_t i = 0; i < st.labels.size(); ++i) {
+    EXPECT_EQ(st.labels[i], results[i].label);
+    EXPECT_EQ(st.rows[i], csv_row(results[i]));  // rows survive verbatim
+  }
+}
+
+TEST(SweepResume, MismatchedHeaderIsRejected) {
+  std::istringstream in("label,workload,other_layout\nrow1,x,y\n");
+  EXPECT_THROW((void)parse_resume_csv(in, csv_header()), std::runtime_error);
+}
+
+TEST(SweepResume, EmptyStreamMeansNothingDone) {
+  std::istringstream in("");
+  const auto st = parse_resume_csv(in, csv_header());
+  EXPECT_TRUE(st.labels.empty());
+  EXPECT_EQ(st.dropped, 0u);
+}
+
+TEST(SweepResume, RowTruncatedInsideLastFieldIsDropped) {
+  // Truncation inside the final field keeps the comma count intact; the
+  // fixed-6 shape of bits_per_record is the tell.
+  const auto jobs = sweep_jobs(1000);
+  const auto results = BatchRunner(1).run(jobs);
+  std::ostringstream csv;
+  write_csv(csv, results);
+  std::string text = csv.str();
+  text.resize(text.size() - 5);  // "...39.176638\n" -> "...39.17"
+  std::istringstream in(text);
+  const auto st = parse_resume_csv(in, csv_header());
+  EXPECT_EQ(st.labels.size(), results.size() - 1);
+  EXPECT_EQ(st.dropped, 1u);
+}
+
+TEST(SweepResume, ConfigPrefixDetectsParameterDrift) {
+  auto jobs = sweep_jobs(1000);
+  const auto results = BatchRunner(1).run(jobs);
+  const std::string row = csv_row(results[0]);
+  // Same label, same grid point: prefixes match.
+  EXPECT_EQ(csv_field_prefix(row, csv_config_fields({})),
+            csv_config_prefix(jobs[0], {}));
+  // A --set that lands in a config column (here the ROB) must show up.
+  jobs[0].config.rob_size *= 2;
+  EXPECT_NE(csv_field_prefix(row, csv_config_fields({})),
+            csv_config_prefix(jobs[0], {}));
+}
+
+TEST(SweepResume, TruncatedRowIsDroppedNotDone) {
+  // A crash mid-write leaves a short final line: its grid point must
+  // re-run, and the row must not survive into the rewritten file.
+  const auto jobs = sweep_jobs(1000);
+  const auto results = BatchRunner(1).run(jobs);
+  std::ostringstream csv;
+  write_csv(csv, results);
+  std::string text = csv.str();
+  text += "truncated/label,gzip,2";  // no trailing columns, no newline
+  std::istringstream in(text);
+  const auto st = parse_resume_csv(in, csv_header());
+  EXPECT_EQ(st.labels.size(), results.size());
+  EXPECT_EQ(st.dropped, 1u);
+  for (const auto& l : st.labels) EXPECT_NE(l, "truncated/label");
+}
+
+TEST(SweepResume, HeaderWithExtraAxisColumnsValidates) {
+  const std::vector<std::string> extra = {"mem.l1d.assoc"};
+  const std::string header = csv_header(extra);
+  // A complete row for the extra-column layout has one more separator
+  // (and the last field must look like the fixed-6 bits_per_record).
+  std::string row = "point/a2,gzip";
+  for (long i = 0; i < std::count(header.begin(), header.end(), ',') - 2; ++i) {
+    row += ",0";
+  }
+  row += ",39.176638";
+  std::istringstream in(header + "\n" + row + "\n");
+  const auto st = parse_resume_csv(in, csv_header(extra));
+  ASSERT_EQ(st.labels.size(), 1u);
+  EXPECT_EQ(st.labels[0], "point/a2");
+  // ...and the extra-column header does NOT validate against the
+  // standard layout.
+  std::istringstream in2(csv_header(extra) + "\n");
+  EXPECT_THROW((void)parse_resume_csv(in2, csv_header()), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace resim::driver

@@ -11,6 +11,9 @@ Understood schemas (see docs/CI.md):
                        different core count still compares peak rates)
   BENCH_trace_io.json  micro_trace_stream: mb_per_sec per backend, plus
                        compression_ratio and the identity_ok flag
+  BENCH_engine.json    micro_engine_throughput: minsts_per_sec per
+                       workload/pipeline/backend grid point, plus the
+                       identity_ok flag
 
 Usage:
   tools/check_bench_regression.py --baseline bench/baselines/BENCH_sweep.json \
@@ -49,6 +52,9 @@ def metrics_of(doc):
             out[f"mb_per_sec({b['name']})"] = b["mb_per_sec"]
         if "compression_ratio" in doc:
             out["compression_ratio"] = doc["compression_ratio"]
+    if "engine_points" in doc:  # micro_engine_throughput
+        for p in doc["engine_points"]:
+            out[f"minsts_per_sec({p['name']})"] = p["minsts_per_sec"]
     return out
 
 
@@ -61,6 +67,9 @@ def rebaseline(current_path, out_path, derate):
         b["mrecords_per_sec"] = round(b["mrecords_per_sec"] * derate, 6)
     for p in doc.get("points", []):
         p["jobs_per_sec"] = round(p["jobs_per_sec"] * derate, 6)
+    for p in doc.get("engine_points", []):
+        p["minsts_per_sec"] = round(p["minsts_per_sec"] * derate, 6)
+        p["mcycles_per_sec"] = round(p["mcycles_per_sec"] * derate, 6)
     doc["derated"] = derate
     with open(out_path, "w") as f:
         json.dump(doc, f, indent=2)

@@ -10,7 +10,7 @@
 //                   [--skip N --warmup N --max-records N]
 //   resim_cli stats --trace gzip.rsim [--backend memory|stream|mmap]
 //   resim_cli sweep --spec FILE [-j N] [--config FILE] [--set k=v]...
-//                   [--out FILE] [--json FILE] [--csv-full FILE]
+//                   [--out FILE | --resume FILE] [--json FILE] [--csv-full FILE]
 //   resim_cli params [--config FILE] [--set k=v]... [--save FILE] [--markdown]
 //   resim_cli schedule --variant optimized --width 4
 //   resim_cli vhdl  --out dir [--pht 4096 --hist 8 --btb 512 --ras 16]
@@ -20,14 +20,17 @@
 // single parameter, and the legacy shorthand flags (--width, --rob, ...)
 // remain as aliases. Precedence: defaults < --config < shorthand flags
 // < --set (left to right).
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -336,16 +339,29 @@ int cmd_sim(const Args& a) {
 
 /// The legacy flag-driven sweep as a SweepSpec: same axes, same nesting
 /// order, same labels — expand_spec reproduces the old loop nest's CSV
-/// byte for byte.
-config::SweepSpec legacy_sweep_spec(const Args& a, const core::CoreConfig& base) {
+/// byte for byte. An implicit (defaulted) axis whose parameter the user
+/// pinned with --config/--set collapses to the pinned value — the
+/// default must not silently override an explicit request; an axis flag
+/// given explicitly still wins, like a spec axis does.
+config::SweepSpec legacy_sweep_spec(const Args& a, const core::CoreConfig& base,
+                                    const std::vector<std::string>& pinned) {
   config::SweepSpec spec;
   spec.base = base;
+  const auto& reg = config::ParamRegistry::instance();
+  const auto axis = [&](const char* flag, const char* path,
+                        const char* dflt) -> config::SweepAxis {
+    if (!has(a, flag) &&
+        std::find(pinned.begin(), pinned.end(), path) != pinned.end()) {
+      return {path, {reg.get(base, path)}};
+    }
+    return {path, config::split_list(get(a, flag, dflt), std::string("--") + flag)};
+  };
   spec.axes = {
       {"bench", config::split_list(get(a, "bench", "gzip"), "--bench")},
-      {"pipeline.variant", config::split_list(get(a, "variants", "optimized"), "--variants")},
-      {"core.width", config::split_list(get(a, "widths", "2,4,8"), "--widths")},
-      {"core.rob_size", config::split_list(get(a, "robs", "16"), "--robs")},
-      {"bp.kind", config::split_list(get(a, "bps", "2lev"), "--bps")},
+      axis("variants", "pipeline.variant", "optimized"),
+      axis("widths", "core.width", "2,4,8"),
+      axis("robs", "core.rob_size", "16"),
+      axis("bps", "bp.kind", "2lev"),
   };
   return spec;
 }
@@ -383,7 +399,7 @@ int cmd_sweep(const Args& a) {
     // re-apply --set so its documented highest precedence holds.
     (void)config::apply_sets(spec.base, a.sets);
   } else {
-    spec = legacy_sweep_spec(a, base);
+    spec = legacy_sweep_spec(a, base, cli_pinned);
   }
   spec.pinned.insert(spec.pinned.end(), cli_pinned.begin(), cli_pinned.end());
   if (has(a, "insts")) spec.insts = get_u64(a, "insts", 0);
@@ -425,19 +441,145 @@ int cmd_sweep(const Args& a) {
     }
   }
 
+  // --resume FILE: the grid points whose complete label row already
+  // exists in FILE are skipped; the rest run in batches, each batch
+  // appended and flushed as it completes, so an interrupted resume run
+  // itself leaves its finished rows behind for the next attempt. The
+  // file's header must match the header this sweep would write (same
+  // axes/extra columns), otherwise resuming is refused; rows truncated
+  // by a crash are dropped from the file and their points re-run.
+  const std::string resume = get(a, "resume", "");
+  std::size_t resumed_skipped = 0;
+  if (!resume.empty()) {
+    if (has(a, "out")) {
+      throw std::invalid_argument("--resume names the output CSV itself; drop --out");
+    }
+    if (has(a, "json") || has(a, "csv-full")) {
+      // These exports would cover only the points run in THIS invocation
+      // and silently pass for a full-grid export; run them on the
+      // completed CSV's grid without --resume instead.
+      throw std::invalid_argument("--resume cannot export --json/--csv-full "
+                                  "(they would hold only the resumed subset)");
+    }
+    driver::ResumeState st;
+    {
+      std::ifstream existing(resume);
+      if (existing) {
+        st = driver::parse_resume_csv(existing, driver::csv_header(grid.extra_csv_paths));
+      }
+    }
+    if (st.dropped != 0) {
+      std::cerr << "resume: dropped " << st.dropped
+                << " malformed row(s) (interrupted write?); those points re-run\n";
+    }
+    std::map<std::string, std::size_t> done;  // label -> row index
+    for (std::size_t i = 0; i < st.labels.size(); ++i) done.emplace(st.labels[i], i);
+    // A row only counts as done if its configuration columns match what
+    // this sweep would write for that label — a row from a sweep whose
+    // --config/--set landed in a config column is stale, re-run and
+    // replaced. Parameters with no CSV column (--insts, cache geometry,
+    // FU latencies, ...) cannot be cross-checked: warn so the caller
+    // knows resume assumes the same invocation for those.
+    std::vector<std::string> unchecked;
+    for (const auto& p : spec.pinned) {
+      static const char* const kColumnBacked[] = {
+          "pipeline.variant", "core.width",    "core.ifq_size", "core.rob_size",
+          "core.lsq_size",    "bp.kind",       "mem.perfect",   "mem.with_l2",
+          "trace.backend",  // no column, but cannot change results
+      };
+      const bool covered =
+          std::any_of(std::begin(kColumnBacked), std::end(kColumnBacked),
+                      [&](const char* c) { return p == c; }) ||
+          std::find(grid.extra_csv_paths.begin(), grid.extra_csv_paths.end(), p) !=
+              grid.extra_csv_paths.end();
+      if (!covered) unchecked.push_back(p);
+    }
+    if (!unchecked.empty()) {
+      std::cerr << "resume: warning: no CSV column records";
+      for (const auto& p : unchecked) std::cerr << ' ' << p;
+      std::cerr << "; rows cannot be cross-checked against those overrides — "
+                   "resume with the same values\n";
+    }
+    const std::size_t cfg_fields = driver::csv_config_fields(grid.extra_csv_paths);
+    std::set<std::size_t> stale_rows;
+    std::vector<driver::SimJob> pending;
+    pending.reserve(grid.jobs.size());
+    for (auto& job : grid.jobs) {
+      const auto it = done.find(job.label);
+      if (it != done.end() &&
+          driver::csv_field_prefix(st.rows[it->second], cfg_fields) ==
+              driver::csv_config_prefix(job, grid.extra_csv_paths, cfg_fields)) {
+        ++resumed_skipped;
+      } else {
+        if (it != done.end()) stale_rows.insert(it->second);
+        pending.push_back(std::move(job));
+      }
+    }
+    if (!stale_rows.empty()) {
+      std::cerr << "resume: " << stale_rows.size() << " row(s) in " << resume
+                << " have different configuration columns than this sweep writes; "
+                   "re-running those points\n";
+    }
+    grid.jobs = std::move(pending);
+    // Rewrite header + surviving rows (drops any truncated tail or stale
+    // row and guarantees the file ends in a newline before appending).
+    // Written to a temp file and renamed over the original so a crash
+    // mid-rewrite cannot lose the completed rows --resume exists to keep.
+    const std::string tmp = resume + ".tmp";
+    {
+      std::ofstream f(tmp);
+      if (!f) throw std::runtime_error("cannot open output file: " + tmp);
+      f << driver::csv_header(grid.extra_csv_paths) << '\n';
+      for (std::size_t i = 0; i < st.rows.size(); ++i) {
+        if (stale_rows.count(i) == 0) f << st.rows[i] << '\n';
+      }
+      f.flush();
+      if (!f) throw std::runtime_error("write failed: " + tmp);
+    }
+    std::filesystem::rename(tmp, resume);
+  }
+
   const driver::BatchRunner runner(static_cast<unsigned>(get_u64(a, "j", 1)));
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = runner.run(grid.jobs);
+  std::vector<driver::JobResult> results;
+  std::size_t appended = 0;
+  if (!resume.empty()) {
+    // Checkpointed execution: batches of jobs, each appended + flushed on
+    // completion, then freed — a resumable sweep is exactly the kind too
+    // big to hold every result in memory. A kill between batches loses
+    // at most one batch.
+    std::ofstream f(resume, std::ios::app);
+    if (!f) throw std::runtime_error("cannot open output file: " + resume);
+    const std::size_t batch = std::max<std::size_t>(16, runner.threads() * 4);
+    for (std::size_t first = 0; first < grid.jobs.size(); first += batch) {
+      const auto last = std::min(grid.jobs.size(), first + batch);
+      const auto b = grid.jobs.begin();
+      const std::vector<driver::SimJob> slice(
+          std::make_move_iterator(b + static_cast<std::ptrdiff_t>(first)),
+          std::make_move_iterator(b + static_cast<std::ptrdiff_t>(last)));
+      const auto part = runner.run(slice);
+      for (const auto& r : part) f << driver::csv_row(r, grid.extra_csv_paths) << '\n';
+      f.flush();
+      appended += part.size();
+    }
+  } else {
+    results = runner.run(grid.jobs);
+  }
   const double secs = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - t0).count();
 
   const std::string out = get(a, "out", "");
-  if (out.empty()) {
-    driver::write_csv(std::cout, results, grid.extra_csv_paths);
+  if (resume.empty()) {
+    if (out.empty()) {
+      driver::write_csv(std::cout, results, grid.extra_csv_paths);
+    } else {
+      std::ofstream f(out);
+      if (!f) throw std::runtime_error("cannot open output file: " + out);
+      driver::write_csv(f, results, grid.extra_csv_paths);
+    }
   } else {
-    std::ofstream f(out);
-    if (!f) throw std::runtime_error("cannot open output file: " + out);
-    driver::write_csv(f, results, grid.extra_csv_paths);
+    std::cerr << "resume: " << resumed_skipped << " grid point(s) already in " << resume
+              << ", " << appended << " appended\n";
   }
   if (has(a, "json")) {
     std::ofstream f(get(a, "json", ""));
@@ -526,7 +668,7 @@ int usage() {
       "           [--robs 8,16,32] [--bps 2lev,perfect] [--variants ...]]\n"
       "           [--config FILE] [--set key=value]... [--trace FILE] [--insts N]\n"
       "           [--backend memory|stream|mmap] [--stream]\n"
-      "           [--out FILE] [--json FILE] [--csv-full FILE]\n"
+      "           [--out FILE | --resume FILE] [--json FILE] [--csv-full FILE]\n"
       "  params   [--config FILE] [--set key=value]... [--save FILE] [--markdown]\n"
       "  schedule --variant NAME --width N\n"
       "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n"
