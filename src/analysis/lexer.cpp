@@ -1,0 +1,230 @@
+#include "analysis/lexer.hpp"
+
+#include <cctype>
+
+namespace resim::analysis {
+
+namespace {
+
+/// Character cursor over the source with translation-phase-2 semantics:
+/// a backslash immediately followed by a newline splices the two lines.
+/// peek() looks through splices without consuming; get() consumes them
+/// and advances the physical line counter, so tokens report the line
+/// their first character actually sits on. Raw-string bodies must not
+/// splice, hence the raw accessors.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  bool eof() const { return skip(pos_) >= s_.size(); }
+
+  /// Character `ahead` positions past the cursor, looking through
+  /// splices; '\0' at end of input.
+  char peek(std::size_t ahead = 0) const {
+    std::size_t p = skip(pos_);
+    while (ahead-- > 0 && p < s_.size()) p = skip(p + 1);
+    return p < s_.size() ? s_[p] : '\0';
+  }
+
+  char get() {
+    while (is_splice(pos_)) {
+      pos_ += splice_len(pos_);
+      ++line_;
+    }
+    if (pos_ >= s_.size()) return '\0';
+    const char c = s_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  /// Raw (no-splice) accessors for raw-string literal bodies, where a
+  /// backslash-newline is two ordinary characters.
+  bool raw_eof() const { return pos_ >= s_.size(); }
+  char raw_peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char raw_get() {
+    if (pos_ >= s_.size()) return '\0';
+    const char c = s_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  int line() const { return line_; }
+
+ private:
+  bool is_splice(std::size_t p) const {
+    return p + 1 < s_.size() && s_[p] == '\\' &&
+           (s_[p + 1] == '\n' ||
+            (s_[p + 1] == '\r' && p + 2 < s_.size() && s_[p + 2] == '\n'));
+  }
+  std::size_t splice_len(std::size_t p) const {
+    return s_[p + 1] == '\r' ? 3 : 2;
+  }
+  /// Pure splice skip for the const lookahead path.
+  std::size_t skip(std::size_t p) const {
+    while (is_splice(p)) p += splice_len(p);
+    return p;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool ident_char(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// True when `prefix` is a valid string/char encoding prefix (u8, u, U,
+/// L), optionally ending in R for raw strings.
+bool is_encoding_prefix(const std::string& p, bool& raw) {
+  std::string q = p;
+  raw = false;
+  if (!q.empty() && q.back() == 'R') {
+    raw = true;
+    q.pop_back();
+  }
+  return q.empty() || q == "u8" || q == "u" || q == "U" || q == "L";
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  Cursor c(source);
+
+  auto lex_quoted = [&](char quote, std::string& text) {
+    // `text` already holds the opening prefix + quote.
+    while (!c.eof()) {
+      const char ch = c.peek();
+      if (ch == '\n') break;  // unterminated: stop at end of line
+      text += c.get();
+      if (ch == '\\' && !c.eof() && c.peek() != '\n') {
+        text += c.get();  // escaped character, including \" and \'
+        continue;
+      }
+      if (ch == quote) break;
+    }
+  };
+
+  auto lex_raw_string = [&](std::string& text) {
+    // Opening quote already consumed; parse the d-char-seq up to '('.
+    std::string delim;
+    while (!c.raw_eof() && c.raw_peek() != '(' && c.raw_peek() != '\n' &&
+           c.raw_peek() != '"' && delim.size() < 16) {
+      delim += c.raw_get();
+    }
+    text += delim;
+    if (c.raw_peek() != '(') return;  // malformed; keep what we have
+    text += c.raw_get();
+    const std::string closer = ")" + delim + "\"";
+    while (!c.raw_eof()) {
+      text += c.raw_get();
+      if (text.size() >= closer.size() &&
+          text.compare(text.size() - closer.size(), closer.size(), closer) ==
+              0) {
+        break;
+      }
+    }
+  };
+
+  while (!c.eof()) {
+    const char ch = c.peek();
+    const int line = c.line();
+
+    if (ch == '\n' || ch == '\r' || ch == '\t' || ch == ' ' || ch == '\f' ||
+        ch == '\v') {
+      c.get();
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      std::string text;
+      while (!c.eof() && c.peek() != '\n') text += c.get();
+      out.push_back({TokKind::kComment, text, line});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      std::string text;
+      text += c.get();
+      text += c.get();
+      while (!c.eof()) {
+        const char k = c.get();
+        text += k;
+        if (k == '*' && c.peek() == '/') {
+          text += c.get();
+          break;
+        }
+      }
+      out.push_back({TokKind::kComment, text, line});
+      continue;
+    }
+
+    // Identifiers, possibly an encoding prefix of a string/char literal.
+    if (ident_start(ch)) {
+      std::string text;
+      while (!c.eof() && ident_char(c.peek())) text += c.get();
+      bool raw = false;
+      if ((c.peek() == '"' || c.peek() == '\'') &&
+          is_encoding_prefix(text, raw)) {
+        const char quote = c.peek();
+        text += c.get();
+        if (raw && quote == '"') {
+          lex_raw_string(text);
+        } else {
+          lex_quoted(quote, text);
+        }
+        out.push_back({quote == '"' ? TokKind::kString : TokKind::kCharLit,
+                       text, line});
+        continue;
+      }
+      out.push_back({TokKind::kIdentifier, text, line});
+      continue;
+    }
+
+    // Numbers (pp-number: digits, idents, separators, exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      std::string text;
+      while (!c.eof()) {
+        const char k = c.peek();
+        if (ident_char(k) || k == '.' || k == '\'') {
+          text += c.get();
+          if ((k == 'e' || k == 'E' || k == 'p' || k == 'P') &&
+              (c.peek() == '+' || c.peek() == '-')) {
+            text += c.get();
+          }
+        } else {
+          break;
+        }
+      }
+      out.push_back({TokKind::kNumber, text, line});
+      continue;
+    }
+
+    // String / char literals with no prefix.
+    if (ch == '"' || ch == '\'') {
+      std::string text;
+      text += c.get();
+      lex_quoted(ch, text);
+      out.push_back({ch == '"' ? TokKind::kString : TokKind::kCharLit, text,
+                     line});
+      continue;
+    }
+
+    // Punctuation; merge the two digraphs the rules care about.
+    std::string text(1, c.get());
+    if (ch == ':' && c.peek() == ':') {
+      text += c.get();
+    } else if (ch == '-' && c.peek() == '>') {
+      text += c.get();
+    }
+    out.push_back({TokKind::kPunct, text, line});
+  }
+  return out;
+}
+
+}  // namespace resim::analysis

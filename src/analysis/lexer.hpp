@@ -1,0 +1,42 @@
+// Lexer for resim_lint: a minimal C++ tokenizer that is exact about the
+// things a source-level linter must never get wrong — comments, string
+// and character literals (including encoding prefixes and raw strings),
+// numeric literals with digit separators, and backslash-newline splices.
+//
+// It deliberately does NOT understand the full C++ grammar: rules match
+// token shapes (identifier/punctuation sequences), which is enough to
+// check the repo invariants in src/analysis/rules.cpp without dragging a
+// real front end into the build. Comments are emitted as tokens so the
+// rule engine can read per-line allow-comment suppressions (docs/LINT.md).
+#ifndef RESIM_ANALYSIS_LEXER_H
+#define RESIM_ANALYSIS_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace resim::analysis {
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords (the lexer does not split them)
+  kNumber,      ///< pp-number: covers hex/bin/float/separators/suffixes
+  kString,      ///< "..." with any encoding prefix, plus raw strings
+  kCharLit,     ///< '...' with any encoding prefix
+  kPunct,       ///< one punctuation char; `::` and `->` are merged
+  kComment,     ///< // to end of line, or /* */ (text includes delimiters)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+/// Tokenizes a whole translation unit. Never throws on malformed input:
+/// an unterminated literal or comment becomes a token that runs to the
+/// end of the line (strings/chars) or file (block comments), because a
+/// linter must degrade gracefully on code the compiler would reject.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace resim::analysis
+
+#endif  // RESIM_ANALYSIS_LEXER_H

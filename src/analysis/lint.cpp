@@ -1,0 +1,222 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace resim::analysis {
+
+namespace {
+
+/// Rule id reserved for the engine's own check on dead allow() comments.
+constexpr const char* kUnusedSuppression = "unused-suppression";
+
+/// One rule name parsed out of an allow-comment.
+struct Suppression {
+  int line = 0;
+  std::string rule;
+  bool used = false;
+  bool unknown = false;  ///< names no registered rule (typo guard)
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Extracts allow()ed rule names from a comment token. The marker — the
+/// linter's name, a colon, then an allow() list — can sit anywhere in
+/// the comment, so a justification may precede it on the same line.
+std::vector<std::string> parse_allows(const std::string& comment) {
+  std::vector<std::string> out;
+  const std::string marker = "resim-lint:";
+  std::size_t from = 0;
+  while (true) {
+    std::size_t at = comment.find(marker, from);
+    if (at == std::string::npos) break;
+    at = comment.find("allow(", at + marker.size());
+    if (at == std::string::npos) break;
+    const std::size_t close = comment.find(')', at);
+    if (close == std::string::npos) break;
+    const std::string list = comment.substr(at + 6, close - at - 6);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string item =
+          trim(list.substr(start, comma == std::string::npos ? std::string::npos
+                                                             : comma - start));
+      if (!item.empty()) out.push_back(item);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    from = close + 1;
+  }
+  return out;
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) throw std::runtime_error("resim_lint: cannot open " + p.string());
+  std::ostringstream os;
+  os << f.rdbuf();
+  if (f.bad()) throw std::runtime_error("resim_lint: read failed for " + p.string());
+  return os.str();
+}
+
+bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" ||
+         ext == ".hh";
+}
+
+std::string baseline_key(const Finding& f) {
+  return f.file + ": " + f.rule + ": " + f.message;
+}
+
+}  // namespace
+
+std::string format_finding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+         f.message;
+}
+
+Baseline Baseline::parse(const std::string& text, const std::string& origin) {
+  Baseline b;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    // Shape check: "file: rule: message" needs at least two ": " breaks.
+    const std::size_t c1 = t.find(": ");
+    const std::size_t c2 = c1 == std::string::npos ? c1 : t.find(": ", c1 + 2);
+    if (c2 == std::string::npos) {
+      throw std::runtime_error(origin + ":" + std::to_string(lineno) +
+                               ": malformed baseline entry (want "
+                               "'file: rule-id: message'): " + t);
+    }
+    ++b.entries_[t];
+  }
+  return b;
+}
+
+bool Baseline::absorb(const Finding& f) {
+  auto it = entries_.find(baseline_key(f));
+  if (it == entries_.end() || it->second == 0) return false;
+  --it->second;
+  return true;
+}
+
+std::vector<std::string> Baseline::stale() const {
+  std::vector<std::string> out;
+  for (const auto& [key, count] : entries_) {
+    for (int i = 0; i < count; ++i) out.push_back(key);
+  }
+  return out;
+}
+
+LintEngine::LintEngine() : rules_(default_rules()) {}
+
+void LintEngine::add_rule(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<Finding> LintEngine::run_file(const std::string& relpath,
+                                          const std::string& source) const {
+  const std::vector<Token> toks = tokenize(source);
+
+  std::set<std::string> known;
+  known.insert(kUnusedSuppression);
+  for (const auto& r : rules_) known.insert(r->id());
+
+  std::vector<Suppression> sups;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kComment) continue;
+    for (const std::string& rule : parse_allows(t.text)) {
+      sups.push_back({t.line, rule, false, known.count(rule) == 0});
+    }
+  }
+
+  std::vector<Finding> raw;
+  for (const auto& r : rules_) {
+    if (r->applies_to(relpath)) r->check(relpath, toks, raw);
+  }
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (Suppression& s : sups) {
+      if (s.line == f.line && s.rule == f.rule) {
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+
+  for (Suppression& s : sups) {
+    if (s.unknown) {
+      out.push_back({relpath, s.line, kUnusedSuppression,
+                     "allow() names unknown rule '" + s.rule + "'"});
+    } else if (!s.used && s.rule != kUnusedSuppression) {
+      Finding f{relpath, s.line, kUnusedSuppression,
+                "allow(" + s.rule + ") suppresses nothing on this line"};
+      // A dead suppression can itself be allow()ed during refactors.
+      bool keep = true;
+      for (Suppression& s2 : sups) {
+        if (s2.line == s.line && s2.rule == kUnusedSuppression) {
+          s2.used = true;
+          keep = false;
+        }
+      }
+      if (keep) out.push_back(std::move(f));
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+std::vector<Finding> LintEngine::run_tree(
+    const std::string& root, const std::vector<std::string>& dirs) const {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, fs::path>> files;  // relpath, abspath
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) {
+      throw std::runtime_error("resim_lint: no such directory: " +
+                               base.string());
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !lintable_extension(entry.path())) {
+        continue;
+      }
+      const std::string rel =
+          (fs::path(dir) / fs::relative(entry.path(), base)).generic_string();
+      files.emplace_back(rel, entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> out;
+  for (const auto& [rel, abs] : files) {
+    std::vector<Finding> fs_file = run_file(rel, read_file(abs));
+    out.insert(out.end(), std::make_move_iterator(fs_file.begin()),
+               std::make_move_iterator(fs_file.end()));
+  }
+  return out;
+}
+
+}  // namespace resim::analysis

@@ -1,0 +1,99 @@
+// resim_lint engine: repo-invariant rules over the token stream of each
+// translation unit, with per-line suppressions and a checked-in baseline
+// for grandfathered findings.
+//
+//   Finding      file:line: rule-id: message
+//   Rule         scope (applies_to) + token-level check
+//   LintEngine   tokenize once per file, run every applicable rule,
+//                honor per-line allow-comment suppressions on the
+//                finding's line (syntax in docs/LINT.md), and flag
+//                allow() comments that suppress nothing (or name no
+//                known rule) so dead suppressions cannot accumulate
+//   Baseline     grandfathered findings (file + rule + message, line
+//                numbers deliberately ignored so unrelated edits don't
+//                churn the file); stale entries are reported
+//
+// The rule catalog and the workflow for suppressing or baselining a
+// finding are documented in docs/LINT.md.
+#ifndef RESIM_ANALYSIS_LINT_H
+#define RESIM_ANALYSIS_LINT_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/lexer.hpp"
+
+namespace resim::analysis {
+
+struct Finding {
+  std::string file;  ///< repo-relative path with '/' separators
+  int line = 0;      ///< 1-based; 0 for whole-file findings
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: rule-id: message" — the one output format, shared by the
+/// CLI, the ctest entry, and baseline generation.
+std::string format_finding(const Finding& f);
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string id() const = 0;
+  virtual std::string description() const = 0;
+  /// Scope filter on the repo-relative path ("src/core/engine.cpp").
+  virtual bool applies_to(const std::string& relpath) const = 0;
+  virtual void check(const std::string& relpath, const std::vector<Token>& toks,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// The five repo-invariant rules shipped with the linter (docs/LINT.md).
+std::vector<std::unique_ptr<Rule>> default_rules();
+
+/// Grandfathered findings loaded from tools/lint_baseline.txt. Entries
+/// are `file: rule-id: message` (no line number); '#' comments and blank
+/// lines are ignored. Duplicate entries grandfather that many findings.
+class Baseline {
+ public:
+  Baseline() = default;
+  /// Parses baseline text; throws std::runtime_error on a malformed line.
+  static Baseline parse(const std::string& text, const std::string& origin);
+
+  /// Consumes the entry matching `f` if present; returns whether it did.
+  bool absorb(const Finding& f);
+  /// Entries never matched by any finding (stale: the violation is gone).
+  std::vector<std::string> stale() const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, int> entries_;  ///< "file: rule: message" -> count
+};
+
+class LintEngine {
+ public:
+  /// An engine pre-loaded with default_rules().
+  LintEngine();
+
+  void add_rule(std::unique_ptr<Rule> rule);
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+
+  /// Lints one in-memory translation unit: tokenize, run every rule whose
+  /// scope matches `relpath`, apply suppressions, report unused ones.
+  std::vector<Finding> run_file(const std::string& relpath,
+                                const std::string& source) const;
+
+  /// Lints every C++ source file (.cpp/.cc/.hpp/.h/.hh) under
+  /// `root/<dir>` for each of `dirs`, in sorted path order.
+  /// Throws std::runtime_error when a directory or file cannot be read.
+  std::vector<Finding> run_tree(const std::string& root,
+                                const std::vector<std::string>& dirs) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+}  // namespace resim::analysis
+
+#endif  // RESIM_ANALYSIS_LINT_H

@@ -1,0 +1,350 @@
+// The shipped resim_lint rules. Each one mechanizes an invariant that an
+// earlier PR established by hand; docs/LINT.md carries the catalog with
+// the full rationale and examples.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+
+namespace resim::analysis {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& p) {
+  return s.rfind(p, 0) == 0;
+}
+bool ends_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(s.size() - p.size(), p.size(), p) == 0;
+}
+
+/// Comment tokens carry suppressions, not code; every rule below works
+/// on the comment-free stream.
+std::vector<Token> code_tokens(const std::vector<Token>& toks) {
+  std::vector<Token> out;
+  out.reserve(toks.size());
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kComment) out.push_back(t);
+  }
+  return out;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// hot-path-string-stats
+//
+// PR 5's 2x engine-throughput win depends on the cycle loop doing plain
+// handle increments: string-keyed StatsRegistry::counter("...")/
+// occupancy("...") lookups belong in a stats-struct constructor
+// (resolve-once), never in per-cycle code. In the cycle-loop TUs this
+// rule allows string-keyed calls only inside constructor definitions.
+//
+// Heuristic, documented in docs/LINT.md: the TU is segmented at every
+// qualified function-definition header `A::B(` seen at namespace brace
+// depth (<= 1); the segment is a constructor iff the last two name
+// components match (`CommitStats::CommitStats(`). Qualified calls inside
+// function bodies sit at depth >= 2 and cannot flip the segment.
+// ---------------------------------------------------------------------------
+class HotPathStringStatsRule : public Rule {
+ public:
+  std::string id() const override { return "hot-path-string-stats"; }
+  std::string description() const override {
+    return "no string-keyed StatsRegistry lookups in cycle-loop TUs outside "
+           "a stats-struct constructor (resolve handles once; docs/STATS.md)";
+  }
+  bool applies_to(const std::string& rel) const override {
+    if (rel == "src/core/engine.cpp" || rel == "src/core/lsq_refresh.cpp" ||
+        rel == "src/trace/tracegen.cpp") {
+      return true;
+    }
+    if (starts_with(rel, "src/bpred/")) return true;
+    return starts_with(rel, "src/core/") && ends_with(rel, "_stage.cpp");
+  }
+  void check(const std::string& rel, const std::vector<Token>& all,
+             std::vector<Finding>& out) const override {
+    const std::vector<Token> toks = code_tokens(all);
+    int depth = 0;
+    bool in_ctor = false;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (is_punct(t, "{")) ++depth;
+      if (is_punct(t, "}")) --depth;
+
+      // Function-definition header at namespace level: segment boundary.
+      if (is_punct(t, "(") && depth <= 1 && i >= 3 &&
+          toks[i - 1].kind == TokKind::kIdentifier &&
+          is_punct(toks[i - 2], "::")) {
+        if (is_punct(toks[i - 3], "~")) {
+          in_ctor = false;  // destructor
+        } else {
+          in_ctor = toks[i - 3].kind == TokKind::kIdentifier &&
+                    toks[i - 3].text == toks[i - 1].text;
+        }
+      }
+
+      if (t.kind == TokKind::kIdentifier &&
+          (t.text == "counter" || t.text == "occupancy") && !in_ctor &&
+          i + 2 < toks.size() && is_punct(toks[i + 1], "(") &&
+          toks[i + 2].kind == TokKind::kString) {
+        out.push_back({rel, t.line, id(),
+                       "string-keyed StatsRegistry::" + t.text + "(" +
+                           toks[i + 2].text +
+                           ") in a cycle-loop TU; resolve a handle in the "
+                           "stage's stats-struct constructor instead "
+                           "(docs/STATS.md)"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// nondeterminism
+//
+// Sweep CSVs and sim reports are byte-stable for any -j and across
+// hosts; CI cmp()s them. Ambient-entropy reads in src/ would silently
+// break that contract. The host-throughput baselines (src/baseline/)
+// time wall-clock by design; those few lines carry justified per-line
+// suppressions rather than a blanket path exemption, so any *new*
+// entropy source there still needs an explicit decision.
+// ---------------------------------------------------------------------------
+class NondeterminismRule : public Rule {
+ public:
+  std::string id() const override { return "nondeterminism"; }
+  std::string description() const override {
+    return "no ambient entropy (rand, std::random_device, time(), "
+           "*_clock::now, getenv) in src/; results must be byte-stable — "
+           "use resim::Rng or take values via configuration";
+  }
+  bool applies_to(const std::string& rel) const override {
+    return starts_with(rel, "src/");
+  }
+  void check(const std::string& rel, const std::vector<Token>& all,
+             std::vector<Finding>& out) const override {
+    const std::vector<Token> toks = code_tokens(all);
+    auto flag = [&](const Token& t, const std::string& what) {
+      out.push_back({rel, t.line, id(),
+                     what + " in library code; results must be byte-stable "
+                           "(use resim::Rng from src/common/rng.hpp or pass "
+                           "the value in via configuration)"});
+    };
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+
+      // Only std:: or unqualified uses are the banned C/std entities; a
+      // member (x.time()) or another namespace's name is fine.
+      const bool member_use = i > 0 && (is_punct(toks[i - 1], ".") ||
+                                        is_punct(toks[i - 1], "->"));
+      const bool other_ns =
+          i >= 2 && is_punct(toks[i - 1], "::") &&
+          toks[i - 2].kind == TokKind::kIdentifier && toks[i - 2].text != "std";
+
+      if ((t.text == "rand" || t.text == "srand" || t.text == "getenv" ||
+           t.text == "time") &&
+          i + 1 < toks.size() && is_punct(toks[i + 1], "(") && !member_use &&
+          !other_ns) {
+        flag(t, "call to " + t.text + "()");
+      }
+      if (t.text == "random_device" && !member_use && !other_ns) {
+        flag(t, "std::random_device");
+      }
+      if (ends_with(t.text, "_clock") && i + 2 < toks.size() &&
+          is_punct(toks[i + 1], "::") && is_ident(toks[i + 2], "now")) {
+        flag(t, "wall-clock read " + t.text + "::now()");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// iostream-in-lib
+//
+// The driver and CLI own all terminal output; library code returns
+// strings or writes to a caller-provided std::ostream&. A stray
+// std::cout deep in the engine would interleave with sweep CSVs and
+// break byte-stable output.
+// ---------------------------------------------------------------------------
+class IostreamInLibRule : public Rule {
+ public:
+  std::string id() const override { return "iostream-in-lib"; }
+  std::string description() const override {
+    return "no std::cout/std::cerr/std::clog (or #include <iostream>) in "
+           "src/; the driver and CLI own all terminal output";
+  }
+  bool applies_to(const std::string& rel) const override {
+    return starts_with(rel, "src/");
+  }
+  void check(const std::string& rel, const std::vector<Token>& all,
+             std::vector<Finding>& out) const override {
+    const std::vector<Token> toks = code_tokens(all);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (is_ident(t, "std") && i + 2 < toks.size() &&
+          is_punct(toks[i + 1], "::") &&
+          (is_ident(toks[i + 2], "cout") || is_ident(toks[i + 2], "cerr") ||
+           is_ident(toks[i + 2], "clog"))) {
+        out.push_back({rel, t.line, id(),
+                       "std::" + toks[i + 2].text +
+                           " in library code; return a string or take a "
+                           "std::ostream& — the driver/CLI own output"});
+      }
+      if (is_punct(t, "#") && i + 4 < toks.size() &&
+          is_ident(toks[i + 1], "include") && is_punct(toks[i + 2], "<") &&
+          is_ident(toks[i + 3], "iostream") && is_punct(toks[i + 4], ">")) {
+        out.push_back({rel, t.line, id(),
+                       "#include <iostream> in library code; include "
+                       "<ostream>/<istream> for stream types instead"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// anonymous-throw
+//
+// The trace container and config planes promise that every rejection
+// names the offending field or dotted path (docs/TRACE_FORMAT.md,
+// docs/CONFIG.md); CI greps stderr for those names. A message-less
+// throw breaks the contract.
+// ---------------------------------------------------------------------------
+class AnonymousThrowRule : public Rule {
+ public:
+  std::string id() const override { return "anonymous-throw"; }
+  std::string description() const override {
+    return "throw sites in src/trace/ and src/config/ must carry a message "
+           "naming the offending field/path (bare rethrow is fine)";
+  }
+  bool applies_to(const std::string& rel) const override {
+    return starts_with(rel, "src/trace/") || starts_with(rel, "src/config/");
+  }
+  void check(const std::string& rel, const std::vector<Token>& all,
+             std::vector<Finding>& out) const override {
+    const std::vector<Token> toks = code_tokens(all);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!is_ident(toks[i], "throw")) continue;
+      // Walk the thrown type name (idents, ::, template args); stop at
+      // the constructor's opening bracket or at ';' (bare rethrow /
+      // rethrowing an existing object).
+      std::size_t j = i + 1;
+      while (j < toks.size() &&
+             (toks[j].kind == TokKind::kIdentifier || is_punct(toks[j], "::") ||
+              is_punct(toks[j], "<") || is_punct(toks[j], ">") ||
+              is_punct(toks[j], ","))) {
+        ++j;
+      }
+      if (j + 1 >= toks.size()) continue;
+      const bool empty_parens = is_punct(toks[j], "(") && is_punct(toks[j + 1], ")");
+      const bool empty_braces = is_punct(toks[j], "{") && is_punct(toks[j + 1], "}");
+      if (empty_parens || empty_braces) {
+        out.push_back({rel, toks[i].line, id(),
+                       "throw constructs an exception with no message; "
+                       "trace/config errors must name the offending "
+                       "field or dotted path"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// include-guard
+//
+// Every header carries a path-derived include guard
+// (RESIM_<DIRS>_<NAME>_H with src/ stripped; a leading component equal
+// to the project prefix folds in: src/resim/resim.hpp -> RESIM_RESIM_H)
+// as the first directive, a matching #define, and ends on the guard's
+// #endif.
+// This doubles as the cheap self-containment check: nothing may precede
+// the guard or follow its #endif.
+// ---------------------------------------------------------------------------
+class IncludeGuardRule : public Rule {
+ public:
+  std::string id() const override { return "include-guard"; }
+  std::string description() const override {
+    return "headers carry a path-derived include guard "
+           "(#ifndef RESIM_<DIRS>_<NAME>_H first, matching #define, file "
+           "ends on the guard's #endif)";
+  }
+  bool applies_to(const std::string& rel) const override {
+    return ends_with(rel, ".hpp") || ends_with(rel, ".h") ||
+           ends_with(rel, ".hh");
+  }
+  static std::string expected_guard(const std::string& rel) {
+    std::string path = rel;
+    if (starts_with(path, "src/")) path = path.substr(4);
+    const std::size_t dot = path.rfind('.');
+    if (dot != std::string::npos) path = path.substr(0, dot);
+    std::vector<std::string> parts;
+    std::string cur;
+    for (const char c : path + "/") {
+      if (c == '/') {
+        if (!cur.empty()) parts.push_back(cur);
+        cur.clear();
+      } else if ((c >= 'a' && c <= 'z')) {
+        cur += static_cast<char>(c - 'a' + 'A');
+      } else if ((c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+        cur += c;
+      } else {
+        cur += '_';
+      }
+    }
+    std::string guard = "RESIM";
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      // A leading component that *is* the project prefix folds into it:
+      // src/resim/resim.hpp -> RESIM_RESIM_H, not RESIM_RESIM_RESIM_H.
+      if (i == 0 && parts[i] == "RESIM") continue;
+      guard += "_" + parts[i];
+    }
+    return guard + "_H";
+  }
+  void check(const std::string& rel, const std::vector<Token>& all,
+             std::vector<Finding>& out) const override {
+    const std::vector<Token> toks = code_tokens(all);
+    const std::string want = expected_guard(rel);
+    if (toks.size() < 6 || !is_punct(toks[0], "#") ||
+        !is_ident(toks[1], "ifndef") ||
+        toks[2].kind != TokKind::kIdentifier) {
+      out.push_back({rel, toks.empty() ? 1 : toks[0].line, id(),
+                     "missing include guard: the first directive must be "
+                     "#ifndef " + want});
+      return;
+    }
+    const std::string guard = toks[2].text;
+    if (guard != want) {
+      out.push_back({rel, toks[2].line, id(),
+                     "include guard '" + guard + "' should be '" + want +
+                         "' (derived from the header's path)"});
+    }
+    if (!is_punct(toks[3], "#") || !is_ident(toks[4], "define") ||
+        toks[5].kind != TokKind::kIdentifier || toks[5].text != guard) {
+      out.push_back({rel, toks[3].line, id(),
+                     "#ifndef " + guard +
+                         " must be followed immediately by #define " + guard});
+    }
+    if (!is_punct(toks[toks.size() - 2], "#") ||
+        !is_ident(toks.back(), "endif")) {
+      out.push_back({rel, toks.back().line, id(),
+                     "header must end on the include guard's #endif "
+                     "(no tokens after it)"});
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> default_rules() {
+  std::vector<std::unique_ptr<Rule>> out;
+  out.push_back(std::make_unique<HotPathStringStatsRule>());
+  out.push_back(std::make_unique<NondeterminismRule>());
+  out.push_back(std::make_unique<IostreamInLibRule>());
+  out.push_back(std::make_unique<AnonymousThrowRule>());
+  out.push_back(std::make_unique<IncludeGuardRule>());
+  return out;
+}
+
+}  // namespace resim::analysis

@@ -10,10 +10,10 @@ CoupledResult run_coupled(const workload::Workload& wl, const core::CoreConfig& 
   StreamingTraceSource src(gen);
   core::ReSimEngine engine(core_cfg, src);
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // host-speed metric by design; resim-lint: allow(nondeterminism)
   CoupledResult r;
   r.sim = engine.run();
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // host-speed metric by design; resim-lint: allow(nondeterminism)
   r.host_seconds = std::chrono::duration<double>(t1 - t0).count();
   if (r.host_seconds > 0) {
     r.host_mips = static_cast<double>(r.sim.committed) / r.host_seconds / 1e6;

@@ -10,14 +10,14 @@ namespace resim::baseline {
 HostSpeed measure_functional(const workload::Workload& wl, std::uint64_t max_insts) {
   funcsim::FuncSim fsim(wl.program, wl.fsim);
   HostSpeed h;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // host-speed metric by design; resim-lint: allow(nondeterminism)
   std::uint64_t sink = 0;
   while (!fsim.done() && h.instructions < max_insts) {
     const auto d = fsim.step();
     sink ^= d.pc;  // keep the loop from being optimized away
     ++h.instructions;
   }
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // host-speed metric by design; resim-lint: allow(nondeterminism)
   h.seconds = std::chrono::duration<double>(t1 - t0).count();
   if (sink == 0xDEADBEEF) h.instructions ^= 1;  // defeat dead-code elimination
   return h;
@@ -27,9 +27,9 @@ HostSpeed measure_trace_driven(const trace::Trace& t, const core::CoreConfig& cf
   trace::VectorTraceSource src(t);
   core::ReSimEngine engine(cfg, src);
   HostSpeed h;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // host-speed metric by design; resim-lint: allow(nondeterminism)
   const auto result = engine.run();
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // host-speed metric by design; resim-lint: allow(nondeterminism)
   h.instructions = result.committed;
   h.seconds = std::chrono::duration<double>(t1 - t0).count();
   return h;

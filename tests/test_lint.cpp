@@ -1,0 +1,484 @@
+// resim_lint analysis subsystem: tokenizer edge cases, each rule's
+// positive/negative fixtures, suppression comments, baseline matching,
+// and a clean-tree check over the real sources (RESIM_SOURCE_DIR).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/lexer.hpp"
+#include "analysis/lint.hpp"
+
+namespace {
+
+using resim::analysis::Finding;
+using resim::analysis::LintEngine;
+using resim::analysis::TokKind;
+using resim::analysis::Token;
+using resim::analysis::tokenize;
+
+std::vector<std::string> rule_ids(const std::vector<Finding>& fs) {
+  std::vector<std::string> out;
+  for (const auto& f : fs) out.push_back(f.rule);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, IdentifiersNumbersPunct) {
+  const auto toks = tokenize("int x42 = 0xFF + 1'000'000 - 3.14e-2;");
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].text, "x42");
+  EXPECT_EQ(toks[3].text, "0xFF");
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[5].text, "1'000'000");  // separators don't open char lits
+  EXPECT_EQ(toks[7].text, "3.14e-2");    // exponent sign stays in the number
+}
+
+TEST(Lexer, MergesScopeAndArrow) {
+  const auto toks = tokenize("a::b->c:d");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[1].text, "::");
+  EXPECT_EQ(toks[3].text, "->");
+  EXPECT_EQ(toks[5].text, ":");  // single ':' stays single
+  EXPECT_EQ(toks[6].text, "d");
+}
+
+TEST(Lexer, LineCommentRunsToEndOfLine) {
+  const auto toks = tokenize("a // comment \"not a string\"\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokKind::kComment);
+  EXPECT_EQ(toks[2].text, "b");
+  EXPECT_EQ(toks[2].line, 2);
+}
+
+TEST(Lexer, BlockCommentSpansLines) {
+  const auto toks = tokenize("a /* line1\nline2 \" ' \nline3 */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokKind::kComment);
+  EXPECT_EQ(toks[1].line, 1);
+  EXPECT_EQ(toks[2].text, "b");
+  EXPECT_EQ(toks[2].line, 3);  // lines inside the comment still count
+}
+
+TEST(Lexer, UnterminatedBlockCommentReachesEof) {
+  const auto toks = tokenize("a /* never closed");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1].kind, TokKind::kComment);
+}
+
+TEST(Lexer, StringWithEscapedQuotes) {
+  const auto toks = tokenize(R"(f("a \" b", "c\\") // tail)");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "\"a \\\" b\"");  // escaped quote doesn't close
+  EXPECT_EQ(toks[4].kind, TokKind::kString);
+  EXPECT_EQ(toks[4].text, "\"c\\\\\"");  // escaped backslash then real close
+  EXPECT_EQ(toks[6].kind, TokKind::kComment);
+}
+
+TEST(Lexer, CharLiteralsDoNotOpenStrings) {
+  const auto toks = tokenize("c = '\"'; d = '\\''; e = 'x';");
+  std::size_t strings = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 0u);
+}
+
+TEST(Lexer, RawStringSwallowsCommentsAndQuotes) {
+  // The )x" in the middle must not close a delimiter of )xy".
+  const std::string src =
+      "auto s = R\"xy(line \" one // not a comment\n)x\" /* still */\n)xy\"; b";
+  const auto toks = tokenize(src);
+  std::vector<std::string> idents;
+  for (const auto& t : toks) {
+    EXPECT_NE(t.kind, TokKind::kComment) << t.text;
+    if (t.kind == TokKind::kIdentifier) idents.push_back(t.text);
+  }
+  ASSERT_EQ(idents.size(), 3u);
+  EXPECT_EQ(idents[2], "b");
+  EXPECT_EQ(toks.back().line, 3);  // newlines inside the raw body counted
+}
+
+TEST(Lexer, EncodingPrefixes) {
+  const auto toks = tokenize("u8\"a\" L\"b\" u'c' LR\"(d)\" not_a_prefix\"e\"");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[1].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].kind, TokKind::kCharLit);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].text, "LR\"(d)\"");
+  EXPECT_EQ(toks[4].kind, TokKind::kIdentifier);  // long ident: no prefix
+  EXPECT_EQ(toks[5].kind, TokKind::kString);
+}
+
+TEST(Lexer, LineContinuationSplicesTokens) {
+  // Backslash-newline splices the identifier; the next token still
+  // reports the physical line it starts on.
+  const auto toks = tokenize("ab\\\ncd efgh\nij");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "abcd");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].text, "efgh");
+  EXPECT_EQ(toks[1].line, 2);  // the splice consumed one physical line
+  EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(Lexer, LineContinuationExtendsLineComment) {
+  const auto toks = tokenize("// comment \\\nstill comment\ncode");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::kComment);
+  EXPECT_EQ(toks[1].text, "code");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(Lexer, UnterminatedStringStopsAtNewline) {
+  const auto toks = tokenize("a = \"oops\nb");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].text, "b");
+}
+
+// ---------------------------------------------------------------------------
+// Rules: one fixture pair per rule. run_file() takes the repo-relative
+// path, so fixtures pick paths inside / outside each rule's scope.
+// ---------------------------------------------------------------------------
+
+TEST(HotPathStringStats, FlagsBodyCallAllowsCtor) {
+  LintEngine e;
+  const std::string src = R"cpp(
+namespace resim::core {
+FetchStats::FetchStats(StatsRegistry& reg)
+    : insts(reg.counter("fetch.insts")),
+      occ{reg.occupancy("occ.ifq")} {}
+void ReSimEngine::stage_fetch() {
+  auto& c = reg_.counter("fetch.insts");
+  c.add(1);
+}
+}
+)cpp";
+  const auto fs = e.run_file("src/core/fetch_stage.cpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hot-path-string-stats");
+  EXPECT_EQ(fs[0].line, 7);
+}
+
+TEST(HotPathStringStats, QualifiedCallInsideBodyDoesNotFlipSegment) {
+  LintEngine e;
+  // std::max( inside the ctor body sits at depth >= 2 and must not end
+  // the constructor segment.
+  const std::string src = R"cpp(
+namespace resim::core {
+FetchStats::FetchStats(StatsRegistry& reg) {
+  width = std::max(1, 2);
+  insts = &reg.counter("fetch.insts");
+}
+}
+)cpp";
+  EXPECT_TRUE(e.run_file("src/core/fetch_stage.cpp", src).empty());
+}
+
+TEST(HotPathStringStats, ScopeIsCycleLoopTusOnly) {
+  LintEngine e;
+  const std::string src =
+      "namespace resim { void f(R& reg) { reg.counter(\"a.b\").add(1); } }";
+  EXPECT_FALSE(e.run_file("src/core/engine.cpp", src).empty());
+  EXPECT_FALSE(e.run_file("src/bpred/unit.cpp", src).empty());
+  EXPECT_FALSE(e.run_file("src/trace/tracegen.cpp", src).empty());
+  // Non-cycle-loop code resolves handles wherever it likes.
+  EXPECT_TRUE(e.run_file("src/driver/batch_runner.cpp", src).empty());
+  EXPECT_TRUE(e.run_file("src/core/perf.cpp", src).empty());
+}
+
+TEST(HotPathStringStats, HandleUseIsFine) {
+  LintEngine e;
+  const std::string src =
+      "namespace resim { void ReSimEngine::step() { stats_.insts.add(1); } }";
+  EXPECT_TRUE(e.run_file("src/core/engine.cpp", src).empty());
+}
+
+TEST(Nondeterminism, FlagsEntropySources) {
+  LintEngine e;
+  const std::string src = R"cpp(
+void f() {
+  int a = rand();
+  std::random_device rd;
+  auto t = std::chrono::steady_clock::now();
+  auto u = time(nullptr);
+  const char* p = getenv("HOME");
+}
+)cpp";
+  const auto fs = e.run_file("src/workload/micro.cpp", src);
+  EXPECT_EQ(fs.size(), 5u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "nondeterminism");
+}
+
+TEST(Nondeterminism, MemberAndForeignNamespaceNamesAreFine) {
+  LintEngine e;
+  const std::string src = R"cpp(
+void f(Window& w) {
+  w.time(3);                 // member function named time
+  auto r = resim::time(1);   // another namespace's time()
+  obj->rand();               // member rand
+  auto k = my::random_device();
+}
+)cpp";
+  EXPECT_TRUE(e.run_file("src/workload/micro.cpp", src).empty());
+}
+
+TEST(Nondeterminism, StringsAndCommentsAreInert) {
+  LintEngine e;
+  const std::string src =
+      "const char* doc = \"uses rand() and getenv() internally\";\n"
+      "// getenv(\"HOME\") would be wrong here\n";
+  EXPECT_TRUE(e.run_file("src/workload/micro.cpp", src).empty());
+}
+
+TEST(Nondeterminism, OutsideSrcIsOutOfScope) {
+  LintEngine e;
+  const std::string src = "int a = rand();";
+  EXPECT_TRUE(e.run_file("tools/resim_cli.cpp", src).empty());
+  EXPECT_TRUE(e.run_file("bench/bench_util.hpp",
+                         "#ifndef RESIM_BENCH_BENCH_UTIL_H\n"
+                         "#define RESIM_BENCH_BENCH_UTIL_H\n"
+                         "inline int a() { return rand(); }\n"
+                         "#endif\n")
+                  .empty());
+}
+
+TEST(IostreamInLib, FlagsCoutCerrAndInclude) {
+  LintEngine e;
+  const std::string src = R"cpp(
+#include <iostream>
+void f() {
+  std::cout << "hi";
+  std::cerr << "bye";
+}
+)cpp";
+  const auto fs = e.run_file("src/core/perf.cpp", src);
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].rule, "iostream-in-lib");
+}
+
+TEST(IostreamInLib, OstreamParameterIsFine) {
+  LintEngine e;
+  const std::string src =
+      "#include <ostream>\n"
+      "void report(std::ostream& os) { os << \"ok\"; }\n";
+  EXPECT_TRUE(e.run_file("src/core/perf.cpp", src).empty());
+}
+
+TEST(AnonymousThrow, FlagsEmptyConstruction) {
+  LintEngine e;
+  const std::string src = R"cpp(
+void f(int x) {
+  if (x == 1) throw std::runtime_error{};
+  if (x == 2) throw BadField();
+  if (x == 3) throw resim::trace::Corrupt<int>{};
+}
+)cpp";
+  const auto fs = e.run_file("src/trace/container.cpp", src);
+  EXPECT_EQ(fs.size(), 3u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "anonymous-throw");
+}
+
+TEST(AnonymousThrow, MessagesAndRethrowsAreFine) {
+  LintEngine e;
+  const std::string src = R"cpp(
+void f(int x) {
+  if (x == 1) throw std::runtime_error("load_trace: truncated field count");
+  if (x == 2) throw std::invalid_argument(path + ": bad value");
+  try { g(); } catch (...) { throw; }
+  try { g(); } catch (const std::exception& e) { throw e; }
+}
+)cpp";
+  EXPECT_TRUE(e.run_file("src/config/param_registry.cpp", src).empty());
+}
+
+TEST(AnonymousThrow, ScopeIsTraceAndConfigOnly) {
+  LintEngine e;
+  const std::string src = "void f() { throw std::bad_alloc(); }";
+  EXPECT_FALSE(e.run_file("src/trace/writer.cpp", src).empty());
+  EXPECT_FALSE(e.run_file("src/config/names.cpp", src).empty());
+  EXPECT_TRUE(e.run_file("src/core/rob.cpp", src).empty());
+}
+
+TEST(IncludeGuard, AcceptsRepoConvention) {
+  LintEngine e;
+  const std::string src =
+      "// banner comment\n"
+      "#ifndef RESIM_CORE_ROB_H\n"
+      "#define RESIM_CORE_ROB_H\n"
+      "namespace resim::core { struct Rob; }\n"
+      "#endif  // RESIM_CORE_ROB_H\n";
+  EXPECT_TRUE(e.run_file("src/core/rob.hpp", src).empty());
+}
+
+TEST(IncludeGuard, FlagsMissingWrongAndMismatched) {
+  LintEngine e;
+  EXPECT_EQ(rule_ids(e.run_file("src/core/rob.hpp", "int x;\n")),
+            std::vector<std::string>{"include-guard"});
+  // Wrong guard name.
+  const auto wrong = e.run_file(
+      "src/core/rob.hpp",
+      "#ifndef WRONG_H\n#define WRONG_H\n#endif\n");
+  ASSERT_EQ(wrong.size(), 1u);
+  EXPECT_NE(wrong[0].message.find("RESIM_CORE_ROB_H"), std::string::npos);
+  // #define doesn't match the #ifndef.
+  EXPECT_FALSE(e.run_file("src/core/rob.hpp",
+                          "#ifndef RESIM_CORE_ROB_H\n#define OTHER_H\n#endif\n")
+                   .empty());
+  // Tokens after the closing #endif.
+  EXPECT_FALSE(e.run_file("src/core/rob.hpp",
+                          "#ifndef RESIM_CORE_ROB_H\n#define RESIM_CORE_ROB_H\n"
+                          "#endif\nint trailing;\n")
+                   .empty());
+}
+
+TEST(IncludeGuard, PathDerivation) {
+  LintEngine e;
+  // src/ strips; tests/ and bench/ keep their prefix; a leading
+  // component equal to the project prefix folds in.
+  const auto ok = [&](const std::string& rel, const std::string& guard) {
+    const std::string src =
+        "#ifndef " + guard + "\n#define " + guard + "\n#endif\n";
+    return e.run_file(rel, src).empty();
+  };
+  EXPECT_TRUE(ok("src/cache/cache.hpp", "RESIM_CACHE_CACHE_H"));
+  EXPECT_TRUE(ok("src/resim/resim.hpp", "RESIM_RESIM_H"));
+  EXPECT_TRUE(ok("tests/trace_test_util.hpp", "RESIM_TESTS_TRACE_TEST_UTIL_H"));
+  EXPECT_TRUE(ok("bench/bench_util.hpp", "RESIM_BENCH_BENCH_UTIL_H"));
+  EXPECT_FALSE(ok("src/cache/cache.hpp", "RESIM_CACHE_H"));
+}
+
+TEST(IncludeGuard, CppFilesAreOutOfScope) {
+  LintEngine e;
+  EXPECT_TRUE(e.run_file("src/core/rob.cpp", "int x;\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(Suppression, AllowOnFindingLineSuppresses) {
+  LintEngine e;
+  const std::string src =
+      "int a = rand();  // seeded elsewhere; resim-lint: allow(nondeterminism)\n";
+  EXPECT_TRUE(e.run_file("src/workload/micro.cpp", src).empty());
+}
+
+TEST(Suppression, AllowListCoversMultipleRules) {
+  LintEngine e;
+  const std::string src =
+      "int a = rand(); auto t = time(0);  "
+      "// resim-lint: allow(nondeterminism, iostream-in-lib)\n";
+  // nondeterminism (twice, same line) suppressed; the iostream allow is
+  // unused and reported as such.
+  const auto fs = e.run_file("src/workload/micro.cpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unused-suppression");
+  EXPECT_NE(fs[0].message.find("iostream-in-lib"), std::string::npos);
+}
+
+TEST(Suppression, WrongLineDoesNotSuppress) {
+  LintEngine e;
+  const std::string src =
+      "// resim-lint: allow(nondeterminism)\n"
+      "int a = rand();\n";
+  const auto fs = e.run_file("src/workload/micro.cpp", src);
+  // The violation stands AND the comment is flagged as dead.
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "unused-suppression");
+  EXPECT_EQ(fs[1].rule, "nondeterminism");
+}
+
+TEST(Suppression, UnknownRuleNameIsFlagged) {
+  LintEngine e;
+  const std::string src = "int a;  // resim-lint: allow(no-such-rule)\n";
+  const auto fs = e.run_file("src/workload/micro.cpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unused-suppression");
+  EXPECT_NE(fs[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(Suppression, DeadAllowCanItselfBeAllowed) {
+  LintEngine e;
+  const std::string src =
+      "int a;  // resim-lint: allow(nondeterminism) "
+      "resim-lint: allow(unused-suppression)\n";
+  EXPECT_TRUE(e.run_file("src/workload/micro.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, AbsorbsMatchingFindingIgnoringLine) {
+  auto b = resim::analysis::Baseline::parse(
+      "# comment\n\nsrc/a.cpp: nondeterminism: call to rand()\n", "test");
+  EXPECT_EQ(b.size(), 1u);
+  Finding f{"src/a.cpp", 42, "nondeterminism", "call to rand()"};
+  EXPECT_TRUE(b.absorb(f));
+  EXPECT_FALSE(b.absorb(f));  // one entry grandfathers one finding
+  EXPECT_TRUE(b.stale().empty());
+}
+
+TEST(Baseline, DuplicateEntriesGrandfatherThatManyFindings) {
+  auto b = resim::analysis::Baseline::parse(
+      "src/a.cpp: r: m\nsrc/a.cpp: r: m\n", "test");
+  Finding f{"src/a.cpp", 1, "r", "m"};
+  EXPECT_TRUE(b.absorb(f));
+  EXPECT_TRUE(b.absorb(f));
+  EXPECT_FALSE(b.absorb(f));
+}
+
+TEST(Baseline, UnmatchedEntriesAreStale) {
+  auto b = resim::analysis::Baseline::parse("src/gone.cpp: r: fixed\n", "test");
+  const auto stale = b.stale();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "src/gone.cpp: r: fixed");
+}
+
+TEST(Baseline, MalformedLineThrowsWithOrigin) {
+  try {
+    resim::analysis::Baseline::parse("not a baseline line\n", "base.txt");
+    FAIL() << "expected malformed baseline to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("base.txt:1"), std::string::npos);
+  }
+}
+
+TEST(Baseline, MismatchedFindingIsNotAbsorbed) {
+  auto b = resim::analysis::Baseline::parse("src/a.cpp: r: m\n", "test");
+  EXPECT_FALSE(b.absorb({"src/a.cpp", 1, "r", "different message"}));
+  EXPECT_FALSE(b.absorb({"src/b.cpp", 1, "r", "m"}));
+}
+
+// ---------------------------------------------------------------------------
+// Formatting + the real tree
+// ---------------------------------------------------------------------------
+
+TEST(Format, FileLineRuleMessage) {
+  EXPECT_EQ(resim::analysis::format_finding({"src/a.cpp", 7, "r", "msg"}),
+            "src/a.cpp:7: r: msg");
+}
+
+TEST(Tree, RealSourcesAreClean) {
+  // The shipped baseline is empty (tools/lint_baseline.txt): the whole
+  // tree must satisfy every invariant. This mirrors the resim_lint
+  // ctest entry so a violation fails the suite even when the CLI test
+  // is filtered out.
+  LintEngine e;
+  const auto fs = e.run_tree(RESIM_SOURCE_DIR,
+                             {"src", "tools", "bench", "examples", "tests"});
+  for (const auto& f : fs) {
+    ADD_FAILURE() << resim::analysis::format_finding(f);
+  }
+}
+
+}  // namespace

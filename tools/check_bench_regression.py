@@ -41,6 +41,20 @@ def fail(msg):
     return 1
 
 
+def load_json(path, role):
+    """Loads a bench JSON with a diagnosis instead of a traceback: a gate
+    that dies on a bad --baseline path must say which file and why."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        raise SystemExit(fail(f"cannot read {role} {path}: {e.strerror or e}"))
+    except json.JSONDecodeError as e:
+        raise SystemExit(fail(f"{role} {path} is not valid JSON: {e}"))
+    except UnicodeDecodeError:
+        raise SystemExit(fail(f"{role} {path} is not valid JSON: binary data"))
+
+
 def metrics_of(doc):
     """Extract {metric_name: value} throughput metrics from a bench JSON."""
     out = {}
@@ -60,8 +74,7 @@ def metrics_of(doc):
 
 def rebaseline(current_path, out_path, derate):
     """Write a derated copy of a measured bench JSON as the new baseline."""
-    with open(current_path) as f:
-        doc = json.load(f)
+    doc = load_json(current_path, "--current")
     for b in doc.get("backends", []):
         b["mb_per_sec"] = round(b["mb_per_sec"] * derate, 6)
         b["mrecords_per_sec"] = round(b["mrecords_per_sec"] * derate, 6)
@@ -78,17 +91,97 @@ def rebaseline(current_path, out_path, derate):
     return 0
 
 
+def self_test():
+    """Unit-style checks of the gate's own failure modes (run from CI).
+
+    Exercises exactly the paths a broken artifact upload would hit:
+    missing file, truncated/invalid JSON, a real regression, and a pass.
+    Each case shells out to this script so exit codes and messages are
+    tested as CI sees them, not via internal calls.
+    """
+    import subprocess
+    import tempfile
+
+    def run(*argv):
+        p = subprocess.run([sys.executable, __file__, *argv],
+                           capture_output=True, text=True)
+        return p.returncode, p.stdout + p.stderr
+
+    failures = []
+
+    def check(name, cond, detail):
+        tag = "ok" if cond else "FAIL"
+        print(f"PERF GATE SELF-TEST: {name}: {tag}")
+        if not cond:
+            failures.append(f"{name}: {detail}")
+
+    with tempfile.TemporaryDirectory() as td:
+        import os
+        good = os.path.join(td, "BENCH_sweep.json")
+        with open(good, "w") as f:
+            json.dump({"points": [{"jobs_per_sec": 100.0}]}, f)
+        slow = os.path.join(td, "BENCH_sweep_slow.json")
+        with open(slow, "w") as f:
+            json.dump({"points": [{"jobs_per_sec": 10.0}]}, f)
+        bad = os.path.join(td, "BENCH_bad.json")
+        with open(bad, "w") as f:
+            f.write('{"points": [')  # truncated JSON
+        missing = os.path.join(td, "BENCH_missing.json")
+
+        rc, out = run("--baseline", missing, "--current", good)
+        check("missing baseline fails with message",
+              rc != 0 and "PERF GATE: FAIL: cannot read --baseline" in out
+              and missing in out, out)
+
+        rc, out = run("--baseline", good, "--current", missing)
+        check("missing current fails with message",
+              rc != 0 and "PERF GATE: FAIL: cannot read --current" in out, out)
+
+        rc, out = run("--baseline", bad, "--current", good)
+        check("unparsable baseline fails with message",
+              rc != 0 and "PERF GATE: FAIL: --baseline" in out
+              and "not valid JSON" in out, out)
+
+        rc, out = run("--baseline", good, "--current", slow)
+        check("regression trips the gate",
+              rc != 0 and "REGRESSED" in out, out)
+
+        rc, out = run("--baseline", slow, "--current", good)
+        check("improvement passes",
+              rc == 0 and "PERF GATE: PASS" in out, out)
+
+        rc, out = run("--rebaseline", "--current", good,
+                      "--out", os.path.join(td, "rb.json"), "--derate", "0.5")
+        rb = load_json(os.path.join(td, "rb.json"), "--out")
+        check("rebaseline derates",
+              rc == 0 and rb["points"][0]["jobs_per_sec"] == 50.0, out)
+
+    if failures:
+        print("PERF GATE SELF-TEST: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("PERF GATE SELF-TEST: PASS")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline")
-    ap.add_argument("--current", required=True)
+    ap.add_argument("--current")
     ap.add_argument("--max-drop-pct", type=float, default=25.0)
     ap.add_argument("--rebaseline", action="store_true",
                     help="write a derated baseline from --current instead of comparing")
     ap.add_argument("--out", help="output path for --rebaseline")
     ap.add_argument("--derate", type=float, default=0.7)
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the gate's own failure-mode checks and exit")
     args = ap.parse_args()
 
+    if args.self_test:
+        return self_test()
+    if not args.current:
+        ap.error("--current is required unless --self-test")
     if args.rebaseline:
         if not args.out:
             ap.error("--rebaseline requires --out")
@@ -96,10 +189,8 @@ def main():
     if not args.baseline:
         ap.error("--baseline is required unless --rebaseline")
 
-    with open(args.baseline) as f:
-        base = json.load(f)
-    with open(args.current) as f:
-        cur = json.load(f)
+    base = load_json(args.baseline, "--baseline")
+    cur = load_json(args.current, "--current")
 
     if cur.get("identity_ok") is False:
         return fail("bench reported identity_ok=false (backends disagree)")

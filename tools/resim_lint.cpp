@@ -1,0 +1,156 @@
+// resim_lint — the in-tree invariant linter (docs/LINT.md).
+//
+//   resim_lint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+//              [--github] [--list-rules] [DIR...]
+//
+// Walks DIR... (default: src tools bench examples tests) under --root
+// (default: .), runs every rule from src/analysis/rules.cpp, and prints
+// findings as `file:line: rule-id: message`. Findings matched by the
+// baseline file are absorbed; stale baseline entries (the violation is
+// gone) are themselves errors so the file can only shrink. --github
+// additionally emits ::error workflow annotations. --write-baseline
+// regenerates the baseline from the current findings.
+//
+// Exit codes: 0 clean, 1 findings or stale baseline entries, 2 usage or
+// I/O error.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int rc) {
+  os << "usage: resim_lint [--root DIR] [--baseline FILE]\n"
+        "                  [--write-baseline FILE] [--github] [--list-rules]\n"
+        "                  [DIR...]\n"
+        "Lints DIR... (default: src tools bench examples tests) under\n"
+        "--root (default: .) against the repo-invariant rules in\n"
+        "docs/LINT.md.\n";
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool github = false;
+  bool list_rules = false;
+  std::vector<std::string> dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "resim_lint: " << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--root") {
+      root = value("--root");
+    } else if (a == "--baseline") {
+      baseline_path = value("--baseline");
+    } else if (a == "--write-baseline") {
+      write_baseline_path = value("--write-baseline");
+    } else if (a == "--github") {
+      github = true;
+    } else if (a == "--list-rules") {
+      list_rules = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(std::cout, 0);
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "resim_lint: unknown flag " << a << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      dirs.push_back(a);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "tools", "bench", "examples", "tests"};
+
+  try {
+    const resim::analysis::LintEngine engine;
+
+    if (list_rules) {
+      for (const auto& r : engine.rules()) {
+        std::cout << r->id() << "\n    " << r->description() << "\n";
+      }
+      return 0;
+    }
+
+    std::vector<resim::analysis::Finding> findings = engine.run_tree(root, dirs);
+
+    if (!write_baseline_path.empty()) {
+      std::ofstream os(write_baseline_path);
+      if (!os) {
+        std::cerr << "resim_lint: cannot write " << write_baseline_path << "\n";
+        return 2;
+      }
+      os << "# resim_lint baseline: grandfathered findings (docs/LINT.md).\n"
+            "# One `file: rule-id: message` per line; line numbers are\n"
+            "# deliberately omitted so unrelated edits don't churn entries.\n"
+            "# Regenerate with: resim_lint --write-baseline <this file>\n";
+      for (const auto& f : findings) {
+        os << f.file << ": " << f.rule << ": " << f.message << "\n";
+      }
+      if (!os.flush()) {
+        std::cerr << "resim_lint: write failed for " << write_baseline_path << "\n";
+        return 2;
+      }
+      std::cout << "resim_lint: wrote " << findings.size() << " entr"
+                << (findings.size() == 1 ? "y" : "ies") << " to "
+                << write_baseline_path << "\n";
+      return 0;
+    }
+
+    resim::analysis::Baseline baseline;
+    if (!baseline_path.empty()) {
+      std::ifstream f(baseline_path);
+      if (!f) {
+        std::cerr << "resim_lint: cannot open baseline " << baseline_path << "\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      baseline = resim::analysis::Baseline::parse(ss.str(), baseline_path);
+    }
+
+    int shown = 0;
+    for (const auto& f : findings) {
+      if (baseline.absorb(f)) continue;
+      std::cout << resim::analysis::format_finding(f) << "\n";
+      if (github) {
+        std::cout << "::error file=" << f.file << ",line=" << f.line
+                  << ",title=resim_lint " << f.rule << "::" << f.message
+                  << "\n";
+      }
+      ++shown;
+    }
+
+    const std::vector<std::string> stale = baseline.stale();
+    for (const auto& entry : stale) {
+      std::cout << "stale baseline entry (violation no longer present; "
+                   "remove it): " << entry << "\n";
+    }
+
+    if (shown == 0 && stale.empty()) {
+      std::cout << "resim_lint: clean\n";
+      return 0;
+    }
+    std::cout << "resim_lint: " << shown << " finding(s), " << stale.size()
+              << " stale baseline entr"
+              << (stale.size() == 1 ? "y" : "ies")
+              << " (suppress with `// resim-lint: allow(<rule>)` or "
+                 "baseline; docs/LINT.md)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "resim_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
