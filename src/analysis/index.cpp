@@ -1,0 +1,580 @@
+#include "analysis/index.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace resim::analysis {
+
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+bool in_set(const std::string& s, std::initializer_list<const char*> set) {
+  for (const char* e : set) {
+    if (s == e) return true;
+  }
+  return false;
+}
+
+/// std synchronization primitives the lock-discipline rule keys on.
+bool is_sync_type_name(const std::string& s) {
+  return in_set(s, {"mutex", "timed_mutex", "recursive_mutex",
+                    "recursive_timed_mutex", "shared_mutex",
+                    "shared_timed_mutex", "condition_variable",
+                    "condition_variable_any"});
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) throw std::runtime_error("resim_lint: cannot open " + p.string());
+  std::ostringstream os;
+  os << f.rdbuf();
+  if (f.bad()) {
+    throw std::runtime_error("resim_lint: read failed for " + p.string());
+  }
+  return os.str();
+}
+
+bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" ||
+         ext == ".hh";
+}
+
+/// Joins "dir/sub" + "../x" style paths without touching the filesystem.
+std::string normalize_path(const std::string& p) {
+  std::vector<std::string> parts;
+  std::istringstream is(p);
+  std::string seg;
+  while (std::getline(is, seg, '/')) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(seg);
+  }
+  std::string out;
+  for (const std::string& s : parts) {
+    if (!out.empty()) out += '/';
+    out += s;
+  }
+  return out;
+}
+
+std::string dirname_of(const std::string& p) {
+  const std::size_t slash = p.rfind('/');
+  return slash == std::string::npos ? std::string() : p.substr(0, slash);
+}
+
+/// Scans one file's token stream into FileInfo facts: directive extents,
+/// #include edges (unresolved at this stage), record definitions with
+/// data members, and enum definitions with enumerators.
+void scan_file(FileInfo& info) {
+  const std::vector<Token>& toks = info.tokens;
+  const std::size_t n = toks.size();
+
+  // --- Pass 1: preprocessor directive extents + #include edges. A
+  // directive runs from a line-initial `#` to the next line-initial
+  // token; spliced continuation lines never start a line (lexer.hpp), so
+  // multi-line #define bodies stay inside one extent.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_punct(toks[i], "#") || !toks[i].starts_line) continue;
+    std::size_t end = i + 1;
+    while (end < n && !toks[end].starts_line) ++end;
+    info.directives.push_back({i, end});
+    if (i + 2 < end && is_ident(toks[i + 1], "include")) {
+      const Token& t = toks[i + 2];
+      if (t.kind == TokKind::kString && t.text.size() >= 2) {
+        IncludeEdge e;
+        e.target = t.text.substr(1, t.text.size() - 2);
+        e.line = toks[i].line;
+        e.system = false;
+        info.includes.push_back(std::move(e));
+      } else if (is_punct(t, "<")) {
+        IncludeEdge e;
+        for (std::size_t j = i + 3; j < end && !is_punct(toks[j], ">"); ++j) {
+          e.target += toks[j].text;
+        }
+        e.line = toks[i].line;
+        e.system = true;
+        info.includes.push_back(std::move(e));
+      }
+    }
+    i = end - 1;
+  }
+
+  // --- Pass 2: declarations, over the code view (comments and directive
+  // extents excluded, so tokens inside macro bodies are never mistaken
+  // for real declarations).
+  std::vector<std::size_t> code;
+  code.reserve(n);
+  {
+    std::size_t d = 0;  // directives are sorted by construction
+    for (std::size_t i = 0; i < n; ++i) {
+      while (d < info.directives.size() && info.directives[d].end <= i) ++d;
+      const bool in_directive = d < info.directives.size() &&
+                                i >= info.directives[d].begin &&
+                                i < info.directives[d].end;
+      if (in_directive || toks[i].kind == TokKind::kComment) continue;
+      code.push_back(i);
+    }
+  }
+  const auto tok = [&](std::size_t k) -> const Token& { return toks[code[k]]; };
+  const std::size_t m = code.size();
+
+  struct OpenRecord {
+    std::size_t rec;  // index into info.records
+    int body_depth;
+  };
+  std::vector<OpenRecord> stack;
+  int depth = 0;
+  std::vector<const Token*> stmt;
+
+  const auto at_member_level = [&]() {
+    return !stack.empty() && depth == stack.back().body_depth;
+  };
+
+  // Statement-shape field heuristic: the identifier immediately before
+  // the first `=` / `:` / terminator is the member name, provided no
+  // parenthesis occurred first (which marks functions and factories).
+  const auto try_field = [&](int line_hint) {
+    if (!at_member_level() || stmt.size() < 2) return;
+    std::size_t stop = stmt.size();
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      if (stmt[i]->kind == TokKind::kPunct &&
+          (stmt[i]->text == "=" || stmt[i]->text == ":")) {
+        stop = i;
+        break;
+      }
+    }
+    if (stop < 2) return;
+    for (std::size_t i = 0; i < stop; ++i) {
+      if (stmt[i]->kind == TokKind::kPunct &&
+          (stmt[i]->text == "(" || stmt[i]->text == ")")) {
+        return;
+      }
+    }
+    if (stmt[0]->kind == TokKind::kIdentifier &&
+        in_set(stmt[0]->text,
+               {"using", "typedef", "friend", "static", "template", "operator",
+                "namespace", "extern", "enum", "struct", "class", "union",
+                "public", "private", "protected", "return"})) {
+      return;
+    }
+    const Token* last = stmt[stop - 1];
+    if (last->kind != TokKind::kIdentifier ||
+        in_set(last->text, {"const", "override", "final", "noexcept",
+                            "default", "delete"})) {
+      return;
+    }
+    FieldDecl f;
+    f.name = last->text;
+    f.line = last->line > 0 ? last->line : line_hint;
+    for (std::size_t i = 0; i + 1 < stop; ++i) {
+      const Token* t = stmt[i];
+      if (t->kind == TokKind::kIdentifier) f.type_tail = t->text;
+      if (t->kind == TokKind::kIdentifier && is_sync_type_name(t->text)) {
+        f.is_sync = true;
+      }
+      if (!f.type.empty() && t->text != "::" &&
+          !(f.type.size() >= 2 &&
+            f.type.compare(f.type.size() - 2, 2, "::") == 0)) {
+        f.type += ' ';
+      }
+      f.type += t->text;
+    }
+    if (f.type.empty()) return;
+    info.records[stack.back().rec].fields.push_back(std::move(f));
+  };
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const Token& t = tok(k);
+
+    // Enum definition (handles `enum`, `enum class`, `enum struct`).
+    if (is_ident(t, "enum")) {
+      std::size_t j = k + 1;
+      EnumDecl e;
+      e.line = t.line;
+      if (j < m && (is_ident(tok(j), "class") || is_ident(tok(j), "struct"))) {
+        e.scoped = true;
+        ++j;
+      }
+      if (j < m && tok(j).kind == TokKind::kIdentifier) {
+        e.name = tok(j).text;
+        ++j;
+      }
+      if (j < m && is_punct(tok(j), ":")) {
+        ++j;
+        while (j < m && !is_punct(tok(j), "{") && !is_punct(tok(j), ";")) ++j;
+      }
+      if (j < m && is_punct(tok(j), "{")) {
+        ++j;
+        int braces = 1, parens = 0;
+        bool expecting = true;
+        for (; j < m; ++j) {
+          const Token& u = tok(j);
+          if (is_punct(u, "{")) ++braces;
+          if (is_punct(u, "}") && --braces == 0) break;
+          if (is_punct(u, "(")) ++parens;
+          if (is_punct(u, ")")) --parens;
+          if (braces != 1 || parens != 0) continue;
+          if (is_punct(u, ",")) {
+            expecting = true;
+          } else if (is_punct(u, "=")) {
+            e.has_explicit_values = true;
+          } else if (expecting && u.kind == TokKind::kIdentifier) {
+            e.enumerators.push_back(u.text);
+            expecting = false;
+          }
+        }
+        info.enums.push_back(std::move(e));
+        k = j;  // resume after the closing brace
+        stmt.clear();
+        continue;
+      }
+      // Forward declaration / elaborated use: fall through untouched so
+      // `enum Foo x;` still terminates normally at its `;`.
+      k = j > k ? j - 1 : k;
+      continue;
+    }
+
+    // Record definition.
+    if (is_ident(t, "struct") || is_ident(t, "class") ||
+        is_ident(t, "union")) {
+      std::size_t j = k + 1;
+      // Attributes: `[[nodiscard]]` etc.
+      while (j + 1 < m && is_punct(tok(j), "[") && is_punct(tok(j + 1), "[")) {
+        int sq = 0;
+        for (; j < m; ++j) {
+          if (is_punct(tok(j), "[")) ++sq;
+          if (is_punct(tok(j), "]") && --sq == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      std::string name;
+      if (j < m && tok(j).kind == TokKind::kIdentifier &&
+          !in_set(tok(j).text, {"final"})) {
+        name = tok(j).text;
+        ++j;
+      }
+      if (j < m && is_punct(tok(j), "<")) {  // specialization arguments
+        int angle = 0;
+        for (; j < m; ++j) {
+          if (is_punct(tok(j), "<")) ++angle;
+          if (is_punct(tok(j), ">") && --angle == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (j < m && is_ident(tok(j), "final")) ++j;
+      // Definition iff `{` comes before any of `; ( =` (base clauses may
+      // precede it). Anything else is a forward declaration or an
+      // elaborated type in a member/variable declaration.
+      std::size_t body = RepoIndex::npos;
+      for (std::size_t s = j; s < m; ++s) {
+        if (is_punct(tok(s), "{")) {
+          body = s;
+          break;
+        }
+        if (is_punct(tok(s), ";") || is_punct(tok(s), "(") ||
+            is_punct(tok(s), "=")) {
+          break;
+        }
+      }
+      if (body != RepoIndex::npos && !name.empty()) {
+        info.records.push_back({name, t.line, {}});
+        ++depth;
+        stack.push_back({info.records.size() - 1, depth});
+        stmt.clear();
+        k = body;
+        continue;
+      }
+      if (body != RepoIndex::npos) {  // anonymous: track depth only
+        ++depth;
+        stmt.clear();
+        k = body;
+        continue;
+      }
+      stmt.push_back(&t);
+      continue;
+    }
+
+    if (is_punct(t, "{")) {
+      try_field(t.line);  // brace-initialized member: `Rng rng{1};`
+      ++depth;
+      stmt.clear();
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      --depth;
+      while (!stack.empty() && depth < stack.back().body_depth) {
+        stack.pop_back();
+      }
+      stmt.clear();
+      continue;
+    }
+    if (is_punct(t, ";")) {
+      try_field(t.line);
+      stmt.clear();
+      continue;
+    }
+    if (is_punct(t, ":") && at_member_level() && stmt.size() == 1 &&
+        stmt[0]->kind == TokKind::kIdentifier &&
+        in_set(stmt[0]->text, {"public", "private", "protected"})) {
+      stmt.clear();
+      continue;
+    }
+    if (at_member_level()) stmt.push_back(&t);
+  }
+}
+
+}  // namespace
+
+std::vector<SourceFile> read_source_tree(
+    const std::string& root, const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> out;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) {
+      throw std::runtime_error("resim_lint: no such directory: " +
+                               base.string());
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !lintable_extension(entry.path())) {
+        continue;
+      }
+      const std::string rel =
+          (fs::path(dir) / fs::relative(entry.path(), base)).generic_string();
+      out.push_back({rel, read_file(entry.path())});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+std::string RepoIndex::subsystem_of(const std::string& path) {
+  const std::size_t s1 = path.find('/');
+  if (s1 == std::string::npos) return path;
+  const std::string head = path.substr(0, s1);
+  if (head != "src") return head;
+  const std::size_t s2 = path.find('/', s1 + 1);
+  if (s2 == std::string::npos) return head;  // file directly under src/
+  return path.substr(s1 + 1, s2 - s1 - 1);
+}
+
+RepoIndex RepoIndex::build(std::vector<SourceFile> sources) {
+  RepoIndex idx;
+  idx.files_.reserve(sources.size());
+  for (SourceFile& s : sources) {
+    FileInfo info;
+    info.path = std::move(s.path);
+    info.subsystem = subsystem_of(info.path);
+    info.tokens = tokenize(s.text);
+    scan_file(info);
+    idx.by_path_[info.path] = idx.files_.size();
+    idx.files_.push_back(std::move(info));
+  }
+
+  idx.adj_.resize(idx.files_.size());
+  for (std::size_t i = 0; i < idx.files_.size(); ++i) {
+    FileInfo& f = idx.files_[i];
+    const std::string dir = dirname_of(f.path);
+    for (IncludeEdge& e : f.includes) {
+      if (e.system) continue;
+      const std::string candidates[] = {
+          dir.empty() ? e.target : normalize_path(dir + "/" + e.target),
+          "src/" + e.target, normalize_path(e.target)};
+      for (const std::string& c : candidates) {
+        const auto it = idx.by_path_.find(c);
+        if (it != idx.by_path_.end()) {
+          e.resolved = c;
+          idx.adj_[i].emplace_back(it->second, e.line);
+          break;
+        }
+      }
+    }
+  }
+  return idx;
+}
+
+std::size_t RepoIndex::index_of(const std::string& path) const {
+  const auto it = by_path_.find(path);
+  return it == by_path_.end() ? npos : it->second;
+}
+
+const FileInfo* RepoIndex::file(const std::string& path) const {
+  const std::size_t i = index_of(path);
+  return i == npos ? nullptr : &files_[i];
+}
+
+std::vector<std::size_t> RepoIndex::bfs_parents(std::size_t from) const {
+  std::vector<std::size_t> parent(files_.size(), npos);
+  if (from >= files_.size()) return parent;
+  parent[from] = from;
+  std::deque<std::size_t> q{from};
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop_front();
+    for (const auto& [v, line] : adj_[u]) {
+      if (parent[v] != npos) continue;
+      parent[v] = u;
+      q.push_back(v);
+    }
+  }
+  return parent;
+}
+
+std::vector<std::string> RepoIndex::include_chain(const std::string& from,
+                                                  const std::string& to) const {
+  const std::size_t a = index_of(from), b = index_of(to);
+  if (a == npos || b == npos) return {};
+  const std::vector<std::size_t> parent = bfs_parents(a);
+  if (parent[b] == npos) return {};
+  std::vector<std::string> chain;
+  for (std::size_t v = b;; v = parent[v]) {
+    chain.push_back(files_[v].path);
+    if (v == a) break;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::vector<std::string> RepoIndex::subsystem_chain(
+    const std::string& from, const std::string& to) const {
+  // Multi-source BFS from every file of `from`, stopping at the nearest
+  // file of `to`.
+  std::vector<std::size_t> parent(files_.size(), npos);
+  std::deque<std::size_t> q;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].subsystem == from) {
+      parent[i] = i;
+      if (files_[i].subsystem == to) return {files_[i].path};
+      q.push_back(i);
+    }
+  }
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop_front();
+    for (const auto& [v, line] : adj_[u]) {
+      if (parent[v] != npos) continue;
+      parent[v] = u;
+      if (files_[v].subsystem == to) {
+        std::vector<std::string> chain;
+        for (std::size_t w = v;; w = parent[w]) {
+          chain.push_back(files_[w].path);
+          if (parent[w] == w) break;
+        }
+        std::reverse(chain.begin(), chain.end());
+        return chain;
+      }
+      q.push_back(v);
+    }
+  }
+  return {};
+}
+
+std::vector<std::vector<std::string>> RepoIndex::include_cycles() const {
+  // Iterative DFS; a back edge to a gray node closes a cycle. Each cycle
+  // is canonicalized to start at its smallest path and reported once.
+  enum Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(files_.size(), kWhite);
+  std::set<std::vector<std::string>> out;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t edge = 0;
+  };
+  for (std::size_t start = 0; start < files_.size(); ++start) {
+    if (color[start] != kWhite) continue;
+    std::vector<Frame> stack{{start}};
+    color[start] = kGray;
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      if (fr.edge >= adj_[fr.node].size()) {
+        color[fr.node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::size_t v = adj_[fr.node][fr.edge++].first;
+      if (color[v] == kWhite) {
+        color[v] = kGray;
+        stack.push_back({v});
+      } else if (color[v] == kGray) {
+        std::vector<std::string> cyc;
+        std::size_t at = stack.size();
+        while (at > 0 && stack[at - 1].node != v) --at;
+        for (std::size_t s = at - 1; s < stack.size(); ++s) {
+          cyc.push_back(files_[stack[s].node].path);
+        }
+        const auto smallest = std::min_element(cyc.begin(), cyc.end());
+        std::rotate(cyc.begin(), smallest, cyc.end());
+        cyc.push_back(cyc.front());  // close the loop for display
+        out.insert(std::move(cyc));
+      }
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::string RepoIndex::subsystem_dot() const {
+  std::set<std::string> nodes;
+  std::set<std::pair<std::string, std::string>> edges;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    nodes.insert(files_[i].subsystem);
+    for (const auto& [v, line] : adj_[i]) {
+      if (files_[v].subsystem != files_[i].subsystem) {
+        edges.emplace(files_[i].subsystem, files_[v].subsystem);
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "digraph resim_includes {\n";
+  os << "  rankdir=BT;\n";
+  os << "  node [shape=box];\n";
+  for (const std::string& n : nodes) os << "  \"" << n << "\";\n";
+  for (const auto& [a, b] : edges) {
+    os << "  \"" << a << "\" -> \"" << b << "\";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::pair<const FileInfo*, const RecordDecl*> RepoIndex::find_record(
+    const std::string& name) const {
+  for (const FileInfo& f : files_) {
+    for (const RecordDecl& r : f.records) {
+      if (r.name == name) return {&f, &r};
+    }
+  }
+  return {nullptr, nullptr};
+}
+
+std::pair<const FileInfo*, const EnumDecl*> RepoIndex::find_enum(
+    const std::string& name) const {
+  for (const FileInfo& f : files_) {
+    for (const EnumDecl& e : f.enums) {
+      if (e.name == name) return {&f, &e};
+    }
+  }
+  return {nullptr, nullptr};
+}
+
+}  // namespace resim::analysis

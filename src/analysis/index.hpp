@@ -1,0 +1,170 @@
+// Cross-TU repository index for resim_lint: the data the tree rules in
+// src/analysis/tree_rules.cpp consume.
+//
+// Built from the same token streams the per-file rules see, it records
+// per file:
+//   - every #include directive, with quoted includes resolved to a
+//     repo-relative path when the target is part of the indexed tree;
+//   - struct/class definitions with their data members (a token-shape
+//     heuristic: no C++ front end, but exact about strings, comments,
+//     splices and preprocessor extents via Token::starts_line);
+//   - enum definitions with their enumerators;
+//   - the token extents of preprocessor directives, so rules that must
+//     look inside macro definitions (registry-drift) can.
+//
+// On top of the per-file facts it offers the include graph: shortest
+// include chains (BFS), include-cycle enumeration, the subsystem-level
+// DAG as Graphviz dot, and the path→subsystem mapping the layering rule
+// and the CLI's --graph/--why flags share.
+#ifndef RESIM_ANALYSIS_INDEX_H
+#define RESIM_ANALYSIS_INDEX_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/lexer.hpp"
+
+namespace resim::analysis {
+
+/// One in-memory source file: repo-relative path ('/' separators) plus
+/// its full text. The unit of input for RepoIndex and LintEngine.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+/// Reads every lintable C++ file (.cpp/.cc/.hpp/.h/.hh) under
+/// `root/<dir>` for each of `dirs`, sorted by repo-relative path.
+/// Throws std::runtime_error when a directory or file cannot be read.
+std::vector<SourceFile> read_source_tree(const std::string& root,
+                                         const std::vector<std::string>& dirs);
+
+/// One #include directive.
+struct IncludeEdge {
+  std::string target;    ///< as written between the delimiters
+  std::string resolved;  ///< repo-relative path of the target when it is
+                         ///< part of the indexed tree; empty for external
+                         ///< (system or unindexed) headers
+  int line = 0;
+  bool system = false;  ///< <...> form
+};
+
+/// One data member of a record. Member functions, static members, and
+/// nested type declarations are deliberately excluded.
+struct FieldDecl {
+  std::string type;       ///< type tokens joined with single spaces
+  std::string type_tail;  ///< last identifier of the type ("CacheConfig"
+                          ///< for `cache::CacheConfig`) — the key the
+                          ///< registry-drift rule recurses on
+  std::string name;
+  int line = 0;
+  bool is_sync = false;  ///< type names a std mutex/condition_variable
+};
+
+/// One struct/class/union definition (not a forward declaration).
+struct RecordDecl {
+  std::string name;
+  int line = 0;
+  std::vector<FieldDecl> fields;
+
+  bool has_sync_member() const {
+    for (const FieldDecl& f : fields) {
+      if (f.is_sync) return true;
+    }
+    return false;
+  }
+};
+
+/// One enum definition with its enumerators in declaration order.
+struct EnumDecl {
+  std::string name;
+  int line = 0;
+  bool scoped = false;           ///< enum class / enum struct
+  bool has_explicit_values = false;  ///< any `= value` enumerator
+  std::vector<std::string> enumerators;
+};
+
+/// Token extent [begin, end) of one preprocessor directive within
+/// FileInfo::tokens; `begin` indexes the introducing `#`.
+struct DirectiveRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+struct FileInfo {
+  std::string path;
+  std::string subsystem;
+  std::vector<Token> tokens;  ///< full stream, comments included
+  std::vector<IncludeEdge> includes;
+  std::vector<RecordDecl> records;
+  std::vector<EnumDecl> enums;
+  std::vector<DirectiveRange> directives;
+};
+
+class RepoIndex {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Scans and cross-links the given sources. Never throws on malformed
+  /// C++ — like the lexer, the index degrades to recording less.
+  static RepoIndex build(std::vector<SourceFile> sources);
+
+  const std::vector<FileInfo>& files() const { return files_; }
+  std::size_t index_of(const std::string& path) const;
+  const FileInfo* file(const std::string& path) const;
+
+  /// "src/core/engine.cpp" -> "core"; "tools/resim_lint.cpp" -> "tools";
+  /// top-level dirs (tools/bench/examples/tests) are their own subsystem.
+  static std::string subsystem_of(const std::string& path);
+
+  /// Resolved include edges of file `i` as (target file index, line of
+  /// the #include). External includes do not appear here.
+  const std::vector<std::pair<std::size_t, int>>& edges_of(std::size_t i) const {
+    return adj_[i];
+  }
+
+  /// BFS over resolved includes from `from`: parents[i] is the
+  /// predecessor file index on a shortest chain, npos when unreached,
+  /// `from` for itself.
+  std::vector<std::size_t> bfs_parents(std::size_t from) const;
+
+  /// Shortest include chain from file `from` to file `to`, inclusive of
+  /// both endpoints; empty when there is none (or either path is
+  /// unknown). A file trivially reaches itself with a chain of one.
+  std::vector<std::string> include_chain(const std::string& from,
+                                         const std::string& to) const;
+
+  /// Shortest include chain from any file of subsystem `from` to any
+  /// file of subsystem `to`; empty when no file of `from` reaches `to`.
+  std::vector<std::string> subsystem_chain(const std::string& from,
+                                           const std::string& to) const;
+
+  /// Every distinct include cycle, each reported once as a closed path
+  /// f1 -> f2 -> ... -> f1 starting at its lexicographically smallest
+  /// file, sorted; a clean tree yields an empty vector.
+  std::vector<std::vector<std::string>> include_cycles() const;
+
+  /// The subsystem-level include DAG as Graphviz dot (deterministic
+  /// ordering; self-edges omitted) — the source for docs/ARCHITECTURE.md
+  /// and the CLI's --graph dot.
+  std::string subsystem_dot() const;
+
+  /// First definition of record / enum `name` across the tree, with the
+  /// file that holds it; {nullptr, nullptr} when absent.
+  std::pair<const FileInfo*, const RecordDecl*> find_record(
+      const std::string& name) const;
+  std::pair<const FileInfo*, const EnumDecl*> find_enum(
+      const std::string& name) const;
+
+ private:
+  std::vector<FileInfo> files_;
+  std::map<std::string, std::size_t> by_path_;
+  std::vector<std::vector<std::pair<std::size_t, int>>> adj_;
+};
+
+}  // namespace resim::analysis
+
+#endif  // RESIM_ANALYSIS_INDEX_H

@@ -95,6 +95,18 @@ std::vector<Token> tokenize(const std::string& source) {
   std::vector<Token> out;
   Cursor c(source);
 
+  // Directive-start tracking: `at_line_start` is true until a non-comment
+  // token is emitted on the current logical line. Comments count as
+  // whitespace (a `#` after `/* ... */` at line start still begins a
+  // directive); splice newlines are consumed inside Cursor::get() and never
+  // reach the whitespace branch below, so continuation lines of a `#define`
+  // correctly do not reset it.
+  bool at_line_start = true;
+  auto push = [&](TokKind kind, std::string text, int line) {
+    out.push_back({kind, std::move(text), line, at_line_start});
+    if (kind != TokKind::kComment) at_line_start = false;
+  };
+
   auto lex_quoted = [&](char quote, std::string& text) {
     // `text` already holds the opening prefix + quote.
     while (!c.eof()) {
@@ -136,6 +148,7 @@ std::vector<Token> tokenize(const std::string& source) {
 
     if (ch == '\n' || ch == '\r' || ch == '\t' || ch == ' ' || ch == '\f' ||
         ch == '\v') {
+      if (ch == '\n') at_line_start = true;
       c.get();
       continue;
     }
@@ -144,7 +157,7 @@ std::vector<Token> tokenize(const std::string& source) {
     if (ch == '/' && c.peek(1) == '/') {
       std::string text;
       while (!c.eof() && c.peek() != '\n') text += c.get();
-      out.push_back({TokKind::kComment, text, line});
+      push(TokKind::kComment, text, line);
       continue;
     }
     if (ch == '/' && c.peek(1) == '*') {
@@ -159,7 +172,7 @@ std::vector<Token> tokenize(const std::string& source) {
           break;
         }
       }
-      out.push_back({TokKind::kComment, text, line});
+      push(TokKind::kComment, text, line);
       continue;
     }
 
@@ -177,11 +190,10 @@ std::vector<Token> tokenize(const std::string& source) {
         } else {
           lex_quoted(quote, text);
         }
-        out.push_back({quote == '"' ? TokKind::kString : TokKind::kCharLit,
-                       text, line});
+        push(quote == '"' ? TokKind::kString : TokKind::kCharLit, text, line);
         continue;
       }
-      out.push_back({TokKind::kIdentifier, text, line});
+      push(TokKind::kIdentifier, text, line);
       continue;
     }
 
@@ -201,7 +213,7 @@ std::vector<Token> tokenize(const std::string& source) {
           break;
         }
       }
-      out.push_back({TokKind::kNumber, text, line});
+      push(TokKind::kNumber, text, line);
       continue;
     }
 
@@ -210,8 +222,7 @@ std::vector<Token> tokenize(const std::string& source) {
       std::string text;
       text += c.get();
       lex_quoted(ch, text);
-      out.push_back({ch == '"' ? TokKind::kString : TokKind::kCharLit, text,
-                     line});
+      push(ch == '"' ? TokKind::kString : TokKind::kCharLit, text, line);
       continue;
     }
 
@@ -222,7 +233,7 @@ std::vector<Token> tokenize(const std::string& source) {
     } else if (ch == '-' && c.peek() == '>') {
       text += c.get();
     }
-    out.push_back({TokKind::kPunct, text, line});
+    push(TokKind::kPunct, text, line);
   }
   return out;
 }

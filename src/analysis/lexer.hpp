@@ -29,6 +29,12 @@ struct Token {
   TokKind kind;
   std::string text;
   int line = 0;  ///< 1-based line of the token's first character
+  /// True when this token is the first non-whitespace, non-comment token
+  /// after a *real* newline (or at start of file). Spliced continuation
+  /// lines do not set it — matching the preprocessor's notion of where a
+  /// directive may begin, which is what the cross-TU index keys on to
+  /// delimit `#include` and `#define` extents (src/analysis/index.cpp).
+  bool starts_line = false;
 };
 
 /// Tokenizes a whole translation unit. Never throws on malformed input:

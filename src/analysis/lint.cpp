@@ -2,18 +2,20 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace resim::analysis {
 
 namespace {
 
-/// Rule id reserved for the engine's own check on dead allow() comments.
+/// Rule ids reserved for the engine's own meta-checks: an allow()
+/// comment that suppresses nothing, and one that names no known rule.
 constexpr const char* kUnusedSuppression = "unused-suppression";
+constexpr const char* kUnknownRule = "unknown-rule";
 
 /// One rule name parsed out of an allow-comment.
 struct Suppression {
@@ -60,19 +62,75 @@ std::vector<std::string> parse_allows(const std::string& comment) {
   return out;
 }
 
-std::string read_file(const std::filesystem::path& p) {
-  std::ifstream f(p, std::ios::binary);
-  if (!f) throw std::runtime_error("resim_lint: cannot open " + p.string());
-  std::ostringstream os;
-  os << f.rdbuf();
-  if (f.bad()) throw std::runtime_error("resim_lint: read failed for " + p.string());
-  return os.str();
+/// Every allow()ed rule name found in `toks`' comments, flagged when it
+/// names no rule in `known`.
+std::vector<Suppression> collect_suppressions(const std::vector<Token>& toks,
+                                              const std::set<std::string>& known) {
+  std::vector<Suppression> sups;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kComment) continue;
+    for (const std::string& rule : parse_allows(t.text)) {
+      sups.push_back({t.line, rule, false, known.count(rule) == 0});
+    }
+  }
+  return sups;
 }
 
-bool lintable_extension(const std::filesystem::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" ||
-         ext == ".hh";
+/// Filters `raw` findings for one file through its suppressions and
+/// appends the engine's meta-findings (unknown-rule, unused-suppression).
+std::vector<Finding> apply_suppressions(const std::string& relpath,
+                                        std::vector<Suppression> sups,
+                                        std::vector<Finding> raw) {
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (Suppression& s : sups) {
+      if (s.line == f.line && s.rule == f.rule) {
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+
+  // A meta-finding can itself be allow()ed on its line during refactors;
+  // the allow(unused-suppression) / allow(unknown-rule) marker is never
+  // itself reported as unused.
+  const auto meta_allowed = [&](int line, const char* meta_id) {
+    bool allowed = false;
+    for (Suppression& s : sups) {
+      if (s.line == line && s.rule == meta_id) {
+        s.used = true;
+        allowed = true;
+      }
+    }
+    return allowed;
+  };
+
+  for (Suppression& s : sups) {
+    if (s.unknown) {
+      if (!meta_allowed(s.line, kUnknownRule)) {
+        out.push_back({relpath, s.line, kUnknownRule,
+                       "allow() names unknown rule '" + s.rule + "'"});
+      }
+    } else if (!s.used && s.rule != kUnusedSuppression &&
+               s.rule != kUnknownRule) {
+      if (!meta_allowed(s.line, kUnusedSuppression)) {
+        out.push_back({relpath, s.line, kUnusedSuppression,
+                       "allow(" + s.rule + ") suppresses nothing on this line"});
+      }
+    }
+  }
+  return out;
+}
+
+void sort_findings(std::vector<Finding>& fs) {
+  std::sort(fs.begin(), fs.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
 }
 
 std::string baseline_key(const Finding& f) {
@@ -123,100 +181,83 @@ std::vector<std::string> Baseline::stale() const {
   return out;
 }
 
-LintEngine::LintEngine() : rules_(default_rules()) {}
+LintEngine::LintEngine()
+    : rules_(default_rules()), tree_rules_(default_tree_rules()) {}
 
 void LintEngine::add_rule(std::unique_ptr<Rule> rule) {
   rules_.push_back(std::move(rule));
 }
 
+void LintEngine::add_tree_rule(std::unique_ptr<TreeRule> rule) {
+  tree_rules_.push_back(std::move(rule));
+}
+
+namespace {
+
+std::set<std::string> known_rule_ids(const LintEngine& e) {
+  std::set<std::string> known{kUnusedSuppression, kUnknownRule};
+  for (const auto& r : e.rules()) known.insert(r->id());
+  for (const auto& r : e.tree_rules()) known.insert(r->id());
+  return known;
+}
+
+}  // namespace
+
 std::vector<Finding> LintEngine::run_file(const std::string& relpath,
                                           const std::string& source) const {
   const std::vector<Token> toks = tokenize(source);
-
-  std::set<std::string> known;
-  known.insert(kUnusedSuppression);
-  for (const auto& r : rules_) known.insert(r->id());
-
-  std::vector<Suppression> sups;
-  for (const Token& t : toks) {
-    if (t.kind != TokKind::kComment) continue;
-    for (const std::string& rule : parse_allows(t.text)) {
-      sups.push_back({t.line, rule, false, known.count(rule) == 0});
-    }
-  }
+  std::vector<Suppression> sups =
+      collect_suppressions(toks, known_rule_ids(*this));
 
   std::vector<Finding> raw;
   for (const auto& r : rules_) {
     if (r->applies_to(relpath)) r->check(relpath, toks, raw);
   }
 
+  std::vector<Finding> out =
+      apply_suppressions(relpath, std::move(sups), std::move(raw));
+  sort_findings(out);
+  return out;
+}
+
+std::vector<Finding> LintEngine::run_sources(
+    std::vector<SourceFile> sources) const {
+  const RepoIndex index = RepoIndex::build(std::move(sources));
+  const std::set<std::string> known = known_rule_ids(*this);
+
+  // Raw findings grouped per file: per-file rules on each file's token
+  // stream (tokenized once, inside the index), then the tree rules over
+  // the whole index. Grouping first lets a file's allow() comments
+  // suppress cross-TU findings anchored in it, exactly like local ones.
+  std::map<std::string, std::vector<Finding>> raw_by_file;
+  for (const FileInfo& f : index.files()) {
+    auto& bucket = raw_by_file[f.path];  // materialize even when clean
+    for (const auto& r : rules_) {
+      if (r->applies_to(f.path)) r->check(f.path, f.tokens, bucket);
+    }
+  }
+  std::vector<Finding> tree_raw;
+  for (const auto& r : tree_rules_) r->check(index, tree_raw);
+  for (Finding& f : tree_raw) raw_by_file[f.file].push_back(std::move(f));
+
   std::vector<Finding> out;
-  for (Finding& f : raw) {
-    bool suppressed = false;
-    for (Suppression& s : sups) {
-      if (s.line == f.line && s.rule == f.rule) {
-        s.used = true;
-        suppressed = true;
-      }
-    }
-    if (!suppressed) out.push_back(std::move(f));
+  for (auto& [path, raw] : raw_by_file) {
+    const FileInfo* info = index.file(path);
+    std::vector<Suppression> sups =
+        info ? collect_suppressions(info->tokens, known)
+             : std::vector<Suppression>{};
+    std::vector<Finding> fs =
+        apply_suppressions(path, std::move(sups), std::move(raw));
+    out.insert(out.end(), std::make_move_iterator(fs.begin()),
+               std::make_move_iterator(fs.end()));
   }
-
-  for (Suppression& s : sups) {
-    if (s.unknown) {
-      out.push_back({relpath, s.line, kUnusedSuppression,
-                     "allow() names unknown rule '" + s.rule + "'"});
-    } else if (!s.used && s.rule != kUnusedSuppression) {
-      Finding f{relpath, s.line, kUnusedSuppression,
-                "allow(" + s.rule + ") suppresses nothing on this line"};
-      // A dead suppression can itself be allow()ed during refactors.
-      bool keep = true;
-      for (Suppression& s2 : sups) {
-        if (s2.line == s.line && s2.rule == kUnusedSuppression) {
-          s2.used = true;
-          keep = false;
-        }
-      }
-      if (keep) out.push_back(std::move(f));
-    }
-  }
-
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    if (a.line != b.line) return a.line < b.line;
-    if (a.rule != b.rule) return a.rule < b.rule;
-    return a.message < b.message;
-  });
+  sort_findings(out);
   return out;
 }
 
 std::vector<Finding> LintEngine::run_tree(
     const std::string& root, const std::vector<std::string>& dirs) const {
-  namespace fs = std::filesystem;
-  std::vector<std::pair<std::string, fs::path>> files;  // relpath, abspath
-  for (const std::string& dir : dirs) {
-    const fs::path base = fs::path(root) / dir;
-    if (!fs::exists(base)) {
-      throw std::runtime_error("resim_lint: no such directory: " +
-                               base.string());
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file() || !lintable_extension(entry.path())) {
-        continue;
-      }
-      const std::string rel =
-          (fs::path(dir) / fs::relative(entry.path(), base)).generic_string();
-      files.emplace_back(rel, entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  std::vector<Finding> out;
-  for (const auto& [rel, abs] : files) {
-    std::vector<Finding> fs_file = run_file(rel, read_file(abs));
-    out.insert(out.end(), std::make_move_iterator(fs_file.begin()),
-               std::make_move_iterator(fs_file.end()));
-  }
-  return out;
+  return run_sources(read_source_tree(root, dirs));
 }
 
 }  // namespace resim::analysis

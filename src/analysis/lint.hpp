@@ -3,15 +3,23 @@
 // for grandfathered findings.
 //
 //   Finding      file:line: rule-id: message
-//   Rule         scope (applies_to) + token-level check
+//   Rule         scope (applies_to) + token-level check over one TU
+//   TreeRule     cross-TU check over the RepoIndex (include graph +
+//                declaration scan; src/analysis/index.hpp) — layering,
+//                registry-drift, enum-string-drift, lock-discipline
 //   LintEngine   tokenize once per file, run every applicable rule,
 //                honor per-line allow-comment suppressions on the
 //                finding's line (syntax in docs/LINT.md), and flag
-//                allow() comments that suppress nothing (or name no
-//                known rule) so dead suppressions cannot accumulate
+//                allow() comments that suppress nothing (rule id
+//                `unused-suppression`) or name no known rule
+//                (`unknown-rule`) so dead suppressions cannot accumulate
 //   Baseline     grandfathered findings (file + rule + message, line
 //                numbers deliberately ignored so unrelated edits don't
 //                churn the file); stale entries are reported
+//
+// All multi-file entry points return findings sorted by (file, line,
+// rule, message), so CLI output and --write-baseline never churn on
+// directory-iteration order.
 //
 // The rule catalog and the workflow for suppressing or baselining a
 // finding are documented in docs/LINT.md.
@@ -23,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/index.hpp"
 #include "analysis/lexer.hpp"
 
 namespace resim::analysis {
@@ -49,8 +58,25 @@ class Rule {
                      std::vector<Finding>& out) const = 0;
 };
 
-/// The five repo-invariant rules shipped with the linter (docs/LINT.md).
+/// The five per-file repo-invariant rules shipped with the linter
+/// (docs/LINT.md).
 std::vector<std::unique_ptr<Rule>> default_rules();
+
+/// A cross-TU rule: sees the whole repository index at once. Findings
+/// anchor to a concrete file:line (the offending #include, field, or
+/// call) so per-line suppressions and the baseline work unchanged.
+class TreeRule {
+ public:
+  virtual ~TreeRule() = default;
+  virtual std::string id() const = 0;
+  virtual std::string description() const = 0;
+  virtual void check(const RepoIndex& index,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// The four cross-TU rules: layering, registry-drift, enum-string-drift,
+/// lock-discipline (src/analysis/tree_rules.cpp; docs/LINT.md).
+std::vector<std::unique_ptr<TreeRule>> default_tree_rules();
 
 /// Grandfathered findings loaded from tools/lint_baseline.txt. Entries
 /// are `file: rule-id: message` (no line number); '#' comments and blank
@@ -73,25 +99,37 @@ class Baseline {
 
 class LintEngine {
  public:
-  /// An engine pre-loaded with default_rules().
+  /// An engine pre-loaded with default_rules() and default_tree_rules().
   LintEngine();
 
   void add_rule(std::unique_ptr<Rule> rule);
+  void add_tree_rule(std::unique_ptr<TreeRule> rule);
   const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+  const std::vector<std::unique_ptr<TreeRule>>& tree_rules() const {
+    return tree_rules_;
+  }
 
-  /// Lints one in-memory translation unit: tokenize, run every rule whose
-  /// scope matches `relpath`, apply suppressions, report unused ones.
+  /// Lints one in-memory translation unit: tokenize, run every per-file
+  /// rule whose scope matches `relpath`, apply suppressions, report
+  /// unused ones. Tree rules do not run (they need the whole tree).
   std::vector<Finding> run_file(const std::string& relpath,
                                 const std::string& source) const;
 
+  /// Lints a set of in-memory sources: per-file rules on each file plus
+  /// every tree rule over the RepoIndex built from them. Suppressions in
+  /// a file apply to tree-rule findings anchored there too. Findings are
+  /// sorted by (file, line, rule, message).
+  std::vector<Finding> run_sources(std::vector<SourceFile> sources) const;
+
   /// Lints every C++ source file (.cpp/.cc/.hpp/.h/.hh) under
-  /// `root/<dir>` for each of `dirs`, in sorted path order.
+  /// `root/<dir>` for each of `dirs` via run_sources().
   /// Throws std::runtime_error when a directory or file cannot be read.
   std::vector<Finding> run_tree(const std::string& root,
                                 const std::vector<std::string>& dirs) const;
 
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<std::unique_ptr<TreeRule>> tree_rules_;
 };
 
 }  // namespace resim::analysis

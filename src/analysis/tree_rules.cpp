@@ -1,0 +1,658 @@
+// The cross-TU resim_lint rules, over the RepoIndex
+// (src/analysis/index.hpp). Each one mechanizes an invariant that lives
+// *between* translation units and that no per-file rule could see:
+//
+//   layering           the subsystem DAG declared below, plus
+//                      include-cycle detection
+//   registry-drift     CoreConfig's flattened field set == the set of
+//                      ParamRegistry registrations in param_registry.cpp
+//   enum-string-drift  CLI-facing enums and their positional spelling
+//                      tables in names.cpp stay the same length
+//   lock-discipline    TUs that declare mutex members take locks through
+//                      RAII guards and pass predicates to cv.wait()
+//
+// docs/LINT.md carries the catalog with rationale; docs/ARCHITECTURE.md
+// is generated from the same DAG via `resim_lint --graph dot`.
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/index.hpp"
+#include "analysis/lint.hpp"
+
+namespace resim::analysis {
+
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// layering
+//
+// The declared subsystem DAG. Each entry lists *direct* allowed
+// dependencies; a subsystem may also include anything its dependencies
+// reach (the closure), and itself. `tests` is exempt by explicit rule
+// configuration — test TUs may reach into any layer, including each
+// other's fixtures. Library code can never include tools/bench/examples/
+// tests because no src subsystem lists them (and they are not reachable
+// from any src entry).
+// ---------------------------------------------------------------------------
+const std::map<std::string, std::vector<std::string>>& layer_spec() {
+  static const std::map<std::string, std::vector<std::string>> spec{
+      {"common", {}},
+      {"isa", {"common"}},
+      {"cache", {"common"}},
+      {"analysis", {"common"}},  // depends only on common, by decree
+      {"funcsim", {"isa"}},
+      {"bpred", {"isa"}},
+      {"codegen", {"bpred"}},
+      {"workload", {"funcsim"}},
+      {"trace", {"workload", "bpred"}},
+      {"core", {"trace", "cache"}},
+      {"fpga", {"core"}},
+      {"config", {"core"}},
+      {"baseline", {"core"}},
+      // The driver sits on top of the library: it may see everything
+      // below via the closure of these four.
+      {"driver", {"config", "baseline", "fpga", "codegen"}},
+      {"resim", {"driver"}},  // umbrella header re-exports the library
+      {"tools", {"resim", "analysis"}},
+      {"bench", {"resim"}},
+      {"examples", {"resim"}},
+  };
+  return spec;
+}
+
+const std::set<std::string>& layer_exempt() {
+  static const std::set<std::string> exempt{"tests"};
+  return exempt;
+}
+
+/// allowed[s] = {s} ∪ every subsystem reachable from s in the spec.
+std::map<std::string, std::set<std::string>> layer_closure() {
+  std::map<std::string, std::set<std::string>> out;
+  for (const auto& [sub, deps] : layer_spec()) {
+    std::set<std::string>& seen = out[sub];
+    std::vector<std::string> work{sub};
+    while (!work.empty()) {
+      const std::string cur = work.back();
+      work.pop_back();
+      if (!seen.insert(cur).second) continue;
+      const auto it = layer_spec().find(cur);
+      if (it == layer_spec().end()) continue;
+      for (const std::string& d : it->second) work.push_back(d);
+    }
+  }
+  return out;
+}
+
+class LayeringRule : public TreeRule {
+ public:
+  std::string id() const override { return "layering"; }
+  std::string description() const override {
+    return "includes must follow the declared subsystem DAG (no upward or "
+           "sideways edges, no include cycles; docs/ARCHITECTURE.md)";
+  }
+
+  void check(const RepoIndex& index, std::vector<Finding>& out) const override {
+    const auto closure = layer_closure();
+    const auto& files = index.files();
+
+    // Undeclared subsystems fail closed: a new top-level directory must
+    // take a position in the DAG before the tree is considered clean.
+    std::set<std::string> reported_unknown;
+    for (const FileInfo& f : files) {
+      if (layer_exempt().count(f.subsystem) ||
+          layer_spec().count(f.subsystem) ||
+          !reported_unknown.insert(f.subsystem).second) {
+        continue;
+      }
+      out.push_back({f.path, 0, id(),
+                     "subsystem '" + f.subsystem +
+                         "' is not declared in the layering DAG "
+                         "(src/analysis/tree_rules.cpp)"});
+    }
+
+    // Transitive reach check per file. Every violation is blamed on the
+    // first DAG-breaking edge of its shortest include chain, so one bad
+    // #include yields one finding per harmed subsystem, not one per
+    // downstream file.
+    struct Blame {
+      Finding finding;
+      std::size_t chain_len = 0;
+    };
+    std::map<std::string, Blame> blamed;  // dedupe key -> best chain
+
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const std::string& sub = files[i].subsystem;
+      if (layer_exempt().count(sub)) continue;
+      const auto cl = closure.find(sub);
+      if (cl == closure.end()) continue;  // unknown: reported above
+      const std::set<std::string>& allowed = cl->second;
+
+      const std::vector<std::size_t> parent = index.bfs_parents(i);
+      for (std::size_t j = 0; j < files.size(); ++j) {
+        if (parent[j] == RepoIndex::npos || j == i) continue;
+        if (allowed.count(files[j].subsystem)) continue;
+
+        std::vector<std::size_t> chain;
+        for (std::size_t v = j;; v = parent[v]) {
+          chain.push_back(v);
+          if (v == i) break;
+        }
+        std::reverse(chain.begin(), chain.end());
+        // First edge whose target leaves the allowed set.
+        std::size_t bad = 1;
+        while (bad < chain.size() &&
+               allowed.count(files[chain[bad]].subsystem)) {
+          ++bad;
+        }
+        const std::size_t from = chain[bad - 1], to = chain[bad];
+        int line = 0;
+        for (const auto& [tgt, ln] : index.edges_of(from)) {
+          if (tgt == to) {
+            line = ln;
+            break;
+          }
+        }
+        std::string chain_text;
+        for (std::size_t v : chain) {
+          if (!chain_text.empty()) chain_text += " -> ";
+          chain_text += files[v].path;
+        }
+        Finding f{files[from].path, line, id(),
+                  "subsystem '" + sub + "' may not depend on '" +
+                      files[j].subsystem + "' (chain: " + chain_text + ")"};
+        const std::string key = files[from].path + "#" +
+                                std::to_string(line) + "#" + sub + "#" +
+                                files[j].subsystem;
+        const auto it = blamed.find(key);
+        if (it == blamed.end() || chain.size() < it->second.chain_len) {
+          blamed[key] = {std::move(f), chain.size()};
+        }
+      }
+    }
+    for (auto& [key, b] : blamed) out.push_back(std::move(b.finding));
+
+    for (const std::vector<std::string>& cyc : index.include_cycles()) {
+      int line = 0;
+      const std::size_t a = index.index_of(cyc[0]);
+      const std::size_t b = index.index_of(cyc[1]);
+      for (const auto& [tgt, ln] : index.edges_of(a)) {
+        if (tgt == b) {
+          line = ln;
+          break;
+        }
+      }
+      std::string text;
+      for (const std::string& p : cyc) {
+        if (!text.empty()) text += " -> ";
+        text += p;
+      }
+      out.push_back({cyc[0], line, id(), "include cycle: " + text});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// registry-drift
+//
+// PR 3's declarative config plane only works if ParamRegistry reflects
+// every CoreConfig field: a knob missing from param_registry.cpp is
+// silently unreachable from --set/sweep specs, and a registration whose
+// accessor names a removed field is dead weight. The rule flattens
+// CoreConfig (recursing into fields whose type is itself an indexed
+// record) and compares against the RESIM_ACC(field, ...) accessor
+// expressions scanned from param_registry.cpp — including those inside
+// registration macros such as RESIM_CACHE_PARAMS, which are expanded
+// textually with their invocation arguments substituted.
+// ---------------------------------------------------------------------------
+constexpr const char* kRegistryFile = "src/config/param_registry.cpp";
+constexpr const char* kRootConfigRecord = "CoreConfig";
+constexpr const char* kAccessorMacro = "RESIM_ACC";
+
+/// A function-like macro definition scanned from a directive extent.
+struct MacroDef {
+  std::vector<std::string> params;
+  std::vector<Token> body;
+};
+
+bool is_registration_ident(const Token& t) {
+  return t.kind == TokKind::kIdentifier &&
+         (t.text == "uint_p" || t.text == "bool_p" || t.text == "enum_p");
+}
+
+/// Splits the argument tokens of a call starting at the `(` at
+/// `open` into top-level comma-separated groups; returns the index just
+/// past the closing `)` (or `end` when unbalanced).
+std::size_t split_call_args(const std::vector<Token>& toks, std::size_t open,
+                            std::size_t end,
+                            std::vector<std::vector<Token>>* args) {
+  std::vector<Token> cur;
+  int depth = 0;
+  std::size_t i = open;
+  for (; i < end; ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) ++depth;
+    if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) {
+      --depth;
+      if (depth == 0) break;
+    }
+    if (depth == 1 && is_punct(t, ",")) {
+      args->push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    if (depth >= 1 && !(depth == 1 && i == open)) cur.push_back(t);
+  }
+  if (!cur.empty()) args->push_back(std::move(cur));
+  return i < end ? i + 1 : end;
+}
+
+class RegistryDriftRule : public TreeRule {
+ public:
+  std::string id() const override { return "registry-drift"; }
+  std::string description() const override {
+    return "every CoreConfig field has a ParamRegistry registration in "
+           "param_registry.cpp and vice versa (docs/CONFIG.md)";
+  }
+
+  void check(const RepoIndex& index, std::vector<Finding>& out) const override {
+    const FileInfo* reg = index.file(kRegistryFile);
+    const auto [root_file, root] = index.find_record(kRootConfigRecord);
+    // Partial runs (a dirs subset that misses either side) check nothing
+    // rather than reporting the whole world as drifted.
+    if (reg == nullptr || root == nullptr) return;
+
+    // Expected: the flattened field set of CoreConfig.
+    struct Expected {
+      std::string file;
+      int line = 0;
+    };
+    std::map<std::string, Expected> expected;
+    flatten(index, *root_file, *root, "", 0, &expected);
+
+    // Registered: RESIM_ACC(<field-expr>, ...) accessor expressions from
+    // the registry TU, with registration macros expanded.
+    std::map<std::string, int> registered;  // field expr -> line
+    scan_registry(*reg, &registered);
+    if (registered.empty()) return;  // scan failed wholesale: stay silent
+
+    for (const auto& [field, where] : expected) {
+      if (registered.count(field)) continue;
+      out.push_back({where.file, where.line, id(),
+                     "config field '" + field +
+                         "' has no ParamRegistry registration in " +
+                         kRegistryFile});
+    }
+    for (const auto& [field, line] : registered) {
+      if (expected.count(field)) continue;
+      out.push_back({reg->path, line, id(),
+                     "registration accessor names no CoreConfig field '" +
+                         field + "'"});
+    }
+  }
+
+ private:
+  template <typename Map>
+  static void flatten(const RepoIndex& index, const FileInfo& file,
+                      const RecordDecl& rec, const std::string& prefix,
+                      int depth, Map* out) {
+    if (depth > 8) return;
+    for (const FieldDecl& f : rec.fields) {
+      const std::string path = prefix.empty() ? f.name : prefix + "." + f.name;
+      const auto [sub_file, sub] = index.find_record(f.type_tail);
+      if (sub != nullptr && sub != &rec) {
+        flatten(index, *sub_file, *sub, path, depth + 1, out);
+      } else {
+        (*out)[path] = {file.path, f.line};
+      }
+    }
+  }
+
+  static void scan_registry(const FileInfo& reg,
+                            std::map<std::string, int>* registered) {
+    const std::vector<Token>& toks = reg.tokens;
+
+    // Function-like macro definitions, keyed by name.
+    std::map<std::string, MacroDef> macros;
+    for (const DirectiveRange& d : reg.directives) {
+      if (d.end - d.begin < 4 || !is_ident(toks[d.begin + 1], "define")) {
+        continue;
+      }
+      const Token& name = toks[d.begin + 2];
+      if (name.kind != TokKind::kIdentifier ||
+          !is_punct(toks[d.begin + 3], "(")) {
+        continue;
+      }
+      MacroDef def;
+      std::size_t i = d.begin + 4;
+      for (; i < d.end && !is_punct(toks[i], ")"); ++i) {
+        if (toks[i].kind == TokKind::kIdentifier) {
+          def.params.push_back(toks[i].text);
+        }
+      }
+      for (++i; i < d.end; ++i) def.body.push_back(toks[i]);
+      macros[name.text] = std::move(def);
+    }
+
+    // Expand invocations of macros whose body registers params, so the
+    // RESIM_ACC / uint_p patterns inside become visible. Everything else
+    // (including RESIM_ACC itself) is left as written — its call shape
+    // IS the pattern we scan for.
+    const auto registers_params = [](const MacroDef& def) {
+      for (const Token& t : def.body) {
+        if (is_registration_ident(t)) return true;
+      }
+      return false;
+    };
+    std::vector<Token> code;
+    {
+      std::size_t d = 0;
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        while (d < reg.directives.size() && reg.directives[d].end <= i) ++d;
+        const bool in_dir = d < reg.directives.size() &&
+                            i >= reg.directives[d].begin &&
+                            i < reg.directives[d].end;
+        if (in_dir || toks[i].kind == TokKind::kComment) continue;
+        code.push_back(toks[i]);
+      }
+    }
+    std::vector<Token> flat;
+    flat.reserve(code.size());
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const Token& t = code[i];
+      const auto mac = t.kind == TokKind::kIdentifier
+                           ? macros.find(t.text)
+                           : macros.end();
+      if (mac == macros.end() || !registers_params(mac->second) ||
+          i + 1 >= code.size() || !is_punct(code[i + 1], "(")) {
+        flat.push_back(t);
+        continue;
+      }
+      std::vector<std::vector<Token>> args;
+      const std::size_t next = split_call_args(code, i + 1, code.size(), &args);
+      for (const Token& b : mac->second.body) {
+        bool substituted = false;
+        if (b.kind == TokKind::kIdentifier) {
+          for (std::size_t p = 0; p < mac->second.params.size(); ++p) {
+            if (mac->second.params[p] == b.text && p < args.size()) {
+              for (const Token& a : args[p]) {
+                Token copy = a;
+                copy.line = t.line;  // anchor findings at the invocation
+                flat.push_back(copy);
+              }
+              substituted = true;
+              break;
+            }
+          }
+        }
+        if (!substituted) {
+          Token copy = b;
+          copy.line = t.line;
+          flat.push_back(copy);
+        }
+      }
+      i = next - 1;
+    }
+
+    // Scan the flat stream: every uint_p/bool_p/enum_p call contributes
+    // one registration; its RESIM_ACC first argument, texts joined, is
+    // the field expression ("mem.l1i.size_bytes").
+    for (std::size_t i = 0; i + 1 < flat.size(); ++i) {
+      if (!is_registration_ident(flat[i]) || !is_punct(flat[i + 1], "(")) {
+        continue;
+      }
+      std::vector<std::vector<Token>> args;
+      split_call_args(flat, i + 1, flat.size(), &args);
+      for (const std::vector<Token>& arg : args) {
+        for (std::size_t k = 0; k + 1 < arg.size(); ++k) {
+          if (!is_ident(arg[k], kAccessorMacro) || !is_punct(arg[k + 1], "(")) {
+            continue;
+          }
+          std::vector<std::vector<Token>> acc_args;
+          split_call_args(arg, k + 1, arg.size(), &acc_args);
+          if (acc_args.empty() || acc_args[0].empty()) continue;
+          std::string expr;
+          for (const Token& e : acc_args[0]) expr += e.text;
+          (*registered)[expr] = arg[k].line;
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// enum-string-drift
+//
+// The CLI/CSV/registry spelling tables in src/config/names.cpp are
+// positional: names()[static_cast<size_t>(kind)]. That breaks silently
+// when an enumerator is added without a spelling, a spelling outlives
+// its enumerator, or someone gives an enumerator an explicit value. The
+// rule pairs each CLI-facing enum with its table and compares lengths.
+// ---------------------------------------------------------------------------
+constexpr const char* kNamesFile = "src/config/names.cpp";
+
+struct EnumPair {
+  const char* enum_name;
+  const char* names_fn;
+};
+constexpr EnumPair kEnumPairs[] = {
+    {"DirKind", "dir_kind_names"},
+    {"PipelineVariant", "variant_names"},
+    {"ReplPolicy", "repl_names"},
+    {"TraceBackend", "trace_backend_names"},
+};
+
+class EnumStringDriftRule : public TreeRule {
+ public:
+  std::string id() const override { return "enum-string-drift"; }
+  std::string description() const override {
+    return "CLI-facing enums and their positional spelling tables in "
+           "names.cpp cover each other exactly (docs/CONFIG.md)";
+  }
+
+  void check(const RepoIndex& index, std::vector<Finding>& out) const override {
+    const FileInfo* names = index.file(kNamesFile);
+    if (names == nullptr) return;  // partial run
+
+    for (const EnumPair& pair : kEnumPairs) {
+      const auto [efile, decl] = index.find_enum(pair.enum_name);
+      if (decl == nullptr) continue;  // partial run without the header
+
+      std::vector<Token> spellings;
+      int fn_line = 0;
+      if (!scan_names_fn(*names, pair.names_fn, &spellings, &fn_line)) {
+        out.push_back({names->path, 0, id(),
+                       std::string("no spelling table '") + pair.names_fn +
+                           "' found for enum '" + pair.enum_name + "'"});
+        continue;
+      }
+
+      if (decl->has_explicit_values) {
+        out.push_back({efile->path, decl->line, id(),
+                       std::string("enum '") + pair.enum_name +
+                           "' has explicit enumerator values; the " +
+                           pair.names_fn + " table is positional"});
+      }
+
+      for (std::size_t i = spellings.size(); i < decl->enumerators.size();
+           ++i) {
+        out.push_back({efile->path, decl->line, id(),
+                       "enumerator '" + decl->enumerators[i] + "' of '" +
+                           pair.enum_name + "' has no spelling in " +
+                           pair.names_fn + " (" + kNamesFile + ")"});
+      }
+      for (std::size_t i = decl->enumerators.size(); i < spellings.size();
+           ++i) {
+        out.push_back({names->path, spellings[i].line, id(),
+                       "spelling " + spellings[i].text + " in " +
+                           pair.names_fn + " names no enumerator of '" +
+                           pair.enum_name + "' (dead entry)"});
+      }
+
+      std::set<std::string> seen;
+      for (const Token& s : spellings) {
+        if (!seen.insert(s.text).second) {
+          out.push_back({names->path, s.line, id(),
+                         "duplicate spelling " + s.text + " in " +
+                             pair.names_fn});
+        }
+      }
+    }
+  }
+
+ private:
+  /// Finds `fn() { ... = { "a", "b", ... }; ... }` and collects the
+  /// string-literal tokens of the first braced initializer after an `=`.
+  static bool scan_names_fn(const FileInfo& file, const std::string& fn,
+                            std::vector<Token>* spellings, int* fn_line) {
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!(toks[i].kind == TokKind::kIdentifier && toks[i].text == fn) ||
+          !is_punct(toks[i + 1], "(") || !is_punct(toks[i + 2], ")")) {
+        continue;
+      }
+      *fn_line = toks[i].line;
+      std::size_t j = i + 3;
+      while (j < toks.size() && !is_punct(toks[j], "=") &&
+             !is_punct(toks[j], ";")) {
+        ++j;
+      }
+      if (j >= toks.size() || is_punct(toks[j], ";")) return false;
+      while (j < toks.size() && !is_punct(toks[j], "{")) ++j;
+      if (j >= toks.size()) return false;
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "{")) ++depth;
+        if (is_punct(toks[j], "}") && --depth == 0) break;
+        if (toks[j].kind == TokKind::kString) spellings->push_back(toks[j]);
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// lock-discipline
+//
+// The TSan CI leg only proves the schedules it happens to run; this rule
+// makes the repo's locking *convention* static. In any file that deals
+// in mutexes — declares one as a member or local, or directly includes a
+// header whose records do — locks may only be taken through RAII guards
+// (std::lock_guard / unique_lock / scoped_lock), never raw
+// .lock()/.unlock(); and condition_variable::wait must use the predicate
+// overload (a single-argument .wait(lk) misses spurious wakeups).
+// ---------------------------------------------------------------------------
+class LockDisciplineRule : public TreeRule {
+ public:
+  std::string id() const override { return "lock-discipline"; }
+  std::string description() const override {
+    return "mutex-holding TUs take locks via RAII guards only and pass "
+           "predicates to condition_variable::wait";
+  }
+
+  void check(const RepoIndex& index, std::vector<Finding>& out) const override {
+    for (std::size_t i = 0; i < index.files().size(); ++i) {
+      const FileInfo& f = index.files()[i];
+      if (!in_scope(index, i)) continue;
+
+      const std::vector<Token>& toks = f.tokens;
+      for (std::size_t k = 0; k + 2 < toks.size(); ++k) {
+        if (toks[k].kind == TokKind::kComment) continue;
+        if (!is_punct(toks[k], ".") && !is_punct(toks[k], "->")) continue;
+        const Token& name = toks[k + 1];
+        if (!is_punct(toks[k + 2], "(")) continue;
+        if (is_ident(name, "lock") || is_ident(name, "unlock")) {
+          out.push_back({f.path, name.line, id(),
+                         "raw ." + name.text +
+                             "() call; take locks via std::lock_guard/"
+                             "unique_lock/scoped_lock"});
+        } else if (is_ident(name, "wait") && arg_count(toks, k + 2) == 1) {
+          out.push_back({f.path, name.line, id(),
+                         "condition_variable::wait without a predicate; use "
+                         "wait(lock, [&]{ ... })"});
+        }
+      }
+    }
+  }
+
+ private:
+  /// In scope: the file declares a sync member/local itself, or directly
+  /// includes an indexed header whose records do.
+  static bool in_scope(const RepoIndex& index, std::size_t i) {
+    const FileInfo& f = index.files()[i];
+    if (declares_sync(f)) return true;
+    for (const auto& [j, line] : index.edges_of(i)) {
+      const FileInfo& inc = index.files()[j];
+      for (const RecordDecl& r : inc.records) {
+        if (r.has_sync_member()) return true;
+      }
+    }
+    return false;
+  }
+
+  static bool declares_sync(const FileInfo& f) {
+    for (const RecordDecl& r : f.records) {
+      if (r.has_sync_member()) return true;
+    }
+    // Locals / globals: `std::mutex m;` anywhere in the token stream.
+    const std::vector<Token>& toks = f.tokens;
+    for (std::size_t k = 0; k + 2 < toks.size(); ++k) {
+      if (is_ident(toks[k], "std") && is_punct(toks[k + 1], "::") &&
+          toks[k + 2].kind == TokKind::kIdentifier &&
+          (toks[k + 2].text == "mutex" ||
+           toks[k + 2].text == "condition_variable") &&
+          k + 3 < toks.size() && toks[k + 3].kind == TokKind::kIdentifier) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Number of top-level arguments of the call whose `(` sits at `open`.
+  static int arg_count(const std::vector<Token>& toks, std::size_t open) {
+    int depth = 0, commas = 0;
+    bool any = false;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kComment) continue;
+      if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) {
+        ++depth;
+        continue;
+      }
+      if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) {
+        if (--depth == 0) break;
+        continue;
+      }
+      if (depth == 1) {
+        any = true;
+        if (is_punct(t, ",")) ++commas;
+      }
+    }
+    return any ? commas + 1 : 0;
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<TreeRule>> default_tree_rules() {
+  std::vector<std::unique_ptr<TreeRule>> out;
+  out.push_back(std::make_unique<LayeringRule>());
+  out.push_back(std::make_unique<RegistryDriftRule>());
+  out.push_back(std::make_unique<EnumStringDriftRule>());
+  out.push_back(std::make_unique<LockDisciplineRule>());
+  return out;
+}
+
+}  // namespace resim::analysis

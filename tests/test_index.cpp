@@ -1,0 +1,664 @@
+// Tests for the cross-TU analysis pass: the RepoIndex (include graph +
+// declaration scanner, src/analysis/index.hpp) and the four tree rules
+// it feeds (src/analysis/tree_rules.cpp). Fixture trees are built
+// in-memory via run_sources()/RepoIndex::build(); the acceptance-level
+// suites at the bottom run against the real checked-out tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/index.hpp"
+#include "analysis/lint.hpp"
+
+namespace {
+
+using resim::analysis::Finding;
+using resim::analysis::LintEngine;
+using resim::analysis::RepoIndex;
+using resim::analysis::SourceFile;
+using resim::analysis::Token;
+using resim::analysis::TokKind;
+
+std::vector<Finding> of_rule(const std::vector<Finding>& fs,
+                             const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : fs) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer: the starts_line flag the directive scanner keys on
+// ---------------------------------------------------------------------------
+
+TEST(StartsLine, SetAfterRealNewlinesOnly) {
+  const auto toks = resim::analysis::tokenize("a b\nc\n  d");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_TRUE(toks[0].starts_line);   // a: start of file
+  EXPECT_FALSE(toks[1].starts_line);  // b: same line
+  EXPECT_TRUE(toks[2].starts_line);   // c
+  EXPECT_TRUE(toks[3].starts_line);   // d: leading whitespace is fine
+}
+
+TEST(StartsLine, SplicedContinuationDoesNotStartALine) {
+  // The #define body spans two physical lines via a splice; the
+  // continuation tokens must stay inside the directive extent.
+  const auto toks = resim::analysis::tokenize("#define F(x) \\\n  x + 1\nint y;");
+  std::vector<std::string> line_starters;
+  for (const Token& t : toks) {
+    if (t.starts_line) line_starters.push_back(t.text);
+  }
+  EXPECT_EQ(line_starters, (std::vector<std::string>{"#", "int"}));
+}
+
+TEST(StartsLine, CommentCountsAsWhitespace) {
+  const auto toks = resim::analysis::tokenize("/* c */ #include \"x.hpp\"\n");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[1].text, "#");
+  EXPECT_TRUE(toks[1].starts_line);
+}
+
+// ---------------------------------------------------------------------------
+// RepoIndex: include graph
+// ---------------------------------------------------------------------------
+
+TEST(Index, ResolvesSrcRelativeAndIncluderRelativeQuotedIncludes) {
+  const RepoIndex idx = RepoIndex::build({
+      {"src/common/a.hpp", ""},
+      {"src/core/b.hpp",
+       "#include \"common/a.hpp\"\n#include <vector>\n"},
+      {"bench/util.hpp", ""},
+      {"bench/main.cpp", "#include \"util.hpp\"\n"},
+  });
+  const auto* b = idx.file("src/core/b.hpp");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->includes.size(), 2u);
+  EXPECT_EQ(b->includes[0].resolved, "src/common/a.hpp");
+  EXPECT_TRUE(b->includes[1].system);
+  EXPECT_EQ(b->includes[1].target, "vector");
+  EXPECT_EQ(b->includes[1].resolved, "");
+
+  const auto* m = idx.file("bench/main.cpp");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->includes.size(), 1u);
+  EXPECT_EQ(m->includes[0].resolved, "bench/util.hpp");
+}
+
+TEST(Index, SubsystemOf) {
+  EXPECT_EQ(RepoIndex::subsystem_of("src/core/engine.cpp"), "core");
+  EXPECT_EQ(RepoIndex::subsystem_of("src/resim/resim.hpp"), "resim");
+  EXPECT_EQ(RepoIndex::subsystem_of("tools/resim_lint.cpp"), "tools");
+  EXPECT_EQ(RepoIndex::subsystem_of("tests/test_lint.cpp"), "tests");
+}
+
+TEST(Index, ShortestIncludeChainIsReported) {
+  // a -> b -> d and a -> c -> d plus the long way a -> e -> f -> d:
+  // the chain must be one of the length-3 routes.
+  const RepoIndex idx = RepoIndex::build({
+      {"src/x/a.hpp", "#include \"x/b.hpp\"\n#include \"x/e.hpp\"\n"},
+      {"src/x/b.hpp", "#include \"x/d.hpp\"\n"},
+      {"src/x/e.hpp", "#include \"x/f.hpp\"\n"},
+      {"src/x/f.hpp", "#include \"x/d.hpp\"\n"},
+      {"src/x/d.hpp", ""},
+  });
+  const auto chain = idx.include_chain("src/x/a.hpp", "src/x/d.hpp");
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain.front(), "src/x/a.hpp");
+  EXPECT_EQ(chain.back(), "src/x/d.hpp");
+  EXPECT_TRUE(idx.include_chain("src/x/d.hpp", "src/x/a.hpp").empty());
+}
+
+TEST(Index, SubsystemChain) {
+  const RepoIndex idx = RepoIndex::build({
+      {"src/alpha/a.hpp", "#include \"beta/b.hpp\"\n"},
+      {"src/beta/b.hpp", "#include \"gamma/c.hpp\"\n"},
+      {"src/gamma/c.hpp", ""},
+  });
+  const auto chain = idx.subsystem_chain("alpha", "gamma");
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], "src/alpha/a.hpp");
+  EXPECT_EQ(chain[2], "src/gamma/c.hpp");
+  EXPECT_TRUE(idx.subsystem_chain("gamma", "alpha").empty());
+}
+
+TEST(Index, IncludeCycleDetection) {
+  const RepoIndex idx = RepoIndex::build({
+      {"src/x/a.hpp", "#include \"x/b.hpp\"\n"},
+      {"src/x/b.hpp", "#include \"x/c.hpp\"\n"},
+      {"src/x/c.hpp", "#include \"x/a.hpp\"\n"},
+      {"src/x/solo.hpp", ""},
+  });
+  const auto cycles = idx.include_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  // Canonical form: starts (and ends, closed) at the smallest path.
+  EXPECT_EQ(cycles[0].front(), "src/x/a.hpp");
+  EXPECT_EQ(cycles[0].back(), "src/x/a.hpp");
+  EXPECT_EQ(cycles[0].size(), 4u);
+}
+
+TEST(Index, AcyclicTreeHasNoCycles) {
+  const RepoIndex idx = RepoIndex::build({
+      {"src/x/a.hpp", "#include \"x/b.hpp\"\n"},
+      {"src/x/b.hpp", ""},
+  });
+  EXPECT_TRUE(idx.include_cycles().empty());
+}
+
+TEST(Index, SubsystemDotListsNodesAndEdges) {
+  const RepoIndex idx = RepoIndex::build({
+      {"src/alpha/a.hpp", "#include \"beta/b.hpp\"\n"},
+      {"src/beta/b.hpp", ""},
+  });
+  const std::string dot = idx.subsystem_dot();
+  EXPECT_NE(dot.find("digraph resim_includes"), std::string::npos);
+  EXPECT_NE(dot.find("\"alpha\" -> \"beta\";"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RepoIndex: declaration scanner
+// ---------------------------------------------------------------------------
+
+TEST(Scanner, RecordsFieldsAndSkipsFunctions) {
+  const RepoIndex idx = RepoIndex::build({{"src/x/c.hpp", R"(
+struct CacheConfig {
+  std::uint32_t size_bytes = 32 * 1024;
+  bool write_allocate = true;
+  Rng rng{1};
+  int flags : 3;
+  void validate() const;
+  std::uint32_t blocks() const { return size_bytes / 64; }
+  static CacheConfig defaults();
+};
+)"}});
+  const auto [file, rec] = idx.find_record("CacheConfig");
+  ASSERT_NE(rec, nullptr);
+  std::vector<std::string> names;
+  for (const auto& f : rec->fields) names.push_back(f.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"size_bytes", "write_allocate",
+                                             "rng", "flags"}));
+  EXPECT_EQ(rec->fields[0].type, "std::uint32_t");
+  EXPECT_EQ(rec->fields[0].type_tail, "uint32_t");
+}
+
+TEST(Scanner, NestedRecordsAndEnums) {
+  const RepoIndex idx = RepoIndex::build({{"src/x/n.hpp", R"(
+struct Outer {
+  struct Inner {
+    int deep = 0;
+  };
+  Inner inner;
+  int shallow;
+};
+enum class Repl : std::uint8_t { kLru, kFifo, kRandom };
+enum Legacy { kA = 1, kB = 2 };
+)"}});
+  const auto [of, outer] = idx.find_record("Outer");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(outer->fields.size(), 2u);
+  EXPECT_EQ(outer->fields[0].name, "inner");
+  EXPECT_EQ(outer->fields[0].type_tail, "Inner");
+  EXPECT_EQ(outer->fields[1].name, "shallow");
+  const auto [inf, inner] = idx.find_record("Inner");
+  ASSERT_NE(inner, nullptr);
+  ASSERT_EQ(inner->fields.size(), 1u);
+  EXPECT_EQ(inner->fields[0].name, "deep");
+
+  const auto [ef, repl] = idx.find_enum("Repl");
+  ASSERT_NE(repl, nullptr);
+  EXPECT_TRUE(repl->scoped);
+  EXPECT_FALSE(repl->has_explicit_values);
+  EXPECT_EQ(repl->enumerators,
+            (std::vector<std::string>{"kLru", "kFifo", "kRandom"}));
+  const auto [lf, legacy] = idx.find_enum("Legacy");
+  ASSERT_NE(legacy, nullptr);
+  EXPECT_FALSE(legacy->scoped);
+  EXPECT_TRUE(legacy->has_explicit_values);
+}
+
+TEST(Scanner, RawStringsAndMacrosDoNotConfuseDeclarations) {
+  // The raw string contains what looks like a struct definition and an
+  // include; the macro body contains a field-shaped statement. Neither
+  // is a real declaration. The real field after both must be seen.
+  const RepoIndex idx = RepoIndex::build({{"src/x/m.hpp", R"raw(
+const char* kDoc = R"(struct Fake { int not_a_field; }
+#include "not/an/include.hpp"
+)";
+#define DECLARE_COUNTER(name) \
+  std::uint64_t name = 0;     \
+  struct FakeInMacro { int macro_field; }
+struct Real {
+  int genuine;
+};
+)raw"}});
+  EXPECT_EQ(idx.find_record("Fake").second, nullptr);
+  EXPECT_EQ(idx.find_record("FakeInMacro").second, nullptr);
+  const auto* f = idx.file("src/x/m.hpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->includes.empty());
+  const auto [rf, real] = idx.find_record("Real");
+  ASSERT_NE(real, nullptr);
+  ASSERT_EQ(real->fields.size(), 1u);
+  EXPECT_EQ(real->fields[0].name, "genuine");
+}
+
+TEST(Scanner, DetectsMutexAndConditionVariableMembers) {
+  const RepoIndex idx = RepoIndex::build({{"src/x/q.hpp", R"(
+struct Queue {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  int depth = 0;
+};
+struct Plain {
+  int x;
+};
+)"}});
+  const auto [qf, q] = idx.find_record("Queue");
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->has_sync_member());
+  EXPECT_TRUE(q->fields[0].is_sync);
+  EXPECT_TRUE(q->fields[1].is_sync);
+  EXPECT_FALSE(q->fields[2].is_sync);
+  const auto [pf, p] = idx.find_record("Plain");
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(p->has_sync_member());
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+TEST(Layering, UpwardIncludeIsBlamedOnTheOffendingEdgeWithChain) {
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({
+          {"src/common/low.hpp", "#include \"core/high.hpp\"\n"},
+          {"src/core/high.hpp", ""},
+      }),
+      "layering");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].file, "src/common/low.hpp");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_NE(fs[0].message.find("'common' may not depend on 'core'"),
+            std::string::npos);
+  EXPECT_NE(fs[0].message.find("src/common/low.hpp -> src/core/high.hpp"),
+            std::string::npos);
+}
+
+TEST(Layering, TransitiveViolationDedupesOntoTheSameEdge) {
+  // Two common files reach core through the same bad edge: one finding,
+  // blamed on the edge, not one per downstream includer.
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({
+          {"src/common/a.hpp", "#include \"common/bad.hpp\"\n"},
+          {"src/common/bad.hpp", "#include \"core/high.hpp\"\n"},
+          {"src/core/high.hpp", ""},
+      }),
+      "layering");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].file, "src/common/bad.hpp");
+}
+
+TEST(Layering, DeclaredDownwardEdgesAreClean) {
+  LintEngine e;
+  EXPECT_TRUE(of_rule(e.run_sources({
+                          {"src/core/a.hpp", "#include \"trace/t.hpp\"\n"},
+                          {"src/trace/t.hpp", "#include \"common/c.hpp\"\n"},
+                          {"src/common/c.hpp", ""},
+                      }),
+                      "layering")
+                  .empty());
+}
+
+TEST(Layering, TestsAreExemptButLibraryMayNotIncludeTests) {
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({
+          {"tests/helper.hpp", ""},
+          {"tests/test_x.cpp",
+           "#include \"helper.hpp\"\n#include \"core/a.hpp\"\n"},
+          {"src/core/a.hpp", ""},
+      }),
+      "layering");
+  EXPECT_TRUE(fs.empty());
+
+  const auto bad = of_rule(e.run_sources({
+                               {"tests/helper.hpp", ""},
+                               {"src/core/a.cpp",
+                                "#include \"../../tests/helper.hpp\"\n"},
+                           }),
+                           "layering");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_NE(bad[0].message.find("'core' may not depend on 'tests'"),
+            std::string::npos);
+}
+
+TEST(Layering, IncludeCycleIsAFinding) {
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({
+          {"src/core/a.hpp", "#include \"core/b.hpp\"\n"},
+          {"src/core/b.hpp", "#include \"core/a.hpp\"\n"},
+      }),
+      "layering");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("src/core/a.hpp -> src/core/b.hpp -> "
+                               "src/core/a.hpp"),
+            std::string::npos);
+}
+
+TEST(Layering, UndeclaredSubsystemFailsClosed) {
+  LintEngine e;
+  const auto fs =
+      of_rule(e.run_sources({{"src/newthing/x.hpp", ""}}), "layering");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].message.find("'newthing'"), std::string::npos);
+}
+
+TEST(Layering, FindingCanBeSuppressedInline) {
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({
+          {"src/common/low.hpp",
+           "#include \"core/high.hpp\"  // transitional; resim-lint: "
+           "allow(layering)\n"},
+          {"src/core/high.hpp", ""},
+      }),
+      "layering");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// registry-drift (fixture-level; the real-tree check is at the bottom)
+// ---------------------------------------------------------------------------
+
+const char* kDriftConfig = R"(
+struct FuConfig {
+  unsigned alu_count = 4;
+};
+struct CoreConfig {
+  unsigned width = 4;
+  FuConfig fu;
+  bool speculate = true;
+};
+)";
+
+TEST(RegistryDrift, MissingAndDeadRegistrationsArePaired) {
+  LintEngine e;
+  // `width` and `fu.alu_count` registered; `speculate` missing; the
+  // `fu.alu_width` accessor names no field.
+  const auto fs = of_rule(
+      e.run_sources({
+          {"src/core/config.hpp", kDriftConfig},
+          {"src/config/param_registry.cpp",
+           "void build() {\n"
+           "  uint_p(\"core.width\", RESIM_ACC(width, unsigned));\n"
+           "  uint_p(\"core.fu.alu_count\", RESIM_ACC(fu.alu_count, unsigned));\n"
+           "  uint_p(\"core.fu.alu_width\", RESIM_ACC(fu.alu_width, unsigned));\n"
+           "}\n"},
+      }),
+      "registry-drift");
+  ASSERT_EQ(fs.size(), 2u);
+  // Sorted by file: src/config/... precedes src/core/...
+  EXPECT_NE(fs[0].message.find("'fu.alu_width'"), std::string::npos);
+  EXPECT_EQ(fs[0].file, "src/config/param_registry.cpp");
+  EXPECT_NE(fs[1].message.find("'speculate'"), std::string::npos);
+  EXPECT_EQ(fs[1].file, "src/core/config.hpp");
+}
+
+TEST(RegistryDrift, RegistrationMacrosAreExpanded) {
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({
+          {"src/core/config.hpp",
+           "struct CoreConfig {\n  unsigned width = 4;\n};\n"},
+          {"src/config/param_registry.cpp",
+           "#define REG_W(PFX, MEMBER) \\\n"
+           "  uint_p(PFX \".width\", RESIM_ACC(MEMBER, unsigned))\n"
+           "void build() {\n"
+           "  REG_W(\"core\", width);\n"
+           "}\n"},
+      }),
+      "registry-drift");
+  EXPECT_TRUE(fs.empty()) << (fs.empty() ? "" : fs[0].message);
+}
+
+TEST(RegistryDrift, SilentWhenEitherSideIsAbsent) {
+  LintEngine e;
+  EXPECT_TRUE(of_rule(e.run_sources({{"src/core/config.hpp", kDriftConfig}}),
+                      "registry-drift")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// enum-string-drift
+// ---------------------------------------------------------------------------
+
+const char* kEnumHeader = R"(
+enum class ReplPolicy : std::uint8_t { kLru, kFifo, kRandom };
+)";
+
+TEST(EnumStringDrift, MatchingTableIsClean) {
+  LintEngine e;
+  EXPECT_TRUE(
+      of_rule(e.run_sources({
+                  {"src/cache/cache.hpp", kEnumHeader},
+                  {"src/config/names.cpp",
+                   "const std::vector<std::string>& repl_names() {\n"
+                   "  static const std::vector<std::string> names = "
+                   "{\"lru\", \"fifo\", \"random\"};\n"
+                   "  return names;\n"
+                   "}\n"},
+              }),
+              "enum-string-drift")
+          .empty());
+}
+
+TEST(EnumStringDrift, MissingSpellingAndDeadEntryAreFlagged) {
+  LintEngine e;
+  const auto missing = of_rule(
+      e.run_sources({
+          {"src/cache/cache.hpp", kEnumHeader},
+          {"src/config/names.cpp",
+           "const std::vector<std::string>& repl_names() {\n"
+           "  static const std::vector<std::string> names = "
+           "{\"lru\", \"fifo\"};\n"
+           "  return names;\n"
+           "}\n"},
+      }),
+      "enum-string-drift");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].message.find("'kRandom'"), std::string::npos);
+
+  const auto dead = of_rule(
+      e.run_sources({
+          {"src/cache/cache.hpp", kEnumHeader},
+          {"src/config/names.cpp",
+           "const std::vector<std::string>& repl_names() {\n"
+           "  static const std::vector<std::string> names = "
+           "{\"lru\", \"fifo\", \"random\", \"zombie\"};\n"
+           "  return names;\n"
+           "}\n"},
+      }),
+      "enum-string-drift");
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_NE(dead[0].message.find("\"zombie\""), std::string::npos);
+  EXPECT_EQ(dead[0].file, "src/config/names.cpp");
+}
+
+TEST(EnumStringDrift, ExplicitEnumeratorValuesBreakPositionalMapping) {
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({
+          {"src/cache/cache.hpp",
+           "enum class ReplPolicy { kLru = 1, kFifo, kRandom };\n"},
+          {"src/config/names.cpp",
+           "const std::vector<std::string>& repl_names() {\n"
+           "  static const std::vector<std::string> names = "
+           "{\"lru\", \"fifo\", \"random\"};\n"
+           "  return names;\n"
+           "}\n"},
+      }),
+      "enum-string-drift");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].message.find("explicit enumerator values"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// lock-discipline
+// ---------------------------------------------------------------------------
+
+TEST(LockDiscipline, RawLockUnlockFlaggedInMutexDeclaringTu) {
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({{"src/driver/q.cpp",
+                      "struct Q {\n"
+                      "  std::mutex mu;\n"
+                      "  void push() {\n"
+                      "    mu.lock();\n"
+                      "    mu.unlock();\n"
+                      "  }\n"
+                      "};\n"}}),
+      "lock-discipline");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].line, 4);
+  EXPECT_NE(fs[0].message.find(".lock()"), std::string::npos);
+  EXPECT_EQ(fs[1].line, 5);
+}
+
+TEST(LockDiscipline, AppliesAcrossTusViaIncludedMutexHeader) {
+  // The .cpp declares no mutex itself; it inherits scope from the header
+  // whose record has one — exactly the cross-TU case a per-file rule
+  // cannot see.
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({
+          {"src/driver/q.hpp", "struct Q {\n  std::mutex mu;\n};\n"},
+          {"src/driver/q.cpp",
+           "#include \"driver/q.hpp\"\nvoid f(Q& q) { q.mu.lock(); }\n"},
+      }),
+      "lock-discipline");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].file, "src/driver/q.cpp");
+}
+
+TEST(LockDiscipline, PredicatelessWaitFlaggedPredicateWaitClean) {
+  LintEngine e;
+  const auto fs = of_rule(
+      e.run_sources({{"src/driver/w.cpp",
+                      "struct W {\n"
+                      "  std::mutex mu;\n"
+                      "  std::condition_variable cv;\n"
+                      "  bool ready = false;\n"
+                      "  void a(std::unique_lock<std::mutex>& lk) {\n"
+                      "    cv.wait(lk);\n"
+                      "    cv.wait(lk, [&] { return ready; });\n"
+                      "  }\n"
+                      "};\n"}}),
+      "lock-discipline");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 6);
+  EXPECT_NE(fs[0].message.find("predicate"), std::string::npos);
+}
+
+TEST(LockDiscipline, MutexFreeTuIsOutOfScope) {
+  // `.lock()` on a weak_ptr-ish object in a TU with no mutexes anywhere
+  // in sight must not fire.
+  LintEngine e;
+  EXPECT_TRUE(of_rule(e.run_sources({{"src/core/w.cpp",
+                                      "void f(W& w) { auto s = w.lock(); }\n"}}),
+                      "lock-discipline")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// engine-level: determinism + cross-file ordering
+// ---------------------------------------------------------------------------
+
+TEST(Engine, FindingsAreSortedByFileLineRule) {
+  LintEngine e;
+  // Input order deliberately reversed; two findings in one file.
+  const auto fs = e.run_sources({
+      {"src/workload/z.cpp", "int a = rand();\n"},
+      {"src/workload/a.cpp", "int a = rand();\nint b = rand();\n"},
+  });
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].file, "src/workload/a.cpp");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(fs[1].file, "src/workload/a.cpp");
+  EXPECT_EQ(fs[1].line, 2);
+  EXPECT_EQ(fs[2].file, "src/workload/z.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// The real tree
+// ---------------------------------------------------------------------------
+
+TEST(Tree, RealTreeIsLayerClean) {
+  // The architecture docs/ARCHITECTURE.md promises are enforced here:
+  // the checked-out tree satisfies the declared subsystem DAG with no
+  // include cycles, and the two drift rules hold.
+  LintEngine e;
+  const auto fs = e.run_tree(RESIM_SOURCE_DIR,
+                             {"src", "tools", "bench", "examples", "tests"});
+  for (const std::string rule :
+       {"layering", "registry-drift", "enum-string-drift", "lock-discipline"}) {
+    for (const Finding& f : of_rule(fs, rule)) {
+      ADD_FAILURE() << resim::analysis::format_finding(f);
+    }
+  }
+}
+
+TEST(Tree, RemovedRegistrationIsCaughtOnTheRealTree) {
+  // Acceptance criterion: deliberately delete one ParamRegistry
+  // registration from the real param_registry.cpp and registry-drift
+  // must catch it. Everything stays in memory; no files are touched.
+  auto sources = resim::analysis::read_source_tree(RESIM_SOURCE_DIR, {"src"});
+  bool edited = false;
+  for (SourceFile& s : sources) {
+    if (s.path != "src/config/param_registry.cpp") continue;
+    const std::string needle = "RESIM_ACC(rob_size, unsigned)";
+    const std::size_t at = s.text.find(needle);
+    ASSERT_NE(at, std::string::npos) << "registration shape changed?";
+    s.text.replace(at, needle.size(), "RESIM_ACC(rob_size_gone, unsigned)");
+    edited = true;
+  }
+  ASSERT_TRUE(edited);
+
+  LintEngine e;
+  const auto fs = of_rule(e.run_sources(std::move(sources)), "registry-drift");
+  ASSERT_EQ(fs.size(), 2u);
+  bool saw_missing = false, saw_dead = false;
+  for (const Finding& f : fs) {
+    if (f.message.find("'rob_size' has no ParamRegistry registration") !=
+        std::string::npos) {
+      saw_missing = true;
+    }
+    if (f.message.find("'rob_size_gone'") != std::string::npos) {
+      saw_dead = true;
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_TRUE(saw_dead);
+}
+
+TEST(Tree, RealEnumTablesMatchTheirEnums) {
+  // Sanity that the enum-string-drift rule is actually comparing data on
+  // the real tree (not silently skipping): the scanned DirKind enum and
+  // its table both exist and have equal, nonzero size.
+  const RepoIndex idx = RepoIndex::build(
+      resim::analysis::read_source_tree(RESIM_SOURCE_DIR, {"src"}));
+  const auto [f, dir] = idx.find_enum("DirKind");
+  ASSERT_NE(dir, nullptr);
+  EXPECT_EQ(dir->enumerators.size(), 7u);
+  const auto [cf, core] = idx.find_record("CoreConfig");
+  ASSERT_NE(core, nullptr);
+  EXPECT_GE(core->fields.size(), 10u);
+}
+
+}  // namespace

@@ -402,8 +402,26 @@ TEST(Suppression, UnknownRuleNameIsFlagged) {
   const std::string src = "int a;  // resim-lint: allow(no-such-rule)\n";
   const auto fs = e.run_file("src/workload/micro.cpp", src);
   ASSERT_EQ(fs.size(), 1u);
-  EXPECT_EQ(fs[0].rule, "unused-suppression");
+  EXPECT_EQ(fs[0].rule, "unknown-rule");
   EXPECT_NE(fs[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(Suppression, TreeRuleNamesAreKnownToAllowLists) {
+  // allow(layering) in a single-file run is unused (tree rules don't run
+  // there) but must not be an unknown-rule typo finding.
+  LintEngine e;
+  const std::string src = "int a;  // resim-lint: allow(layering)\n";
+  const auto fs = e.run_file("src/workload/micro.cpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unused-suppression");
+}
+
+TEST(Suppression, UnknownRuleAllowCanItselfBeAllowed) {
+  LintEngine e;
+  const std::string src =
+      "int a;  // resim-lint: allow(no-such-rule) "
+      "resim-lint: allow(unknown-rule)\n";
+  EXPECT_TRUE(e.run_file("src/workload/micro.cpp", src).empty());
 }
 
 TEST(Suppression, DeadAllowCanItselfBeAllowed) {

@@ -152,9 +152,19 @@ def self_test():
 
         rc, out = run("--rebaseline", "--current", good,
                       "--out", os.path.join(td, "rb.json"), "--derate", "0.5")
-        rb = load_json(os.path.join(td, "rb.json"), "--out")
+        # Read the output directly rather than via load_json(): that
+        # helper exits the whole process on a missing/corrupt file,
+        # which would abort the self-test with a misleading gate error
+        # instead of reporting this check as failed.
+        try:
+            with open(os.path.join(td, "rb.json")) as f:
+                rb = json.load(f)
+            derated = rb["points"][0]["jobs_per_sec"]
+        except (OSError, ValueError, KeyError, IndexError) as e:
+            rb, derated = None, repr(e)
         check("rebaseline derates",
-              rc == 0 and rb["points"][0]["jobs_per_sec"] == 50.0, out)
+              rc == 0 and rb is not None and derated == 50.0,
+              f"derated={derated}\n{out}")
 
     if failures:
         print("PERF GATE SELF-TEST: FAIL")

@@ -1,15 +1,23 @@
 // resim_lint — the in-tree invariant linter (docs/LINT.md).
 //
 //   resim_lint [--root DIR] [--baseline FILE] [--write-baseline FILE]
-//              [--github] [--list-rules] [DIR...]
+//              [--github] [--list-rules] [--graph dot] [--why A B]
+//              [DIR...]
 //
 // Walks DIR... (default: src tools bench examples tests) under --root
-// (default: .), runs every rule from src/analysis/rules.cpp, and prints
-// findings as `file:line: rule-id: message`. Findings matched by the
+// (default: .), runs every per-file rule from src/analysis/rules.cpp and
+// every cross-TU rule from src/analysis/tree_rules.cpp, and prints
+// findings as `file:line: rule-id: message`, sorted by (file, line,
+// rule) so output and baselines never churn. Findings matched by the
 // baseline file are absorbed; stale baseline entries (the violation is
 // gone) are themselves errors so the file can only shrink. --github
-// additionally emits ::error workflow annotations. --write-baseline
+// additionally emits ::error workflow annotations (for engine
+// meta-findings and stale baseline entries too). --write-baseline
 // regenerates the baseline from the current findings.
+//
+// Cross-TU extras: `--graph dot` prints the subsystem-level include DAG
+// as Graphviz dot (the source of docs/ARCHITECTURE.md); `--why A B`
+// prints the shortest include chain from subsystem A to subsystem B.
 //
 // Exit codes: 0 clean, 1 findings or stale baseline entries, 2 usage or
 // I/O error.
@@ -27,10 +35,11 @@ namespace {
 int usage(std::ostream& os, int rc) {
   os << "usage: resim_lint [--root DIR] [--baseline FILE]\n"
         "                  [--write-baseline FILE] [--github] [--list-rules]\n"
-        "                  [DIR...]\n"
+        "                  [--graph dot] [--why SUBSYS SUBSYS] [DIR...]\n"
         "Lints DIR... (default: src tools bench examples tests) under\n"
         "--root (default: .) against the repo-invariant rules in\n"
-        "docs/LINT.md.\n";
+        "docs/LINT.md. --graph dot emits the subsystem include DAG;\n"
+        "--why A B prints the shortest include chain from A to B.\n";
   return rc;
 }
 
@@ -42,6 +51,8 @@ int main(int argc, char** argv) {
   std::string write_baseline_path;
   bool github = false;
   bool list_rules = false;
+  std::string graph_format;
+  std::string why_from, why_to;
   std::vector<std::string> dirs;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +74,16 @@ int main(int argc, char** argv) {
       github = true;
     } else if (a == "--list-rules") {
       list_rules = true;
+    } else if (a == "--graph") {
+      graph_format = value("--graph");
+      if (graph_format != "dot") {
+        std::cerr << "resim_lint: unknown graph format '" << graph_format
+                  << "' (only: dot)\n";
+        return 2;
+      }
+    } else if (a == "--why") {
+      why_from = value("--why");
+      why_to = value("--why");
     } else if (a == "--help" || a == "-h") {
       return usage(std::cout, 0);
     } else if (!a.empty() && a[0] == '-') {
@@ -80,6 +101,29 @@ int main(int argc, char** argv) {
     if (list_rules) {
       for (const auto& r : engine.rules()) {
         std::cout << r->id() << "\n    " << r->description() << "\n";
+      }
+      for (const auto& r : engine.tree_rules()) {
+        std::cout << r->id() << "\n    " << r->description() << "\n";
+      }
+      return 0;
+    }
+
+    if (!graph_format.empty() || !why_from.empty()) {
+      const resim::analysis::RepoIndex index = resim::analysis::RepoIndex::build(
+          resim::analysis::read_source_tree(root, dirs));
+      if (!graph_format.empty()) {
+        std::cout << index.subsystem_dot();
+        return 0;
+      }
+      const std::vector<std::string> chain =
+          index.subsystem_chain(why_from, why_to);
+      if (chain.empty()) {
+        std::cout << "no include path from '" << why_from << "' to '"
+                  << why_to << "'\n";
+        return 1;
+      }
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        std::cout << (i == 0 ? "" : "  -> ") << chain[i] << "\n";
       }
       return 0;
     }
@@ -137,6 +181,12 @@ int main(int argc, char** argv) {
     for (const auto& entry : stale) {
       std::cout << "stale baseline entry (violation no longer present; "
                    "remove it): " << entry << "\n";
+      if (github) {
+        // Annotate on the baseline file itself: the fix is to delete the
+        // entry there, not to edit the file it once pointed at.
+        std::cout << "::error file=" << baseline_path
+                  << ",title=resim_lint stale-baseline::" << entry << "\n";
+      }
     }
 
     if (shown == 0 && stale.empty()) {
