@@ -2,17 +2,20 @@
 // angle: ReSim's appetite for trace bandwidth is what makes the trace
 // path a hot path worth measuring, and what the CI perf gate watches).
 //
-// Generates one trace, saves it both as a raw chunked v2 .rsim and as a
-// compressed v3 .rsim, then drains it
+// Generates one trace, saves it as a raw chunked v2 .rsim, a compressed
+// v3 .rsim, and a delta-prefiltered v4 .rsim, then drains it
 //   (a) from a decoded in-memory vector   (VectorTraceSource),
 //   (b) chunk-streamed off each file      (FileTraceSource, O(chunk)),
 //   (c) memory-mapped, decoded in place   (MmapTraceSource),
+//   (d) through a SharedBatchCache feed   (BatchTraceSource, the sweep
+//       fan-out path — measured cold, decoding every chunk, and warm,
+//       replaying cached SoA batches),
 // reporting records/s and decoded-wire MB/s for each, plus a full engine
 // run on every source as a bit-identity self-check (exit 1 on mismatch).
 //
 // Besides the table, the run is saved as machine-readable
 // BENCH_trace_io.json (path override: RESIM_BENCH_JSON env var) with one
-// entry per backend and the v3/v2 compression ratio, so the CI
+// entry per backend, the v3/v2 and v4/v2 compression ratios, so the CI
 // perf-regression gate has MB/s numbers to compare against
 // bench/baselines/BENCH_trace_io.json (docs/CI.md).
 //
@@ -25,10 +28,12 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "trace/batch_cache.hpp"
 #include "trace/file_source.hpp"
 #include "trace/mmap_source.hpp"
 #include "trace/writer.hpp"
@@ -56,6 +61,26 @@ DrainResult drain(trace::TraceSource& src) {
   DrainResult d;
   const auto t0 = Clock::now();
   while (src.peek() != nullptr) (void)src.next();
+  d.secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  d.records = src.records_consumed();
+  d.bits = src.bits_consumed();
+  return d;
+}
+
+/// Drain through the columnar view interface (the engine's fast path):
+/// whole SoA batches consumed per call instead of one record per next().
+DrainResult drain_views(trace::TraceSource& src) {
+  DrainResult d;
+  const auto t0 = Clock::now();
+  for (;;) {
+    const auto v = src.fetch_view();
+    if (v.count == 0) {
+      if (src.peek() == nullptr) break;
+      (void)src.next();
+      continue;
+    }
+    src.consume_view(v.count);
+  }
   d.secs = std::chrono::duration<double>(Clock::now() - t0).count();
   d.records = src.records_consumed();
   d.bits = src.bits_consumed();
@@ -98,17 +123,24 @@ int run(int reps) {
       std::to_string(::getpid());
   const std::string raw_path = stem + "_v2.rsim";
   const std::string lz_path = stem + "_v3.rsim";
+  const std::string delta_path = stem + "_v4.rsim";
   trace::save_trace(t, raw_path);
   trace::save_trace(t, lz_path, trace::kDefaultChunkRecords, /*compress=*/true);
+  trace::save_trace(t, delta_path, trace::kDefaultChunkRecords, /*compress=*/true,
+                    /*prefilter=*/true);
   const auto raw_file_bytes = std::filesystem::file_size(raw_path);
   const auto lz_file_bytes = std::filesystem::file_size(lz_path);
+  const auto delta_file_bytes = std::filesystem::file_size(delta_path);
   const double ratio =
       static_cast<double>(raw_file_bytes) / static_cast<double>(lz_file_bytes);
+  const double delta_ratio =
+      static_cast<double>(raw_file_bytes) / static_cast<double>(delta_file_bytes);
 
-  print_header("Trace feed throughput: memory vs stream vs mmap, raw vs compressed");
+  print_header("Trace feed throughput: memory vs stream vs mmap vs shared batches");
   std::cout << "trace: gzip, " << t.records.size() << " records, v2 "
             << raw_file_bytes << " bytes, v3 " << lz_file_bytes << " bytes ("
-            << std::fixed << std::setprecision(2) << ratio << "x), chunk = "
+            << std::fixed << std::setprecision(2) << ratio << "x), v4 "
+            << delta_file_bytes << " bytes (" << delta_ratio << "x), chunk = "
             << trace::kDefaultChunkRecords << " records, " << reps << " reps\n\n";
   std::cout << std::left << std::setw(22) << "source" << std::right << std::setw(14)
             << "Mrecords/s" << std::setw(14) << "wire MB/s" << '\n';
@@ -132,6 +164,49 @@ int run(int reps) {
   results.push_back(best_drain("mmap/lz", reps, [&] {
     return std::make_unique<trace::MmapTraceSource>(lz_path);
   }));
+  results.push_back(best_drain("stream/delta", reps, [&] {
+    return std::make_unique<trace::FileTraceSource>(delta_path);
+  }));
+  results.push_back(best_drain("mmap/delta", reps, [&] {
+    return std::make_unique<trace::MmapTraceSource>(delta_path);
+  }));
+
+  // Shared-batch feed, both halves of the fan-out story: "cold" pays the
+  // one-time chunk decode (what the single producer does once per
+  // sweep), "warm" replays already-decoded SoA batches (what every
+  // other consumer in the group sees). Capacity is sized to the whole
+  // trace so warm reps never re-decode.
+  {
+    DrainResult cold;
+    for (int i = 0; i < reps; ++i) {
+      const auto cache = std::make_shared<trace::SharedBatchCache>(
+          lz_path, /*expected_consumers=*/1, /*capacity=*/1);
+      trace::BatchTraceSource src(cache);
+      const auto d = drain_views(src);
+      if (cold.secs == 0 || d.secs < cold.secs) cold = d;
+    }
+    cold.name = "shared/cold";
+    results.push_back(cold);
+
+    // Capacity covers the whole trace so warm reps replay cached
+    // batches only (skip() hops chunks without decoding, so the warmup
+    // must drain, not skip).
+    const auto cache = std::make_shared<trace::SharedBatchCache>(
+        lz_path, /*expected_consumers=*/1,
+        /*capacity=*/std::numeric_limits<std::size_t>::max());
+    {
+      trace::BatchTraceSource warmup(cache);
+      (void)drain_views(warmup);
+    }
+    DrainResult warm;
+    for (int i = 0; i < reps; ++i) {
+      trace::BatchTraceSource src(cache);
+      const auto d = drain_views(src);
+      if (warm.secs == 0 || d.secs < warm.secs) warm = d;
+    }
+    warm.name = "shared/warm";
+    results.push_back(warm);
+  }
   for (const auto& r : results) report(r);
 
   bool ok = true;
@@ -142,12 +217,14 @@ int run(int reps) {
   // Engine-level identity: the whole point of interchangeable backends.
   trace::VectorTraceSource vsrc(t);
   const auto rv = core::ReSimEngine(cfg, vsrc).run();
-  for (const std::string& path : {raw_path, lz_path}) {
+  for (const std::string& path : {raw_path, lz_path, delta_path}) {
     trace::FileTraceSource fsrc(path);
     const auto rf = core::ReSimEngine(cfg, fsrc).run();
     trace::MmapTraceSource msrc(path);
     const auto rm = core::ReSimEngine(cfg, msrc).run();
-    for (const auto& r : {rf, rm}) {
+    trace::BatchTraceSource bsrc(std::make_shared<trace::SharedBatchCache>(path));
+    const auto rb = core::ReSimEngine(cfg, bsrc).run();
+    for (const auto& r : {rf, rm, rb}) {
       ok = ok && rv.committed == r.committed && rv.major_cycles == r.major_cycles &&
            rv.trace_records == r.trace_records && rv.trace_bits == r.trace_bits;
     }
@@ -169,7 +246,9 @@ int run(int reps) {
        << "  \"records\": " << t.records.size() << ",\n"
        << "  \"v2_file_bytes\": " << raw_file_bytes << ",\n"
        << "  \"v3_file_bytes\": " << lz_file_bytes << ",\n"
+       << "  \"v4_file_bytes\": " << delta_file_bytes << ",\n"
        << "  \"compression_ratio\": " << ratio << ",\n"
+       << "  \"delta_compression_ratio\": " << delta_ratio << ",\n"
        << "  \"identity_ok\": " << (ok ? "true" : "false") << ",\n"
        << "  \"backends\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -184,6 +263,7 @@ int run(int reps) {
 
   std::remove(raw_path.c_str());
   std::remove(lz_path.c_str());
+  std::remove(delta_path.c_str());
   return ok ? 0 : 1;
 }
 

@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <iomanip>
 #include <istream>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <ostream>
 #include <sstream>
@@ -16,6 +18,7 @@
 
 #include "config/names.hpp"
 #include "config/param_registry.hpp"
+#include "trace/batch_cache.hpp"
 #include "trace/file_source.hpp"
 #include "trace/mmap_source.hpp"
 #include "trace/reader.hpp"
@@ -96,6 +99,194 @@ std::unique_ptr<trace::TraceSource> roundtrip_source(const trace::Trace& t,
   }
 }
 
+/// Deterministic serialization of everything that decides a generated
+/// trace's byte stream; two generated jobs group only when their record
+/// streams are provably identical.
+std::string gen_group_key(const std::string& workload, const trace::TraceGenConfig& g) {
+  std::string k = workload;
+  const auto add = [&k](std::uint64_t v) {
+    k += '|';
+    k += std::to_string(v);
+  };
+  add(static_cast<std::uint64_t>(g.bp.kind));
+  add(g.bp.l1_entries);
+  add(g.bp.hist_bits);
+  add(g.bp.pht_entries);
+  add(g.bp.bimodal_entries);
+  add(g.bp.btb_entries);
+  add(g.bp.btb_assoc);
+  add(g.bp.ras_entries);
+  add(g.wrong_path_block);
+  add(g.emit_wrong_path ? 1 : 0);
+  add(g.max_insts);
+  return k;
+}
+
+/// One shared-decode job group: the producer state every member reads
+/// through, initialized exactly once by the first member to run.
+struct GroupShare {
+  std::once_flag once;
+  std::exception_ptr init_error;  ///< init failed: every member rethrows it
+
+  // Planned before the pool starts:
+  core::TraceBackend backend = core::TraceBackend::kMemory;
+  bool prefilter = false;  ///< first member's trace.prefilter (temp-file groups)
+  std::size_t members = 0;
+  std::size_t expected = 0;  ///< min(members, pool threads)
+  std::string src_path;      ///< group streams this existing .rsim ("" otherwise)
+  std::shared_ptr<const trace::Trace> src_trace;  ///< group shares this prepared trace
+  std::string workload;                           ///< generated groups
+  trace::TraceGenConfig gen{};
+
+  // Resolved by the first member:
+  std::shared_ptr<const trace::Trace> trace;       ///< memory groups: the one decode
+  std::shared_ptr<trace::SharedBatchCache> cache;  ///< file groups (null: v1 fallback)
+};
+
+void init_group(GroupShare& g) {
+  if (g.backend == core::TraceBackend::kMemory) {
+    g.trace = std::make_shared<trace::Trace>(
+        !g.src_path.empty()
+            ? trace::load_trace(g.src_path)
+            : trace::TraceGenerator(workload::make_workload(g.workload), g.gen)
+                  .generate());
+    return;
+  }
+  std::string path = g.src_path;
+  bool owns_temp = false;
+  if (path.empty()) {
+    path = private_temp_path();
+    owns_temp = true;
+    if (g.src_trace) {
+      trace::save_trace(*g.src_trace, path, trace::kDefaultChunkRecords, g.prefilter,
+                        g.prefilter);
+    } else {
+      const trace::Trace t =
+          trace::TraceGenerator(workload::make_workload(g.workload), g.gen).generate();
+      trace::save_trace(t, path, trace::kDefaultChunkRecords, g.prefilter, g.prefilter);
+    }
+  }
+  try {
+    g.cache = std::make_shared<trace::SharedBatchCache>(path, g.expected);
+  } catch (const std::invalid_argument&) {
+    // v1 container (only possible for a user-supplied src_path): no
+    // chunk index to share — members fall back to private sources.
+    g.cache = nullptr;
+  } catch (...) {
+    if (owns_temp) std::remove(path.c_str());
+    throw;
+  }
+  if (owns_temp) {
+    std::remove(path.c_str());  // the cache's open stream keeps the inode alive
+  }
+}
+
+JobResult run_one_with_share(const SimJob& job, GroupShare& g) {
+  std::call_once(g.once, [&g] {
+    try {
+      init_group(g);
+    } catch (...) {
+      g.init_error = std::current_exception();
+    }
+  });
+  if (g.init_error) std::rethrow_exception(g.init_error);
+
+  job.config.validate();
+  JobResult out;
+  out.label = job.label;
+  out.workload = job.workload;
+  out.config = job.config;
+  if (g.trace) {
+    trace::VectorTraceSource src(*g.trace);
+    out.result = core::ReSimEngine(job.config, src).run();
+  } else if (g.cache) {
+    trace::BatchTraceSource src(g.cache);
+    out.result = core::ReSimEngine(job.config, src).run();
+  } else {
+    const std::unique_ptr<trace::TraceSource> src =
+        open_backend(g.src_path, job.config.trace_backend);
+    out.result = core::ReSimEngine(job.config, *src).run();
+  }
+  return out;
+}
+
+/// The grouping decision for a whole run: which jobs share which
+/// producer, and the order workers claim jobs in (group members
+/// contiguous, groups by first appearance) so a group's consumers run
+/// concurrently at any thread count.
+struct GroupPlan {
+  std::vector<std::unique_ptr<GroupShare>> shares;
+  std::vector<GroupShare*> of;     ///< per job; nullptr = private decode
+  std::vector<std::size_t> order;  ///< claim order over job indices
+};
+
+GroupPlan plan_groups(const std::vector<SimJob>& jobs, unsigned threads) {
+  GroupPlan plan;
+  plan.of.assign(jobs.size(), nullptr);
+  std::map<std::string, std::size_t> index;  // group key -> shares index
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SimJob& j = jobs[i];
+    // Factory jobs are opaque; memory-backend prepared-trace jobs
+    // already share the decoded records by construction.
+    if (j.source || !j.config.trace_shared_decode) continue;
+    const bool memory = j.config.trace_backend == core::TraceBackend::kMemory;
+    std::string key;
+    if (!j.trace_path.empty()) {
+      key = (memory ? "m:path:" : "f:path:") + j.trace_path;
+    } else if (j.trace) {
+      if (memory) continue;
+      key = "f:ptr:";
+      key += std::to_string(reinterpret_cast<std::uintptr_t>(j.trace.get()));
+    } else {
+      key = (memory ? "m:gen:" : "f:gen:") + gen_group_key(j.workload, j.gen);
+    }
+    const auto [it, inserted] = index.emplace(key, plan.shares.size());
+    if (inserted) {
+      auto share = std::make_unique<GroupShare>();
+      share->backend = j.config.trace_backend;
+      share->prefilter = j.config.trace_prefilter;
+      share->src_path = j.trace_path;
+      share->src_trace = j.trace;
+      share->workload = j.workload;
+      share->gen = j.gen;
+      plan.shares.push_back(std::move(share));
+    }
+    GroupShare& g = *plan.shares[it->second];
+    plan.of[i] = &g;
+    ++g.members;
+  }
+  // A group of one gains nothing over a private source.
+  for (auto& owner : plan.of) {
+    if (owner != nullptr && owner->members < 2) owner = nullptr;
+  }
+  for (const auto& share : plan.shares) {
+    share->expected = std::min<std::size_t>(share->members, threads);
+  }
+  // Claim order: each group is one contiguous bucket at its first
+  // member's position; private jobs keep their slots. Deterministic, so
+  // -j1 and -jN traverse identically.
+  std::vector<std::vector<std::size_t>> buckets;
+  std::map<const GroupShare*, std::size_t> bucket_of;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    GroupShare* g = plan.of[i];
+    if (g == nullptr) {
+      buckets.push_back({i});
+      continue;
+    }
+    const auto [it, inserted] = bucket_of.emplace(g, buckets.size());
+    if (inserted) {
+      buckets.push_back({i});
+    } else {
+      buckets[it->second].push_back(i);
+    }
+  }
+  plan.order.reserve(jobs.size());
+  for (const auto& b : buckets) {
+    for (const std::size_t i : b) plan.order.push_back(i);
+  }
+  return plan;
+}
+
 }  // namespace
 
 TraceSourceFactory backend_gen_source(std::string workload, trace::TraceGenConfig gen,
@@ -173,37 +364,63 @@ JobResult BatchRunner::run_one(const SimJob& job) {
   return out;
 }
 
-std::vector<JobResult> BatchRunner::run(const std::vector<SimJob>& jobs) const {
+std::vector<JobResult> BatchRunner::run(const std::vector<SimJob>& jobs,
+                                        std::vector<GroupDecodeStats>* decode_stats) const {
   std::vector<JobResult> results(jobs.size());
+  const GroupPlan plan = plan_groups(jobs, threads_);
+  const auto run_job = [&](std::size_t i) {
+    results[i] =
+        plan.of[i] != nullptr ? run_one_with_share(jobs[i], *plan.of[i]) : run_one(jobs[i]);
+  };
+
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads_, jobs.size()));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_one(jobs[i]);
-    return results;
+    for (const std::size_t i : plan.order) run_job(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          for (std::size_t k = next.fetch_add(1);
+               k < plan.order.size() && !failed.load(std::memory_order_relaxed);
+               k = next.fetch_add(1)) {
+            run_job(plan.order[k]);
+          }
+        } catch (...) {
+          errors[w] = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
   }
 
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::vector<std::exception_ptr> errors(workers);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      try {
-        for (std::size_t i = next.fetch_add(1);
-             i < jobs.size() && !failed.load(std::memory_order_relaxed);
-             i = next.fetch_add(1)) {
-          results[i] = run_one(jobs[i]);
-        }
-      } catch (...) {
-        errors[w] = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+  if (decode_stats != nullptr) {
+    decode_stats->clear();
+    for (const auto& share : plan.shares) {
+      if (share->members < 2) continue;  // dissolved singleton group
+      GroupDecodeStats s;
+      s.workload = !share->workload.empty() ? share->workload : share->src_path;
+      s.members = share->members;
+      s.consumers = share->expected;
+      if (share->cache) {
+        s.chunks_in_trace = share->cache->chunk_count();
+        s.chunks_decoded = share->cache->chunks_decoded();
+        s.cache_hits = share->cache->hits();
+        s.cache_evictions = share->cache->evictions();
+      } else if (share->trace) {
+        s.chunks_decoded = 1;  // the single shared load/generate
       }
-    });
-  }
-  for (auto& t : pool) t.join();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+      decode_stats->push_back(std::move(s));
+    }
   }
   return results;
 }

@@ -4,9 +4,12 @@
 // (paper §I). A SimJob names one point of that space — a CoreConfig
 // applied to one workload's trace — and BatchRunner shards a vector of
 // jobs across host cores. Every job is simulated by a worker-private
-// VectorTraceSource + ReSimEngine, so a parallel sweep is deterministic
-// and bit-identical to running the same jobs serially: results[i] always
-// corresponds to jobs[i], and no simulation state is shared between jobs.
+// ReSimEngine, so a parallel sweep is deterministic and bit-identical
+// to running the same jobs serially: results[i] always corresponds to
+// jobs[i], and no simulation state is shared between jobs. Jobs that
+// read the same trace share the *decode* work (never simulation state)
+// through one producer per group — see run() — so an N-point
+// same-workload sweep decodes each container chunk once, not N times.
 #ifndef RESIM_DRIVER_BATCH_RUNNER_H
 #define RESIM_DRIVER_BATCH_RUNNER_H
 
@@ -95,6 +98,21 @@ struct JobResult {
   core::SimResult result{};
 };
 
+/// Decode-work accounting for one shared-trace job group, read off the
+/// group's SharedBatchCache (trace/batch_cache.hpp) after the run. The
+/// decode-once CI assertion checks chunks_decoded == chunks_in_trace
+/// for a same-workload sweep whose point count fits the worker pool
+/// (tools/check_decode_once.py, docs/CI.md).
+struct GroupDecodeStats {
+  std::string workload;   ///< workload name, or the .rsim path for path groups
+  std::size_t members = 0;    ///< jobs that shared this group
+  std::size_t consumers = 0;  ///< expected concurrent consumers: min(members, threads)
+  std::uint64_t chunks_in_trace = 0;  ///< 0 for memory-backend groups
+  std::uint64_t chunks_decoded = 0;   ///< decode events (memory groups: the 1 shared load)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
 class BatchRunner {
  public:
   /// threads == 0 selects std::thread::hardware_concurrency().
@@ -106,9 +124,25 @@ class BatchRunner {
   /// jobs[i]'s outcome regardless of thread count. If a job throws, the
   /// pool stops claiming new jobs and one of the thrown exceptions
   /// (lowest worker index) is rethrown after all workers drain.
-  [[nodiscard]] std::vector<JobResult> run(const std::vector<SimJob>& jobs) const;
+  ///
+  /// Decode-once fan-out: jobs whose config has trace.shared_decode set
+  /// and that read the same record stream (same trace_path, same
+  /// prepared trace, or byte-identical generation parameters) form a
+  /// group. A group's trace is decoded by one shared producer — a
+  /// load_trace for the memory backend, a trace::SharedBatchCache for
+  /// the file backends — instead of once per job, and the runner claims
+  /// group members contiguously so the producer engages at any -j.
+  /// Grouped stream/mmap jobs read through BatchTraceSource (the cache
+  /// is the file reader; the per-job backend only picks the fallback
+  /// for v1 containers). Results are byte-identical to private decoding
+  /// in every mode. `decode_stats`, when non-null, receives one entry
+  /// per group in deterministic (first-member) order.
+  [[nodiscard]] std::vector<JobResult> run(
+      const std::vector<SimJob>& jobs,
+      std::vector<GroupDecodeStats>* decode_stats = nullptr) const;
 
-  /// Simulate a single job in the calling thread.
+  /// Simulate a single job in the calling thread (always private
+  /// decode; the shared producer exists only under run()).
   [[nodiscard]] static JobResult run_one(const SimJob& job);
 
  private:

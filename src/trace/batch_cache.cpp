@@ -1,0 +1,343 @@
+#include "trace/batch_cache.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bitstream.hpp"
+
+namespace resim::trace {
+
+namespace {
+
+/// Position a finished (or not-yet-registered) consumer can never hold;
+/// min_position_locked() returns it for an empty position set, making
+/// every cached chunk evictable.
+constexpr std::uint64_t kNoPosition = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+SharedBatchCache::SharedBatchCache(std::string path, std::size_t expected_consumers,
+                                   std::size_t capacity)
+    : path_(std::move(path)),
+      expected_(expected_consumers == 0 ? 1 : expected_consumers),
+      capacity_(capacity == 0 ? 1 : capacity),
+      decoded_ctr_(stats_.counter("cache.chunks_decoded")),
+      hits_ctr_(stats_.counter("cache.hits")),
+      evictions_ctr_(stats_.counter("cache.evictions")) {
+  is_.open(path_, std::ios::binary);
+  if (!is_) throw std::runtime_error("SharedBatchCache: cannot open " + path_);
+  is_.seekg(0, std::ios::end);
+  file_size_ = static_cast<std::uint64_t>(is_.tellg());
+  is_.seekg(0, std::ios::beg);
+  hdr_ = read_container_header(is_, file_size_, path_);
+  if (hdr_.version == kContainerV1) {
+    throw std::invalid_argument("SharedBatchCache: container v1 has no chunk index in " +
+                                path_ + "; use a private source");
+  }
+
+  // Scan the chunk directory once: every header is validated exactly as
+  // a private source would, but payloads are seeked past unread.
+  chunks_.reserve(hdr_.chunk_count);
+  std::uint64_t first = 0;
+  for (std::uint32_t i = 0; i < hdr_.chunk_count; ++i) {
+    const ChunkHeader ch =
+        read_chunk_header(is_, hdr_, hdr_.record_count - first, file_size_, path_);
+    ChunkInfo info;
+    info.payload_offset = static_cast<std::uint64_t>(is_.tellg());
+    info.first_record = first;
+    info.record_count = ch.record_count;
+    info.flags = ch.flags;
+    info.raw_bytes = ch.raw_bytes;
+    info.payload_bytes = ch.payload_bytes;
+    chunks_.push_back(info);
+    first += ch.record_count;
+    is_.seekg(static_cast<std::streamoff>(ch.payload_bytes), std::ios::cur);
+    if (!is_) throw std::runtime_error("load_trace: truncated chunk in " + path_);
+  }
+  if (static_cast<std::uint64_t>(is_.tellg()) != file_size_) {
+    throw std::runtime_error("load_trace: trailing garbage after last chunk in " + path_);
+  }
+}
+
+std::size_t SharedBatchCache::register_consumer() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t id = next_id_++;
+  positions_[id] = 0;
+  ++started_;
+  cv_.notify_all();
+  return id;
+}
+
+void SharedBatchCache::deregister_consumer(std::size_t id) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  positions_.erase(id);
+  cv_.notify_all();
+}
+
+void SharedBatchCache::update_position(std::size_t id, std::uint64_t chunk_idx) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  positions_[id] = chunk_idx;
+  cv_.notify_all();
+}
+
+std::uint64_t SharedBatchCache::min_position_locked() const {
+  std::uint64_t m = kNoPosition;
+  for (const auto& [id, pos] : positions_) {
+    if (pos < m) m = pos;
+  }
+  return m;
+}
+
+bool SharedBatchCache::eviction_candidate_locked(std::uint64_t* victim) const {
+  // Registration gate: before the expected consumer count has ever been
+  // reached, keep everything — a late joiner starts at chunk 0. The
+  // pressure valve (2x capacity) bounds memory when the expected
+  // consumers never materialize.
+  if (started_ < expected_ && cache_.size() < 2 * capacity_) return false;
+  const std::uint64_t min_pos = min_position_locked();
+  bool found = false;
+  std::uint64_t lru_use = 0;
+  for (const auto& [idx, entry] : cache_) {
+    if (idx >= min_pos) break;  // std::map iterates in index order
+    if (!found || entry.last_use < lru_use) {
+      found = true;
+      lru_use = entry.last_use;
+      *victim = idx;
+    }
+  }
+  return found;
+}
+
+bool SharedBatchCache::try_evict_locked() {
+  std::uint64_t victim = 0;
+  if (!eviction_candidate_locked(&victim)) return false;
+  cache_.erase(victim);
+  evictions_ctr_.add();
+  return true;
+}
+
+std::shared_ptr<const RecordBatch> SharedBatchCache::acquire(std::size_t chunk_idx,
+                                                             std::size_t id) {
+  const std::uint64_t idx = chunk_idx;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (positions_[id] != idx) {
+        positions_[id] = idx;
+        cv_.notify_all();  // a position advance may unblock eviction
+      }
+      if (const auto it = cache_.find(idx); it != cache_.end()) {
+        it->second.last_use = ++use_clock_;
+        hits_ctr_.add();
+        return it->second.batch;
+      }
+      if (producing_) {
+        // Someone is decoding (maybe this very chunk): wait for the
+        // producer slot or for the batch to appear.
+        cv_.wait(lk, [&] { return cache_.count(idx) != 0 || !producing_; });
+        continue;
+      }
+      if (cache_.size() >= capacity_ && !try_evict_locked() &&
+          idx != min_position_locked()) {
+        // Backpressure: the cache window is full of chunks trailing
+        // consumers still need. Only the trailing consumer may push on
+        // (its insert overshoots capacity by at most one batch, and its
+        // progress is what makes older chunks evictable).
+        cv_.wait(lk, [&] {
+          if (cache_.count(idx) != 0) return true;
+          if (producing_) return false;
+          std::uint64_t victim = 0;
+          return cache_.size() < capacity_ || idx == min_position_locked() ||
+                 eviction_candidate_locked(&victim);
+        });
+        continue;
+      }
+      producing_ = true;
+    }
+
+    // Decode outside the lock: cache hits and position updates proceed
+    // while this thread bit-unpacks. producing_ serializes use of the
+    // stream and scratch buffers across producers.
+    std::shared_ptr<const RecordBatch> batch;
+    try {
+      batch = decode_chunk(chunk_idx);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lk(mu_);
+      producing_ = false;
+      cv_.notify_all();
+      throw;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      producing_ = false;
+      decoded_ctr_.add();
+      while (cache_.size() >= capacity_ && try_evict_locked()) {
+      }
+      cache_[idx] = Entry{batch, ++use_clock_};
+      cv_.notify_all();
+    }
+    return batch;
+  }
+}
+
+std::shared_ptr<const RecordBatch> SharedBatchCache::decode_chunk(std::size_t idx) {
+  const ChunkInfo& info = chunks_[idx];
+  ChunkHeader ch;
+  ch.record_count = info.record_count;
+  ch.flags = info.flags;
+  ch.raw_bytes = info.raw_bytes;
+  ch.payload_bytes = info.payload_bytes;
+
+  is_.clear();
+  is_.seekg(static_cast<std::streamoff>(info.payload_offset));
+  encoded_.resize(ch.payload_bytes);
+  is_.read(reinterpret_cast<char*>(encoded_.data()),
+           static_cast<std::streamsize>(encoded_.size()));
+  if (!is_) throw std::runtime_error("load_trace: truncated chunk in " + path_);
+
+  BitReader br(chunk_raw_payload(encoded_, ch, idx, raw_, path_));
+  recs_.clear();
+  recs_.reserve(ch.record_count);
+  decode_records(br, ch.record_count, info.first_record, recs_, "load_trace",
+                 " in " + path_);
+  if (br.bits_remaining() >= 8) {
+    throw std::runtime_error("load_trace: trailing garbage in chunk " +
+                             std::to_string(idx) + " of " + path_);
+  }
+  if (ch.delta_filtered()) {
+    // v4: invert the delta pre-filter; its state is chunk-local.
+    DeltaCodec delta;
+    for (auto& r : recs_) delta.unfilter(r);
+  }
+
+  auto batch = std::make_shared<RecordBatch>();
+  batch->reserve(recs_.size());
+  for (const auto& r : recs_) batch->push(r);
+  return batch;
+}
+
+std::uint64_t SharedBatchCache::chunks_decoded() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return decoded_ctr_.value();
+}
+
+std::uint64_t SharedBatchCache::hits() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return hits_ctr_.value();
+}
+
+std::uint64_t SharedBatchCache::evictions() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return evictions_ctr_.value();
+}
+
+// --- BatchTraceSource ------------------------------------------------------
+
+BatchTraceSource::BatchTraceSource(std::shared_ptr<SharedBatchCache> cache)
+    : cache_(std::move(cache)) {
+  if (!cache_) {
+    throw std::invalid_argument("BatchTraceSource: null cache");
+  }
+  id_ = cache_->register_consumer();
+}
+
+BatchTraceSource::~BatchTraceSource() { cache_->deregister_consumer(id_); }
+
+bool BatchTraceSource::ensure_batch() {
+  while (batch_ == nullptr || pos_ >= batch_->size()) {
+    if (batch_ != nullptr) {
+      batch_.reset();
+      ++chunk_;
+      pos_ = 0;
+    }
+    if (chunk_ >= cache_->chunk_count()) {
+      // Exhausted: park the position past every chunk so this consumer
+      // never blocks eviction for the others.
+      cache_->update_position(id_, cache_->chunk_count());
+      return false;
+    }
+    batch_ = cache_->acquire(chunk_, id_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+const TraceRecord* BatchTraceSource::peek() {
+  if (!ensure_batch()) return nullptr;
+  batch_->get(pos_, cur_);
+  return &cur_;
+}
+
+TraceRecord BatchTraceSource::next() {
+  if (peek() == nullptr) {
+    throw std::out_of_range("BatchTraceSource::next: past end of trace");
+  }
+  bits_ += batch_->bits_at(pos_);
+  ++consumed_;
+  ++pos_;
+  return cur_;
+}
+
+BatchView BatchTraceSource::fetch_view() {
+  if (!ensure_batch()) return {};
+  return {batch_.get(), pos_, batch_->size() - pos_};
+}
+
+void BatchTraceSource::consume_view(std::size_t n) {
+  if (n == 0) return;
+  if (batch_ == nullptr || n > batch_->size() - pos_) {
+    throw std::logic_error("BatchTraceSource::consume_view: more than the view holds");
+  }
+  bits_ += batch_->bits_in(pos_, n);
+  consumed_ += n;
+  pos_ += n;
+}
+
+std::uint64_t BatchTraceSource::skip(std::uint64_t n) {
+  std::uint64_t done = 0;
+  // The already-acquired batch is consumed normally (it was paid for;
+  // this keeps bits_ per-record exact for it).
+  while (done < n && batch_ != nullptr && pos_ < batch_->size()) {
+    (void)next();
+    ++done;
+  }
+  if (batch_ != nullptr && pos_ >= batch_->size()) {
+    batch_.reset();
+    ++chunk_;
+    pos_ = 0;
+  }
+  // Whole chunks inside the remaining skip region hop through the chunk
+  // directory without acquiring — the same frame-granular accounting as
+  // skip_whole_chunks (consumed counts records, bits counts
+  // raw_bytes * 8).
+  while (chunk_ < cache_->chunk_count() &&
+         n - done >= cache_->chunk(chunk_).record_count) {
+    const SharedBatchCache::ChunkInfo& info = cache_->chunk(chunk_);
+    done += info.record_count;
+    consumed_ += info.record_count;
+    bits_ += std::uint64_t{info.raw_bytes} * 8;
+    ++chunks_skipped_;
+    ++chunk_;
+  }
+  cache_->update_position(id_, chunk_);
+  // Remainder (a partial chunk): acquire it and discard per record.
+  while (done < n && peek() != nullptr) {
+    (void)next();
+    ++done;
+  }
+  return done;
+}
+
+void BatchTraceSource::rewind() {
+  batch_.reset();
+  chunk_ = 0;
+  pos_ = 0;
+  consumed_ = 0;
+  bits_ = 0;
+  chunks_skipped_ = 0;
+  cache_->update_position(id_, 0);
+}
+
+}  // namespace resim::trace

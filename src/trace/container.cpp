@@ -150,7 +150,7 @@ ContainerHeader read_container_header(ByteSource& src, std::uint64_t file_size,
   ContainerHeader h;
   h.version = read_u32le(src, "version");
   if (h.version != kContainerV1 && h.version != kContainerV2 &&
-      h.version != kContainerV3) {
+      h.version != kContainerV3 && h.version != kContainerV4) {
     fail(path, "unsupported version " + std::to_string(h.version));
   }
 
@@ -232,8 +232,19 @@ ChunkHeader read_chunk_header(ByteSource& src, const ContainerHeader& hdr,
     c.flags = read_u32le(src, "chunk flags");
     c.raw_bytes = read_u32le(src, "chunk raw_bytes");
     c.payload_bytes = read_u32le(src, "chunk compressed_bytes");
-    if ((c.flags & ~kChunkFlagCompressed) != 0) {
+    // The legal flag set is per-version: the delta bit a v4 writer may
+    // set is corruption inside a v3 container.
+    const std::uint32_t known = hdr.version >= kContainerV4
+                                    ? kChunkFlagCompressed | kChunkFlagDelta
+                                    : kChunkFlagCompressed;
+    if ((c.flags & ~known) != 0) {
       fail(path, "chunk flags " + std::to_string(c.flags) + " has unknown bits");
+    }
+    if (c.delta_filtered() && !c.compressed()) {
+      // The writer only delta-filters to feed the LZ matcher; a delta
+      // bit on a stored-raw chunk is something no writer emits.
+      fail(path, "chunk flags " + std::to_string(c.flags) +
+                     " has the delta bit without the compressed bit");
     }
     if (c.raw_bytes < min_payload_bytes(c.record_count) ||
         c.raw_bytes > max_payload_bytes(c.record_count)) {

@@ -30,6 +30,19 @@
 // still works unread: the stored size is always compressed_bytes.
 // All integers little-endian.
 //
+// Version 4 (written by save_trace with the delta pre-filter requested):
+// identical framing to v3, plus flags bit 1 (kChunkFlagDelta) meaning
+// the chunk's records were delta-filtered (DeltaCodec below) before
+// bit-packing: B-record PCs are stored relative to the previous branch
+// PC, targets relative to their own PC, and M-record addresses relative
+// to the previous address, all mod 2^32, with the filter state reset at
+// every chunk boundary so chunk-skipping seek still works unread. Field
+// widths are unchanged, so raw_bytes is identical to the unfiltered
+// encoding. The delta bit is only legal on version-4 chunks that are
+// also compressed — the filter exists to feed the LZ matcher, and a
+// delta-only chunk is something the writer never emits. The writer
+// keeps the per-chunk best of {raw, LZ, delta+LZ}.
+//
 // Full bit-exact specification: docs/TRACE_FORMAT.md.
 #ifndef RESIM_TRACE_CONTAINER_H
 #define RESIM_TRACE_CONTAINER_H
@@ -51,9 +64,13 @@ inline constexpr char kContainerMagic[4] = {'R', 'S', 'I', 'M'};
 inline constexpr std::uint32_t kContainerV1 = 1;
 inline constexpr std::uint32_t kContainerV2 = 2;
 inline constexpr std::uint32_t kContainerV3 = 3;
+inline constexpr std::uint32_t kContainerV4 = 4;
 
-/// v3 chunk flags. Unknown bits are rejected as corruption.
+/// v3+ chunk flags. Bits a version does not define are rejected as
+/// corruption — a v3 chunk carrying the delta bit is corrupt even though
+/// a v4 chunk may carry it.
 inline constexpr std::uint32_t kChunkFlagCompressed = 1u << 0;
+inline constexpr std::uint32_t kChunkFlagDelta = 1u << 1;  ///< v4 only
 
 /// Records per full chunk written by save_trace. 4096 records is at most
 /// ~42 KiB of encoded payload (all-branch worst case), so a streaming
@@ -86,6 +103,49 @@ struct ChunkHeader {
   std::uint32_t raw_bytes = 0;      ///< decoded (bit-packed) payload bytes
   std::uint32_t payload_bytes = 0;  ///< bytes stored in the file
   [[nodiscard]] bool compressed() const { return (flags & kChunkFlagCompressed) != 0; }
+  [[nodiscard]] bool delta_filtered() const { return (flags & kChunkFlagDelta) != 0; }
+};
+
+/// The v4 delta pre-filter (kChunkFlagDelta): a stateful, exactly
+/// invertible transform over the address-bearing record fields that
+/// turns the strided PC/address streams into small repeating deltas the
+/// LZ matcher can fold. Field widths are unchanged (all arithmetic is
+/// mod 2^32, the wire width), so a filtered chunk's raw_bytes equals the
+/// unfiltered encoding's. State resets at every chunk boundary, keeping
+/// chunks independently decodable for the chunk-skipping seek.
+struct DeltaCodec {
+  std::uint64_t prev_pc = 0;    ///< last real branch PC seen (32-bit value)
+  std::uint64_t prev_addr = 0;  ///< last real memory address seen
+
+  static constexpr std::uint64_t kMask = 0xFFFF'FFFFULL;  ///< wire width
+
+  /// Real record -> filtered record (writer side).
+  void filter(TraceRecord& r) {
+    if (r.fmt == RecFormat::kBranch) {
+      const std::uint64_t pc = r.pc & kMask;
+      r.target = (r.target - r.pc) & kMask;
+      r.pc = (r.pc - prev_pc) & kMask;
+      prev_pc = pc;
+    } else if (r.fmt == RecFormat::kMem) {
+      const std::uint64_t addr = r.addr & kMask;
+      r.addr = (r.addr - prev_addr) & kMask;
+      prev_addr = addr;
+    }
+  }
+
+  /// Filtered record -> real record (reader side, exact inverse).
+  void unfilter(TraceRecord& r) {
+    if (r.fmt == RecFormat::kBranch) {
+      r.pc = (r.pc + prev_pc) & kMask;
+      r.target = (r.target + r.pc) & kMask;
+      prev_pc = r.pc;
+    } else if (r.fmt == RecFormat::kMem) {
+      r.addr = (r.addr + prev_addr) & kMask;
+      prev_addr = r.addr;
+    }
+  }
+
+  void reset() { *this = DeltaCodec{}; }
 };
 
 /// On-disk size of a chunk header for container version `version`.
@@ -163,9 +223,11 @@ void write_u64le(std::ostream& os, std::uint64_t v);
 /// `records_remaining` is the count of records the container still owes;
 /// the chunk must deliver min(records_remaining, hdr.chunk_records) of
 /// them, its raw_bytes must fit the record count, and its stored payload
-/// must fit the file. For v3, unknown flag bits are rejected, a
-/// compressed chunk's compressed_bytes must be non-zero and smaller than
-/// raw_bytes, and a raw chunk's compressed_bytes must equal raw_bytes.
+/// must fit the file. For v3+, flag bits the container version does not
+/// define are rejected (the delta bit is v4-only, and only legal
+/// together with the compressed bit), a compressed chunk's
+/// compressed_bytes must be non-zero and smaller than raw_bytes, and a
+/// raw chunk's compressed_bytes must equal raw_bytes.
 [[nodiscard]] ChunkHeader read_chunk_header(ByteSource& src, const ContainerHeader& hdr,
                                             std::uint64_t records_remaining,
                                             std::uint64_t file_size,

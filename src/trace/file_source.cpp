@@ -63,6 +63,12 @@ void FileTraceSource::refill() {
       throw std::runtime_error("load_trace: trailing garbage in chunk " +
                                std::to_string(prog_.chunks_read) + " of " + path_);
     }
+    if (ch.delta_filtered()) {
+      // v4: invert the delta pre-filter; its state is chunk-local by
+      // construction, so a fresh codec per chunk is the whole story.
+      DeltaCodec delta;
+      for (auto& r : buf_) delta.unfilter(r);
+    }
     ++prog_.chunks_read;
     if (prog_.chunks_read == hdr_.chunk_count &&
         static_cast<std::uint64_t>(is_.tellg()) != file_size_) {
@@ -70,6 +76,7 @@ void FileTraceSource::refill() {
                                path_);
     }
   }
+  ++chunks_decoded_;
 }
 
 std::uint64_t FileTraceSource::skip(std::uint64_t n) {

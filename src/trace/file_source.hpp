@@ -64,6 +64,12 @@ class FileTraceSource final : public TraceSource {
   /// chunk-skipping fast path actually engaged.
   [[nodiscard]] std::uint64_t chunks_skipped() const { return prog_.chunks_skipped; }
 
+  /// Chunks (v1: bounded decode batches) this source bit-unpacked
+  /// itself. The decode-once CI assertion sums this across sweep
+  /// workers to prove the shared batch cache kept private decodes at
+  /// zero (docs/CI.md).
+  [[nodiscard]] std::uint64_t chunks_decoded() const { return chunks_decoded_; }
+
  private:
   void refill();
   /// Decodes `n` records from `br` into the reused buf_, converting the
@@ -87,6 +93,7 @@ class FileTraceSource final : public TraceSource {
 
   std::uint64_t consumed_ = 0;
   std::uint64_t bits_ = 0;
+  std::uint64_t chunks_decoded_ = 0;
 };
 
 }  // namespace resim::trace

@@ -62,6 +62,7 @@ MmapTraceSource::MmapTraceSource(std::string path) : path_(std::move(path)) {
       // One monolithic payload: the persistent bit cursor walks the
       // mapped bytes directly — v1 costs zero resident copies here.
       br_.emplace(map_span().subspan(offset_, hdr_.payload_len));
+      ++chunks_decoded_;
     } else if (hdr_.chunk_count == 0 && hdr_.payload_start != map_size_) {
       throw std::runtime_error("load_trace: trailing garbage after last chunk in " +
                                path_);
@@ -86,6 +87,9 @@ void MmapTraceSource::open_next_chunk() {
   // expand into the reused scratch first.
   br_.emplace(chunk_raw_payload(payload, ch, prog_.chunks_read, raw_, path_));
   chunk_left_ = ch.record_count;
+  chunk_delta_ = ch.delta_filtered();
+  delta_.reset();  // v4 filter state is chunk-local
+  ++chunks_decoded_;
   ++prog_.chunks_read;
   if (prog_.chunks_read == hdr_.chunk_count && offset_ != map_size_) {
     throw std::runtime_error("load_trace: trailing garbage after last chunk in " +
@@ -109,6 +113,7 @@ bool MmapTraceSource::advance_one() {
     throw std::runtime_error("load_trace: truncated payload at record " +
                              std::to_string(prog_.next_record) + " in " + path_);
   }
+  if (chunk_delta_) delta_.unfilter(cur_);
   ++prog_.next_record;
   has_cur_ = true;
 
@@ -176,10 +181,12 @@ void MmapTraceSource::rewind() {
   bits_ = 0;
   prog_.reset();
   chunk_left_ = 0;
+  chunk_delta_ = false;
   has_cur_ = false;
   offset_ = static_cast<std::size_t>(hdr_.payload_start);
   if (hdr_.version == kContainerV1) {
     br_.emplace(map_span().subspan(offset_, hdr_.payload_len));
+    ++chunks_decoded_;
   } else {
     br_.reset();
   }

@@ -61,6 +61,11 @@ class MmapTraceSource final : public TraceSource {
   /// Chunks seeked past (never decoded or decompressed) by skip().
   [[nodiscard]] std::uint64_t chunks_skipped() const { return prog_.chunks_skipped; }
 
+  /// Chunks this source opened for decoding (v1: counts the single
+  /// payload once). Companion of FileTraceSource::chunks_decoded() for
+  /// the decode-once CI assertion.
+  [[nodiscard]] std::uint64_t chunks_decoded() const { return chunks_decoded_; }
+
  private:
   /// Decodes the next record into cur_; false at end of stream.
   bool advance_one();
@@ -81,13 +86,16 @@ class MmapTraceSource final : public TraceSource {
 
   std::optional<BitReader> br_;        ///< cursor into the current chunk / v1 payload
   std::uint64_t chunk_left_ = 0;       ///< records left in the open chunk
-  std::vector<std::uint8_t> raw_;      ///< v3: decompression scratch (reused)
+  std::vector<std::uint8_t> raw_;      ///< v3+: decompression scratch (reused)
+  DeltaCodec delta_;                   ///< v4: per-chunk unfilter state
+  bool chunk_delta_ = false;           ///< open chunk carries kChunkFlagDelta
 
   TraceRecord cur_{};
   bool has_cur_ = false;
 
   std::uint64_t consumed_ = 0;
   std::uint64_t bits_ = 0;
+  std::uint64_t chunks_decoded_ = 0;
 };
 
 }  // namespace resim::trace

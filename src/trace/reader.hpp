@@ -8,7 +8,9 @@
 #define RESIM_TRACE_READER_H
 
 #include <cstdint>
+#include <stdexcept>
 
+#include "trace/batch.hpp"
 #include "trace/format.hpp"
 #include "trace/writer.hpp"
 
@@ -38,6 +40,24 @@ class TraceSource {
       ++done;
     }
     return done;
+  }
+
+  /// Columnar fast path: the run of not-yet-consumed records the source
+  /// already holds decoded in SoA form (batch.hpp). The default is "no
+  /// view" — callers fall back to peek()/next(); sources backed by a
+  /// shared batch cache override it so the engine's fetch stage can walk
+  /// a whole chunk with one virtual call. A non-empty view stays valid
+  /// until the next mutating call; the caller reports the records it
+  /// actually used with consume_view(n <= count) — which performs the
+  /// same records/bits accounting as n calls to next() — before any
+  /// other call that advances the source.
+  [[nodiscard]] virtual BatchView fetch_view() { return {}; }
+
+  /// Consume `n` records of the view fetch_view() returned.
+  virtual void consume_view(std::size_t n) {
+    if (n != 0) {
+      throw std::logic_error("TraceSource::consume_view: no view outstanding");
+    }
   }
 
   /// Wire bits consumed so far (trace-throughput statistic, Table 3).

@@ -49,6 +49,29 @@ class TraceWindow final : public TraceSource {
     return r;
   }
 
+  /// Forwards the inner source's columnar fast path, truncated at the
+  /// window limit so a view can never leak records past the region.
+  [[nodiscard]] BatchView fetch_view() override {
+    ensure_skipped();
+    if (consumed_ >= limit_) return {};
+    BatchView v = inner_.fetch_view();
+    const std::uint64_t room = limit_ - consumed_;
+    if (v.count > room) v.count = static_cast<std::size_t>(room);
+    last_view_ = v;
+    return v;
+  }
+
+  void consume_view(std::size_t n) override {
+    if (n == 0) return;
+    if (last_view_.batch == nullptr || n > last_view_.count) {
+      throw std::logic_error("TraceWindow::consume_view: more than the view holds");
+    }
+    bits_ += last_view_.batch->bits_in(last_view_.first, n);
+    consumed_ += n;
+    last_view_ = {};
+    inner_.consume_view(n);
+  }
+
   [[nodiscard]] std::uint64_t bits_consumed() const override { return bits_; }
   [[nodiscard]] std::uint64_t records_consumed() const override { return consumed_; }
 
@@ -75,6 +98,7 @@ class TraceWindow final : public TraceSource {
   bool skipped_ = false;
   std::uint64_t consumed_ = 0;
   std::uint64_t bits_ = 0;
+  BatchView last_view_{};  ///< view handed out, for consume_view accounting
 };
 
 }  // namespace resim::trace

@@ -45,12 +45,17 @@ struct Trace {
 /// can stream or skip chunks without decoding the whole payload.
 /// `compress` selects container v3 with per-chunk LZ compression
 /// (common/lz.hpp); chunks that don't shrink are stored raw inside the
-/// v3 framing. The default stays the bit-stable v2 output.
+/// v3 framing. `prefilter` (requires `compress`; throws
+/// std::invalid_argument otherwise) selects container v4 and adds the
+/// DeltaCodec pre-filter as a per-chunk candidate: each chunk stores the
+/// smallest of {raw, LZ, delta+LZ}, with plain LZ winning ties so the
+/// delta bit only ever buys bytes. The default stays the bit-stable v2
+/// output.
 void save_trace(const Trace& t, const std::string& path,
                 std::uint32_t chunk_records = kDefaultChunkRecords,
-                bool compress = false);
+                bool compress = false, bool prefilter = false);
 
-/// Reads container v1, v2 and v3. Every header field is validated
+/// Reads container v1 through v4. Every header field is validated
 /// against the file size before use; corrupt files throw
 /// std::runtime_error naming the offending field.
 [[nodiscard]] Trace load_trace(const std::string& path);

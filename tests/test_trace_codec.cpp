@@ -1,5 +1,6 @@
 // Trace record wire format: exact sizes, round-trips, file container
-// (v1 compat, v2 chunked, v3 per-chunk compressed), corruption rejection.
+// (v1 compat, v2 chunked, v3 per-chunk compressed, v4 delta-prefiltered),
+// corruption rejection.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -9,8 +10,10 @@
 #include "common/rng.hpp"
 #include "trace/format.hpp"
 #include "trace/reader.hpp"
+#include "trace/tracegen.hpp"
 #include "trace/writer.hpp"
 #include "trace_test_util.hpp"
+#include "workload/suite.hpp"
 
 namespace resim::trace {
 namespace {
@@ -531,6 +534,133 @@ TEST(VectorTraceSource, RewindResetsConsumptionCounters) {
   while (src.peek() != nullptr) (void)src.next();
   EXPECT_EQ(src.bits_consumed(), bits_first);
   EXPECT_EQ(src.records_consumed(), records_first);
+}
+
+// ---- container v4 (delta pre-filter ahead of LZ) --------------------------
+
+namespace v4 {
+
+/// Records whose PCs and addresses stride steadily — the access pattern
+/// the delta pre-filter exists for. Raw LZ sees ever-changing absolute
+/// values; after delta-filtering the columns collapse to near-constant
+/// small deltas and compress much harder.
+Trace strided_trace(int n) {
+  Trace t;
+  t.name = "strided";
+  t.start_pc = 0x400000;
+  Addr pc = 0x400000;
+  Addr addr = 0x10000000;
+  for (int i = 0; i < n; ++i) {
+    if (i % 5 == 4) {
+      t.records.push_back(TraceRecord::branch(isa::CtrlType::kCond, (i % 10) == 9,
+                                              pc + 0x40, pc, 6, 7));
+    } else if (i % 5 == 2) {
+      t.records.push_back(TraceRecord::mem(false, addr, 4, 5, kNoReg));
+      addr += 24;
+    } else {
+      t.records.push_back(TraceRecord::other(OtherFu::kAlu, 1, 2, 3));
+    }
+    pc += kInstBytes;
+  }
+  return t;
+}
+
+}  // namespace v4
+
+TEST(TraceFileV4, RoundTripIsExactAndSmallerThanV3OnStridedInput) {
+  const Trace t = v4::strided_trace(3000);
+  const std::string lz_path = ::testing::TempDir() + "/v4_lz.rsim";
+  const std::string delta_path = ::testing::TempDir() + "/v4_delta.rsim";
+  save_trace(t, lz_path, /*chunk_records=*/512, /*compress=*/true);
+  save_trace(t, delta_path, /*chunk_records=*/512, /*compress=*/true,
+             /*prefilter=*/true);
+
+  EXPECT_LT(std::filesystem::file_size(delta_path), std::filesystem::file_size(lz_path));
+
+  const Trace back = load_trace(delta_path);
+  ASSERT_EQ(back.records.size(), t.records.size());
+  EXPECT_EQ(back.name, t.name);
+  EXPECT_EQ(back.start_pc, t.start_pc);
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    ASSERT_TRUE(records_equal(back.records[i], t.records[i]));
+  }
+  std::remove(lz_path.c_str());
+  std::remove(delta_path.c_str());
+}
+
+TEST(TraceFileV4, DeltaBeatsPlainLzOnEverySuiteWorkload) {
+  // The acceptance bar for shipping the pre-filter: on every generated
+  // suite workload the v4 container is strictly smaller than v3. (The
+  // writer keeps the best of {raw, LZ, delta+LZ} per chunk with plain
+  // LZ winning ties, so v4 can never be larger — this asserts it
+  // actually wins, not just never loses.)
+  for (const auto& name : workload::suite_names()) {
+    TraceGenConfig g;
+    g.max_insts = 20000;
+    const Trace t = TraceGenerator(workload::make_workload(name), g).generate();
+    const std::string lz_path = ::testing::TempDir() + "/v4_suite_lz.rsim";
+    const std::string delta_path = ::testing::TempDir() + "/v4_suite_delta.rsim";
+    save_trace(t, lz_path, kDefaultChunkRecords, /*compress=*/true);
+    save_trace(t, delta_path, kDefaultChunkRecords, /*compress=*/true,
+               /*prefilter=*/true);
+    EXPECT_LT(std::filesystem::file_size(delta_path),
+              std::filesystem::file_size(lz_path))
+        << "delta pre-filter did not beat plain LZ on workload " << name;
+    const Trace back = load_trace(delta_path);
+    ASSERT_EQ(back.records.size(), t.records.size()) << name;
+    for (std::size_t i = 0; i < t.records.size(); ++i) {
+      ASSERT_TRUE(records_equal(back.records[i], t.records[i]))
+          << name << " record " << i;
+    }
+    std::remove(lz_path.c_str());
+    std::remove(delta_path.c_str());
+  }
+}
+
+TEST(TraceFileV4, PrefilterWithoutCompressRejectedByWriter) {
+  const Trace t = v4::strided_trace(100);
+  const std::string path = ::testing::TempDir() + "/v4_nolz.rsim";
+  EXPECT_THROW(save_trace(t, path, /*chunk_records=*/512, /*compress=*/false,
+                          /*prefilter=*/true),
+               std::invalid_argument);
+}
+
+TEST(TraceFileV4, DeltaFlagOnV3Rejected) {
+  // The delta bit is a v4 capability; a v3 chunk carrying it is corrupt
+  // and the message names the chunk flags field.
+  const Trace t = v3::loopy_trace(600);
+  const std::string path = ::testing::TempDir() + "/v4_on_v3.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true);
+  v3::poke_u32(path, v3::first_chunk_off(t) + 4, 0x3u);  // compressed|delta on v3
+  corrupt::expect_rejected(path, "chunk flags");
+}
+
+TEST(TraceFileV4, DeltaWithoutCompressedBitRejected) {
+  const Trace t = v4::strided_trace(600);
+  const std::string path = ::testing::TempDir() + "/v4_bare_delta.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true, /*prefilter=*/true);
+  // Forge the first chunk's flags to delta-without-compressed: the
+  // writer only delta-filters to feed the LZ stage, so this is corrupt.
+  v3::poke_u32(path, v3::first_chunk_off(t) + 4, 0x2u);
+  corrupt::expect_rejected(path, "delta bit");
+}
+
+TEST(TraceFileV4, UnknownChunkFlagsRejected) {
+  const Trace t = v4::strided_trace(600);
+  const std::string path = ::testing::TempDir() + "/v4_flags.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true, /*prefilter=*/true);
+  v3::poke_u32(path, v3::first_chunk_off(t) + 4, 0x7u);  // 0x4 is unknown even on v4
+  corrupt::expect_rejected(path, "chunk flags");
+}
+
+TEST(TraceFileV4, TruncatedPayloadRejected) {
+  const Trace t = v4::strided_trace(2000);
+  const std::string path = ::testing::TempDir() + "/v4_trunc.rsim";
+  save_trace(t, path, /*chunk_records=*/512, /*compress=*/true, /*prefilter=*/true);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 7);
+  EXPECT_THROW((void)load_trace(path), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 TEST(VectorTraceSource, RewindMidStream) {

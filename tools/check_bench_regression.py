@@ -55,17 +55,30 @@ def load_json(path, role):
         raise SystemExit(fail(f"{role} {path} is not valid JSON: binary data"))
 
 
-def metrics_of(doc):
-    """Extract {metric_name: value} throughput metrics from a bench JSON."""
+def metrics_of(doc, host_cores=None):
+    """Extract {metric_name: value} throughput metrics from a bench JSON.
+
+    `host_cores` is the core count of the machine whose run decides what
+    is comparable — the CURRENT runner. Parallel-throughput metrics
+    (jobs_per_sec, the shared-decode fan-out ratio) are only meaningful
+    with real cores to shard across; on a 1-core runner they measure
+    scheduler noise, so they are skipped rather than gated.
+    """
     out = {}
-    if "points" in doc:  # micro_batch_scaling
+    cores = host_cores if host_cores is not None else doc.get("host_cores", 0)
+    multi_core = cores != 1  # unknown (0/absent) counts as multi: legacy JSONs
+    if "points" in doc and multi_core:  # micro_batch_scaling
         best = max((p["jobs_per_sec"] for p in doc["points"]), default=0.0)
         out["jobs_per_sec(best)"] = best
+    if "shared_decode" in doc and multi_core:  # decode-once fan-out win
+        out["shared_decode_ratio"] = doc["shared_decode"]["ratio"]
     if "backends" in doc:  # micro_trace_stream
         for b in doc["backends"]:
             out[f"mb_per_sec({b['name']})"] = b["mb_per_sec"]
         if "compression_ratio" in doc:
             out["compression_ratio"] = doc["compression_ratio"]
+        if "delta_compression_ratio" in doc:
+            out["delta_compression_ratio"] = doc["delta_compression_ratio"]
     if "engine_points" in doc:  # micro_engine_throughput
         for p in doc["engine_points"]:
             out[f"minsts_per_sec({p['name']})"] = p["minsts_per_sec"]
@@ -80,6 +93,13 @@ def rebaseline(current_path, out_path, derate):
         b["mrecords_per_sec"] = round(b["mrecords_per_sec"] * derate, 6)
     for p in doc.get("points", []):
         p["jobs_per_sec"] = round(p["jobs_per_sec"] * derate, 6)
+    if "shared_decode" in doc:
+        sd = doc["shared_decode"]
+        sd["private_jobs_per_sec"] = round(sd["private_jobs_per_sec"] * derate, 6)
+        sd["shared_jobs_per_sec"] = round(sd["shared_jobs_per_sec"] * derate, 6)
+        # The ratio is a same-run quotient (runner speed cancels), but
+        # core-count differences between runners still move it — derate.
+        sd["ratio"] = round(sd["ratio"] * derate, 6)
     for p in doc.get("engine_points", []):
         p["minsts_per_sec"] = round(p["minsts_per_sec"] * derate, 6)
         p["mcycles_per_sec"] = round(p["mcycles_per_sec"] * derate, 6)
@@ -150,6 +170,25 @@ def self_test():
         check("improvement passes",
               rc == 0 and "PERF GATE: PASS" in out, out)
 
+        # jobs_per_sec (and the fan-out ratio) are parallel-throughput
+        # metrics: a 1-core current runner must skip them, not fail them.
+        onecore = os.path.join(td, "BENCH_sweep_1core.json")
+        with open(onecore, "w") as f:
+            json.dump({"host_cores": 1,
+                       "points": [{"jobs_per_sec": 1.0}],
+                       "shared_decode": {"ratio": 0.5}}, f)
+        fast8 = os.path.join(td, "BENCH_sweep_8core.json")
+        with open(fast8, "w") as f:
+            json.dump({"host_cores": 8,
+                       "points": [{"jobs_per_sec": 100.0}],
+                       "shared_decode": {"ratio": 2.0}}, f)
+        rc, out = run("--baseline", fast8, "--current", onecore)
+        check("1-core runner skips parallel-throughput gate",
+              rc == 0 and "skipping parallel-throughput" in out, out)
+        rc, out = run("--baseline", fast8, "--current", fast8)
+        check("multi-core runner still gates fan-out ratio",
+              rc == 0 and "shared_decode_ratio" in out, out)
+
         rc, out = run("--rebaseline", "--current", good,
                       "--out", os.path.join(td, "rb.json"), "--derate", "0.5")
         # Read the output directly rather than via load_json(): that
@@ -205,9 +244,20 @@ def main():
     if cur.get("identity_ok") is False:
         return fail("bench reported identity_ok=false (backends disagree)")
 
-    base_m = metrics_of(base)
-    cur_m = metrics_of(cur)
+    # The current runner's core count decides comparability for BOTH
+    # sides: a baseline measured on 8 cores must not demand parallel
+    # throughput from a 1-core runner.
+    cur_cores = cur.get("host_cores", 0)
+    if cur_cores == 1 and ("points" in cur or "shared_decode" in cur):
+        print("PERF GATE: 1-core runner; skipping parallel-throughput metrics "
+              "(jobs_per_sec, shared_decode_ratio)")
+    base_m = metrics_of(base, host_cores=cur_cores)
+    cur_m = metrics_of(cur, host_cores=cur_cores)
     if not base_m:
+        if metrics_of(base, host_cores=0):  # 0 = ignore core gating
+            print("PERF GATE: PASS (all baseline metrics are parallel-throughput; "
+                  "nothing comparable on this runner)")
+            return 0
         return fail(f"no known metrics in baseline {args.baseline}")
 
     worst = []

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""CI decode-once assertion for ReSim's shared-trace sweep groups.
+
+`resim_cli sweep --decode-stats FILE` writes one JSON entry per
+shared-decode job group (driver::GroupDecodeStats): how many container
+chunks the group's trace holds and how many chunk-decode events the
+group's trace::SharedBatchCache actually performed. The whole point of
+the shared producer is that an N-point same-workload sweep decodes each
+chunk exactly once, not N times — this script turns that invariant into
+a hard CI gate. Stdlib only.
+
+Checks, per group:
+  * chunks_in_trace > 0  — file-backend groups must expose the chunk
+    directory (0 means the group fell back to a memory load; pass
+    --allow-memory for sweeps that legitimately mix backends).
+  * chunks_decoded == chunks_in_trace — every chunk decoded exactly
+    once. Fewer would mean records were silently skipped; more means the
+    cache thrashed or consumers raced the producer, i.e. the decode-once
+    guarantee regressed.
+
+The sweep driving this gate must be sized so every group member can hold
+a cache slot (point count per group <= cache capacity consumers and the
+trace's chunk count <= cache capacity); CI uses such a sweep
+(docs/CI.md). A sweep with eviction pressure re-decodes by design and
+must not be pointed at this gate.
+
+Usage:
+  tools/check_decode_once.py --stats decode_stats.json [--min-groups 1]
+  tools/check_decode_once.py --self-test   # prove the gate can fail
+
+--self-test fabricates a stats file in which one group double-decoded a
+chunk and asserts this script rejects it (seeded-violation check, same
+pattern as the lint self-tests).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def check(stats, min_groups, allow_memory):
+    """Returns a list of violation strings (empty = pass)."""
+    problems = []
+    groups = stats.get("groups", [])
+    if len(groups) < min_groups:
+        problems.append(
+            f"expected at least {min_groups} shared-decode group(s), "
+            f"got {len(groups)} — grouping did not engage"
+        )
+    for g in groups:
+        name = g.get("workload", "<unnamed>")
+        members = g.get("members", 0)
+        in_trace = g.get("chunks_in_trace", 0)
+        decoded = g.get("chunks_decoded", 0)
+        if members < 2:
+            problems.append(f"group '{name}': only {members} member(s) — not a group")
+        if in_trace == 0:
+            if not allow_memory:
+                problems.append(
+                    f"group '{name}': no chunk directory (memory-backend group); "
+                    "pass --allow-memory if intended"
+                )
+            continue
+        if decoded != in_trace:
+            problems.append(
+                f"group '{name}': {decoded} chunk-decode events for "
+                f"{in_trace} chunks across {members} members — "
+                "decode-once guarantee violated"
+            )
+    return problems
+
+
+def self_test():
+    """Plant a double-decode in a fabricated stats file; the gate must trip."""
+    good = {
+        "threads": 8,
+        "jobs": 6,
+        "groups": [
+            {
+                "workload": "gzip",
+                "members": 6,
+                "consumers": 6,
+                "chunks_in_trace": 16,
+                "chunks_decoded": 16,
+                "cache_hits": 80,
+                "cache_evictions": 0,
+            }
+        ],
+    }
+    bad = json.loads(json.dumps(good))
+    bad["groups"][0]["chunks_decoded"] = 32  # every chunk decoded twice
+    bad["groups"][0]["cache_evictions"] = 16
+
+    script = os.path.abspath(__file__)
+    failures = []
+    for label, doc, want_rc in (("clean", good, 0), ("seeded double-decode", bad, 1)):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False
+        ) as f:
+            json.dump(doc, f)
+            path = f.name
+        try:
+            proc = subprocess.run(
+                [sys.executable, script, "--stats", path],
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != want_rc:
+                failures.append(
+                    f"{label}: expected exit {want_rc}, got {proc.returncode}\n"
+                    f"{proc.stdout}{proc.stderr}"
+                )
+        finally:
+            os.unlink(path)
+    if failures:
+        print("check_decode_once SELF-TEST FAILED:")
+        for msg in failures:
+            print("  " + msg.replace("\n", "\n  "))
+        return 1
+    print("check_decode_once self-test passed (seeded violation tripped the gate)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--stats", help="decode-stats JSON from resim_cli sweep")
+    ap.add_argument(
+        "--min-groups",
+        type=int,
+        default=1,
+        help="fail unless at least this many groups formed (default 1)",
+    )
+    ap.add_argument(
+        "--allow-memory",
+        action="store_true",
+        help="permit groups with no chunk directory (memory backend)",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify a planted double-decode fails the gate, then exit",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.stats:
+        ap.error("--stats is required (or use --self-test)")
+
+    with open(args.stats) as f:
+        stats = json.load(f)
+    problems = check(stats, args.min_groups, args.allow_memory)
+    if problems:
+        print(f"decode-once check FAILED for {args.stats}:")
+        for p in problems:
+            print("  " + p)
+        return 1
+    groups = stats.get("groups", [])
+    total = sum(g.get("chunks_decoded", 0) for g in groups)
+    print(
+        f"decode-once check passed: {len(groups)} group(s), "
+        f"{total} chunk(s) each decoded exactly once"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 // resim_cli — command-line front end, SimpleScalar-style.
 //
 //   resim_cli gen   --bench gzip --insts 1000000 --out gzip.rsim [--bp 2lev]
-//                   [--chunk N] [--compress]
+//                   [--chunk N] [--compress] [--prefilter]
 //   resim_cli sim   --trace gzip.rsim [--config FILE] [--set key=value]...
 //                   [--width 4 --rob 16 --lsq 8] [--variant optimized]
 //                   [--mem perfect|l1|l2] [--bp 2lev|...] [--device xc4vlx40]
@@ -11,6 +11,7 @@
 //   resim_cli stats --trace gzip.rsim [--backend memory|stream|mmap]
 //   resim_cli sweep --spec FILE [-j N] [--config FILE] [--set k=v]...
 //                   [--out FILE | --resume FILE] [--json FILE] [--csv-full FILE]
+//                   [--decode-stats FILE]
 //   resim_cli params [--config FILE] [--set k=v]... [--save FILE] [--markdown]
 //   resim_cli schedule --variant optimized --width 4
 //   resim_cli vhdl  --out dir [--pht 4096 --hist 8 --btb 512 --ras 16]
@@ -62,7 +63,8 @@ bool is_flag_token(const std::string& s) {
 
 /// The only flags that take no value; every other flag requires one.
 bool is_boolean_flag(const std::string& key) {
-  return key == "report" || key == "stream" || key == "markdown" || key == "compress";
+  return key == "report" || key == "stream" || key == "markdown" ||
+         key == "compress" || key == "prefilter";
 }
 
 Args parse_args(int argc, char** argv, int first) {
@@ -154,12 +156,17 @@ int cmd_gen(const Args& a) {
   trace::TraceGenerator gen(workload::make_workload(bench), g);
   const trace::Trace t = gen.generate();
   const bool compress = has(a, "compress");
-  trace::save_trace(t, out, static_cast<std::uint32_t>(chunk), compress);
+  const bool prefilter = has(a, "prefilter");
+  if (prefilter && !compress) {
+    throw std::invalid_argument("--prefilter requires --compress (the delta "
+                                "filter feeds the LZ stage; docs/TRACE_FORMAT.md)");
+  }
+  trace::save_trace(t, out, static_cast<std::uint32_t>(chunk), compress, prefilter);
   std::cout << "wrote " << out << ": " << trace::analyze(t).summary() << '\n';
   if (compress) {
     // Ratio defined exactly as the CI gate and the benches define it:
     // the bytes an uncompressed v2 container of this trace would take,
-    // over the v3 file actually written.
+    // over the v3/v4 file actually written.
     std::uint64_t v2_bytes = 4 + 4 + 4 + t.name.size() + 8 + 8 + 4 + 4;
     for (std::uint64_t first = 0; first < t.records.size(); first += chunk) {
       const std::uint64_t n = std::min<std::uint64_t>(chunk, t.records.size() - first);
@@ -168,7 +175,8 @@ int cmd_gen(const Args& a) {
       v2_bytes += 8 + (bits + 7) / 8;  // chunk header + byte-aligned payload
     }
     const auto file_bytes = std::filesystem::file_size(out);
-    std::cout << "compressed (container v3): " << file_bytes << " bytes on disk vs "
+    std::cout << "compressed (container v" << (prefilter ? 4 : 3) << "): "
+              << file_bytes << " bytes on disk vs "
               << v2_bytes << " uncompressed (v2), "
               << static_cast<double>(v2_bytes) / static_cast<double>(file_bytes)
               << "x smaller\n";
@@ -540,6 +548,13 @@ int cmd_sweep(const Args& a) {
   }
 
   const driver::BatchRunner runner(static_cast<unsigned>(get_u64(a, "j", 1)));
+  // --decode-stats FILE: per-group decode-work accounting (chunks in the
+  // trace vs decode events) as JSON. A side channel on purpose — the
+  // CSV/JSON result exports stay byte-identical with sharing on or off,
+  // so decode counters must never appear in them. Consumed by
+  // tools/check_decode_once.py in CI.
+  const bool want_decode_stats = has(a, "decode-stats");
+  std::vector<driver::GroupDecodeStats> decode_stats;
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<driver::JobResult> results;
   std::size_t appended = 0;
@@ -557,13 +572,16 @@ int cmd_sweep(const Args& a) {
       const std::vector<driver::SimJob> slice(
           std::make_move_iterator(b + static_cast<std::ptrdiff_t>(first)),
           std::make_move_iterator(b + static_cast<std::ptrdiff_t>(last)));
-      const auto part = runner.run(slice);
+      std::vector<driver::GroupDecodeStats> batch_stats;
+      const auto part =
+          runner.run(slice, want_decode_stats ? &batch_stats : nullptr);
       for (const auto& r : part) f << driver::csv_row(r, grid.extra_csv_paths) << '\n';
       f.flush();
       appended += part.size();
+      decode_stats.insert(decode_stats.end(), batch_stats.begin(), batch_stats.end());
     }
   } else {
-    results = runner.run(grid.jobs);
+    results = runner.run(grid.jobs, want_decode_stats ? &decode_stats : nullptr);
   }
   const double secs = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - t0).count();
@@ -590,6 +608,25 @@ int cmd_sweep(const Args& a) {
     std::ofstream f(get(a, "csv-full", ""));
     if (!f) throw std::runtime_error("cannot open output file: " + get(a, "csv-full", ""));
     driver::write_config_csv(f, results);
+  }
+  if (want_decode_stats) {
+    const std::string path = get(a, "decode-stats", "");
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open output file: " + path);
+    f << "{\n  \"threads\": " << runner.threads() << ",\n  \"jobs\": "
+      << grid.jobs.size() << ",\n  \"groups\": [";
+    for (std::size_t i = 0; i < decode_stats.size(); ++i) {
+      const auto& g = decode_stats[i];
+      f << (i == 0 ? "\n" : ",\n") << "    {\"workload\": \""
+        << driver::json_escape(g.workload) << "\", \"members\": " << g.members
+        << ", \"consumers\": " << g.consumers
+        << ", \"chunks_in_trace\": " << g.chunks_in_trace
+        << ", \"chunks_decoded\": " << g.chunks_decoded
+        << ", \"cache_hits\": " << g.cache_hits
+        << ", \"cache_evictions\": " << g.cache_evictions << "}";
+    }
+    f << (decode_stats.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    if (!f) throw std::runtime_error("write failed: " + path);
   }
   std::cerr << "sweep: " << grid.jobs.size() << " configs, " << runner.threads()
             << " threads, " << secs << " s ("
@@ -654,7 +691,7 @@ int usage() {
   std::cerr <<
       "usage: resim_cli <command> [flags]\n"
       "  gen      --bench NAME --insts N --out FILE [--bp KIND] [--chunk N]\n"
-      "           [--compress]\n"
+      "           [--compress] [--prefilter]\n"
       "  sim      --trace FILE [--config FILE] [--set key=value]...\n"
       "           [--width N --rob N --lsq N --ifq N --ports N]\n"
       "           [--variant simple|efficient|optimized] [--mem perfect|l1|l2]\n"
@@ -669,6 +706,7 @@ int usage() {
       "           [--config FILE] [--set key=value]... [--trace FILE] [--insts N]\n"
       "           [--backend memory|stream|mmap] [--stream]\n"
       "           [--out FILE | --resume FILE] [--json FILE] [--csv-full FILE]\n"
+      "           [--decode-stats FILE]\n"
       "  params   [--config FILE] [--set key=value]... [--save FILE] [--markdown]\n"
       "  schedule --variant NAME --width N\n"
       "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n"
