@@ -65,7 +65,10 @@ const std::map<std::string, std::vector<std::string>>& layer_spec() {
       // below via the closure of these four.
       {"driver", {"config", "baseline", "fpga", "codegen"}},
       {"resim", {"driver"}},  // umbrella header re-exports the library
-      {"tools", {"resim", "analysis"}},
+      // The serve daemon wraps the driver's batch machinery behind a
+      // socket; nothing below it may know the daemon exists.
+      {"serve", {"resim"}},
+      {"tools", {"resim", "analysis", "serve"}},
       {"bench", {"resim"}},
       {"examples", {"resim"}},
   };

@@ -217,6 +217,14 @@ ParamRegistry::ParamRegistry() {
          "share one decoded-batch producer across same-trace sweep jobs");
   bool_p("trace.prefilter", RESIM_ACC(trace_prefilter, bool),
          "delta-filter PCs/addresses ahead of LZ when round-tripping temp traces");
+
+  // --- serve.* (host-side; resim_cli serve daemon knobs) -------------------
+  uint_p("serve.max_pending", 1, 1u << 16, false,
+         RESIM_ACC(serve_max_pending, unsigned),
+         "serve daemon: queued requests before new ones are answered busy");
+  uint_p("serve.idle_timeout_s", 0, 1u << 20, false,
+         RESIM_ACC(serve_idle_timeout_s, unsigned),
+         "serve daemon: idle seconds before self-shutdown (0 = never)");
 }
 
 #undef RESIM_ACC

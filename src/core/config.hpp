@@ -78,6 +78,17 @@ struct CoreConfig {
   /// invertible, so results never change — only the temp file shrinks.
   bool trace_prefilter = false;
 
+  /// `resim_cli serve` backpressure bound: requests queued but not yet
+  /// executing before the daemon answers `busy` (docs/SERVE.md).
+  /// Host-side only: simulation results never depend on it.
+  unsigned serve_max_pending = 64;
+
+  /// `resim_cli serve` idle shutdown: seconds without a connection,
+  /// pending request, or running job before the daemon exits on its
+  /// own. 0 keeps it alive until a shutdown request or signal.
+  /// Host-side only.
+  unsigned serve_idle_timeout_s = 0;
+
   /// Conservative wrong-path window (ROB + IFQ, paper §V.A).
   [[nodiscard]] unsigned wrong_path_block() const { return rob_size + ifq_size; }
 

@@ -119,21 +119,43 @@ void write_json(std::ostream& os, const std::vector<JobResult>& results) {
   os << "]\n";
 }
 
-void write_config_csv(std::ostream& os, const std::vector<JobResult>& results) {
+std::string config_csv_header() {
   const auto& reg = config::ParamRegistry::instance();
-  os << "label,workload";
-  for (const auto& p : reg.params()) os << ',' << p.path;
-  os << ",committed,fetched,wrong_path_fetched,squashed,major_cycles,minor_cycles,"
-        "trace_records,trace_bits,ipc,bits_per_record\n";
-  for (const auto& r : results) {
-    os << csv_escape(r.label) << ',' << csv_escape(r.workload);
-    for (const auto& p : reg.params()) os << ',' << reg.format(p, r.config);
-    os << ',' << r.result.committed << ',' << r.result.fetched << ','
-       << r.result.wrong_path_fetched << ',' << r.result.squashed << ','
-       << r.result.major_cycles << ',' << r.result.minor_cycles << ','
-       << r.result.trace_records << ',' << r.result.trace_bits << ','
-       << fixed6(r.result.ipc()) << ',' << fixed6(r.result.bits_per_record()) << '\n';
+  std::string h = "label,workload";
+  for (const auto& p : reg.params()) {
+    h += ',';
+    h += p.path;
   }
+  h += ",committed,fetched,wrong_path_fetched,squashed,major_cycles,minor_cycles,"
+       "trace_records,trace_bits,ipc,bits_per_record";
+  return h;
+}
+
+std::string config_csv_row(const JobResult& r) {
+  const auto& reg = config::ParamRegistry::instance();
+  std::string row = csv_escape(r.label);
+  row += ',';
+  row += csv_escape(r.workload);
+  for (const auto& p : reg.params()) {
+    row += ',';
+    row += reg.format(p, r.config);
+  }
+  row += ',' + std::to_string(r.result.committed);
+  row += ',' + std::to_string(r.result.fetched);
+  row += ',' + std::to_string(r.result.wrong_path_fetched);
+  row += ',' + std::to_string(r.result.squashed);
+  row += ',' + std::to_string(r.result.major_cycles);
+  row += ',' + std::to_string(r.result.minor_cycles);
+  row += ',' + std::to_string(r.result.trace_records);
+  row += ',' + std::to_string(r.result.trace_bits);
+  row += ',' + fixed6(r.result.ipc());
+  row += ',' + fixed6(r.result.bits_per_record());
+  return row;
+}
+
+void write_config_csv(std::ostream& os, const std::vector<JobResult>& results) {
+  os << config_csv_header() << '\n';
+  for (const auto& r : results) os << config_csv_row(r) << '\n';
 }
 
 }  // namespace resim::driver

@@ -35,7 +35,12 @@ namespace resim::driver {
 void write_json(std::ostream& os, const std::vector<JobResult>& results);
 
 /// Full-configuration CSV: every registry parameter as its own
-/// dotted-path column.
+/// dotted-path column. Header and row are exposed separately so a
+/// streaming producer (resim_cli serve) can emit rows incrementally and
+/// stay byte-identical to write_config_csv's output (neither string
+/// carries the trailing newline).
+[[nodiscard]] std::string config_csv_header();
+[[nodiscard]] std::string config_csv_row(const JobResult& r);
 void write_config_csv(std::ostream& os, const std::vector<JobResult>& results);
 
 }  // namespace resim::driver

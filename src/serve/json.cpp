@@ -1,0 +1,365 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace resim::serve {
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(std::string text) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::move(text);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(Array a) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::make_object(Object o) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+const char* JsonValue::kind_name(Kind k) {
+  switch (k) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "boolean";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void wrong_kind(JsonValue::Kind want, JsonValue::Kind got) {
+  throw std::runtime_error(std::string("expected a JSON ") +
+                           JsonValue::kind_name(want) + ", got " +
+                           JsonValue::kind_name(got));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) wrong_kind(Kind::kBool, kind_);
+  return bool_;
+}
+
+std::uint64_t JsonValue::as_u64(const std::string& what) const {
+  if (kind_ != Kind::kNumber) {
+    throw std::runtime_error(what + ": expected a JSON number, got " +
+                             std::string(kind_name(kind_)));
+  }
+  // The token is a syntactically valid JSON number; only the plain
+  // non-negative integer subset converts — "1e3" or "-1" as a record
+  // count is a caller bug worth naming, not something to round.
+  for (const char c : scalar_) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw std::runtime_error(what + ": expected a non-negative integer, got " +
+                               scalar_);
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const auto v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end != scalar_.c_str() + scalar_.size()) {
+    throw std::runtime_error(what + ": integer out of range: " + scalar_);
+  }
+  return v;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) wrong_kind(Kind::kString, kind_);
+  return scalar_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) wrong_kind(Kind::kArray, kind_);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) wrong_kind(Kind::kObject, kind_);
+  return object_;
+}
+
+const std::string& JsonValue::number_text() const {
+  if (kind_ != Kind::kNumber) wrong_kind(Kind::kNumber, kind_);
+  return scalar_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    skip_ws();
+    if (pos_ == text_.size()) throw JsonError("empty input", 0);
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw JsonError("trailing garbage after the JSON value", pos_);
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const { throw JsonError(what, pos_); }
+
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("invalid literal (expected '" + std::string(lit) + "')");
+    }
+    pos_ += lit.size();
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    // depth is 0 at the top-level value, so kMaxJsonDepth nested
+    // containers parse (innermost at depth kMaxJsonDepth - 1) and one
+    // more is rejected before it can recurse further.
+    if (depth >= kMaxJsonDepth) fail("nesting deeper than the protocol allows");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case 'n': expect_literal("null"); return JsonValue{};
+      case 't': expect_literal("true"); return JsonValue::make_bool(true);
+      case 'f': expect_literal("false"); return JsonValue::make_bool(false);
+      case '"': return JsonValue::make_string(parse_string());
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid value");
+    }
+    if (peek() == '0') {
+      ++pos_;  // a leading zero must stand alone ("0", "0.5")
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required after the decimal point");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required in the exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return JsonValue::make_number(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  /// Decode one \uXXXX escape's 4 hex digits (pos_ on the first digit).
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("truncated \\u escape");
+      const char c = peek();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+      ++pos_;
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail("bare control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (eof()) fail("truncated escape");
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: the low half must follow immediately.
+            if (eof() || peek() != '\\') fail("unpaired high surrogate");
+            ++pos_;
+            if (eof() || peek() != 'u') fail("unpaired high surrogate");
+            ++pos_;
+            const std::uint32_t lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    ++pos_;  // '['
+    JsonValue::Array out;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      out.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return JsonValue::make_array(std::move(out));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    ++pos_;  // '{'
+    JsonValue::Object out;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected a string object key");
+      std::string key = parse_string();
+      for (const auto& [k, v] : out) {
+        // A request with two "type" members is ambiguous at best and a
+        // smuggling attempt at worst; refuse rather than pick one.
+        if (k == key) fail("duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      if (eof() || peek() != ':') fail("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      out.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return JsonValue::make_object(std::move(out));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace resim::serve

@@ -1,0 +1,94 @@
+// Minimal JSON value model + strict recursive-descent parser for the
+// serve wire protocol (docs/SERVE.md).
+//
+// Every byte a request frame carries crossed a socket from an untrusted
+// peer, so this parser is written like the trace-container readers: it
+// never trusts a length, bounds every recursion (kMaxDepth), rejects
+// trailing garbage, and throws JsonError with the byte offset and a
+// description instead of crashing or silently coercing. The model is
+// deliberately small — null/bool/number/string/array/object — because
+// the protocol needs nothing more; numbers keep their source text so
+// 64-bit counts round-trip without double-precision loss.
+#ifndef RESIM_SERVE_JSON_H
+#define RESIM_SERVE_JSON_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace resim::serve {
+
+/// Parse failure: what was wrong and the byte offset it was found at.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Insertion order preserved; duplicate keys are rejected at parse time.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] static JsonValue make_bool(bool b);
+  /// `text` must be a valid JSON number token (the parser guarantees it).
+  [[nodiscard]] static JsonValue make_number(std::string text);
+  [[nodiscard]] static JsonValue make_string(std::string s);
+  [[nodiscard]] static JsonValue make_array(Array a);
+  [[nodiscard]] static JsonValue make_object(Object o);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors throw std::runtime_error naming the expected and
+  /// actual kind — a request field of the wrong type is a caller error
+  /// worth a precise message, not a default value.
+  [[nodiscard]] bool as_bool() const;
+  /// Strict non-negative integer view of a number (rejects sign,
+  /// fraction, exponent, and > uint64 range). `what` prefixes errors.
+  [[nodiscard]] std::uint64_t as_u64(const std::string& what) const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  /// Raw source text of a number ("12", "-3.5e2").
+  [[nodiscard]] const std::string& number_text() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  [[nodiscard]] static const char* kind_name(Kind k);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  ///< string value or number source text
+  Array array_;
+  Object object_;
+};
+
+/// Maximum nesting depth accepted by parse_json; deeper input is hostile
+/// (a stack-exhaustion attempt), not a real request.
+inline constexpr std::size_t kMaxJsonDepth = 64;
+
+/// Parse one complete JSON value. Rejects empty input, trailing
+/// non-whitespace, duplicate object keys, unpaired surrogates, bare
+/// control characters in strings, and nesting beyond kMaxJsonDepth.
+/// Throws JsonError; never reads out of bounds on any input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace resim::serve
+
+#endif  // RESIM_SERVE_JSON_H

@@ -1,0 +1,210 @@
+#include "serve/protocol.hpp"
+
+#include <stdexcept>
+
+#include "driver/result_export.hpp"  // json_escape
+
+namespace resim::serve {
+
+const std::vector<std::string>& msg_type_names() {
+  static const std::vector<std::string> names{
+      "hello", "ping", "pong", "sim", "sweep",
+      "status", "shutdown", "data", "done", "error",
+  };
+  return names;
+}
+
+const std::vector<std::string>& err_code_names() {
+  static const std::vector<std::string> names{
+      "bad-frame", "frame-too-large", "bad-json", "bad-request",
+      "unknown-type", "busy", "shutting-down", "run-failed",
+  };
+  return names;
+}
+
+const char* msg_type_name(MsgType t) {
+  return msg_type_names()[static_cast<std::size_t>(t)].c_str();
+}
+
+const char* err_code_name(ErrCode c) {
+  return err_code_names()[static_cast<std::size_t>(c)].c_str();
+}
+
+std::optional<MsgType> msg_type_of(std::string_view name) {
+  const auto& names = msg_type_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<MsgType>(i);
+  }
+  return std::nullopt;
+}
+
+bool msg_type_is_request(MsgType t) {
+  switch (t) {
+    case MsgType::kPing:
+    case MsgType::kSim:
+    case MsgType::kSweep:
+    case MsgType::kStatus:
+    case MsgType::kShutdown:
+      return true;
+    case MsgType::kHello:
+    case MsgType::kPong:
+    case MsgType::kData:
+    case MsgType::kDone:
+    case MsgType::kError:
+      return false;
+  }
+  return false;
+}
+
+const char* msg_type_doc(MsgType t) {
+  switch (t) {
+    case MsgType::kHello:
+      return "greeting sent on connect; carries the protocol version";
+    case MsgType::kPing: return "liveness probe; answered with one pong";
+    case MsgType::kPong: return "ping acknowledgement";
+    case MsgType::kSim:
+      return "run one simulation; streams the exact bytes of sim --json";
+    case MsgType::kSweep:
+      return "run a sweep spec; streams the exact sweep CSV / JSON / full-CSV bytes";
+    case MsgType::kStatus:
+      return "report daemon counters (accepted/completed/pending/...) as JSON";
+    case MsgType::kShutdown:
+      return "stop accepting requests, drain pending work, exit";
+    case MsgType::kData: return "one chunk of a request's output bytes";
+    case MsgType::kDone:
+      return "request complete; totals the data frames and payload bytes sent";
+    case MsgType::kError: return "request failed; carries an error code and message";
+  }
+  return "?";
+}
+
+const char* err_code_doc(ErrCode c) {
+  switch (c) {
+    case ErrCode::kBadFrame:
+      return "malformed framing: zero-length prefix, or the stream ended inside a frame";
+    case ErrCode::kFrameTooLarge:
+      return "length prefix exceeds the 8 MiB frame ceiling; connection closes";
+    case ErrCode::kBadJson: return "frame payload is not a valid JSON object";
+    case ErrCode::kBadRequest:
+      return "JSON is well-formed but a field is missing, mistyped, or fails validation";
+    case ErrCode::kUnknownType: return "the \"type\" member names no known request";
+    case ErrCode::kBusy:
+      return "pending queue is at serve.max_pending; resubmit after a done frame frees a slot";
+    case ErrCode::kShuttingDown: return "daemon is draining and takes no new requests";
+    case ErrCode::kRunFailed:
+      return "the simulation or sweep threw (bad trace path, invalid grid point, ...)";
+  }
+  return "?";
+}
+
+std::string protocol_markdown() {
+  // '|' inside a cell must be escaped for markdown; none of the docs
+  // above contain one today, but mirror the ParamRegistry generator so
+  // that stays true by construction.
+  const auto cell = [](std::string s) {
+    for (std::size_t i = 0; (i = s.find('|', i)) != std::string::npos; i += 2) {
+      s.insert(i, 1, '\\');
+    }
+    return s;
+  };
+  std::string out =
+      "| Message | Direction | Meaning |\n"
+      "|---|---|---|\n";
+  for (std::size_t i = 0; i < msg_type_names().size(); ++i) {
+    const auto t = static_cast<MsgType>(i);
+    out += "| `" + msg_type_names()[i] + "` | " +
+           (msg_type_is_request(t) ? "client → server" : "server → client") +
+           " | " + cell(msg_type_doc(t)) + " |\n";
+  }
+  out +=
+      "\n| Error code | Sent when |\n"
+      "|---|---|\n";
+  for (std::size_t i = 0; i < err_code_names().size(); ++i) {
+    out += "| `" + err_code_names()[i] + "` | " +
+           cell(err_code_doc(static_cast<ErrCode>(i))) + " |\n";
+  }
+  return out;
+}
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.empty()) {
+    throw std::invalid_argument("serve frame: refusing to encode an empty payload");
+  }
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::invalid_argument("serve frame: payload of " +
+                                std::to_string(payload.size()) +
+                                " bytes exceeds the frame ceiling");
+  }
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out += static_cast<char>(n & 0xFF);
+  out += static_cast<char>((n >> 8) & 0xFF);
+  out += static_cast<char>((n >> 16) & 0xFF);
+  out += static_cast<char>((n >> 24) & 0xFF);
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  // Drop the consumed prefix before growing, so a long-lived session
+  // never accumulates the transcript of every frame it has seen.
+  if (consumed_ > 0) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+bool FrameDecoder::next(std::string& out) {
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + consumed_);
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+  if (len == 0) {
+    throw FrameError("zero-length frame", ErrCode::kBadFrame);
+  }
+  if (len > kMaxFrameBytes) {
+    throw FrameError("frame of " + std::to_string(len) +
+                         " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                         "-byte ceiling",
+                     ErrCode::kFrameTooLarge);
+  }
+  if (avail - 4 < len) return false;
+  out.assign(buf_, consumed_ + 4, len);
+  consumed_ += 4 + len;
+  return true;
+}
+
+std::string hello_payload() {
+  return "{\"type\":\"hello\",\"server\":\"resim\",\"protocol\":" +
+         std::to_string(kProtocolVersion) + "}";
+}
+
+std::string pong_payload(const std::string& id) {
+  return "{\"type\":\"pong\",\"id\":\"" + driver::json_escape(id) + "\"}";
+}
+
+std::string data_payload(const std::string& id, std::string_view chunk) {
+  return "{\"type\":\"data\",\"id\":\"" + driver::json_escape(id) +
+         "\",\"payload\":\"" + driver::json_escape(std::string(chunk)) + "\"}";
+}
+
+std::string done_payload(const std::string& id, std::uint64_t frames,
+                         std::uint64_t bytes) {
+  return "{\"type\":\"done\",\"id\":\"" + driver::json_escape(id) +
+         "\",\"frames\":" + std::to_string(frames) +
+         ",\"bytes\":" + std::to_string(bytes) + "}";
+}
+
+std::string error_payload(const std::string& id, ErrCode code,
+                          const std::string& message) {
+  return "{\"type\":\"error\",\"id\":\"" + driver::json_escape(id) +
+         "\",\"code\":\"" + err_code_name(code) + "\",\"message\":\"" +
+         driver::json_escape(message) + "\"}";
+}
+
+}  // namespace resim::serve

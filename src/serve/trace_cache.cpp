@@ -1,0 +1,63 @@
+#include "serve/trace_cache.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+namespace resim::serve {
+
+std::shared_ptr<const trace::Trace> SharedTraceCache::get(const std::string& path) {
+  Key key;
+  key.path = path;
+  // File identity, not just the name: a container regenerated in place
+  // must be re-decoded. A stat failure (file vanished) falls through to
+  // load_trace, whose error message names the path.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (!ec) key.size = static_cast<std::uint64_t>(size);
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (!ec) key.mtime_ns = static_cast<std::int64_t>(mtime.time_since_epoch().count());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // weak_ptr::lock, not a mutex:
+      if (auto live = it->second.lock()) {  // resim-lint: allow(lock-discipline)
+        ++hits_;
+        return live;
+      }
+      entries_.erase(it);
+    }
+  }
+
+  // Decode OUTSIDE the lock: a multi-gigabyte load must not block a
+  // concurrent request that only wants an already-cached trace. Two
+  // racing first loads both decode; the later insert wins and the loser
+  // keeps its (identical, read-only) private copy until it drops it.
+  auto loaded = std::make_shared<const trace::Trace>(trace::load_trace(path));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++loads_;
+  entries_[key] = loaded;
+  return loaded;
+}
+
+std::uint64_t SharedTraceCache::loads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loads_;
+}
+
+std::uint64_t SharedTraceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t SharedTraceCache::prune() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = it->second.expired() ? entries_.erase(it) : std::next(it);
+  }
+  return entries_.size();
+}
+
+}  // namespace resim::serve

@@ -13,6 +13,10 @@
 //                   [--out FILE | --resume FILE] [--json FILE] [--csv-full FILE]
 //                   [--decode-stats FILE]
 //   resim_cli params [--config FILE] [--set k=v]... [--save FILE] [--markdown]
+//   resim_cli serve --socket PATH [--tcp PORT] [-j N] [--config FILE]
+//                   [--set k=v]... [--protocol-markdown]
+//   resim_cli client (--socket PATH | --tcp PORT) [--id ID] [--out FILE]
+//                   (--ping | --status | --shutdown | --sim ... | --sweep ...)
 //   resim_cli schedule --variant optimized --width 4
 //   resim_cli vhdl  --out dir [--pht 4096 --hist 8 --btb 512 --ras 16]
 //
@@ -36,6 +40,9 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <csignal>
+
 #include "config/config_file.hpp"
 #include "config/names.hpp"
 #include "config/param_registry.hpp"
@@ -44,6 +51,9 @@
 #include "driver/result_export.hpp"
 #include "driver/sweep_grid.hpp"
 #include "resim/resim.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
 
 namespace {
 
@@ -64,7 +74,9 @@ bool is_flag_token(const std::string& s) {
 /// The only flags that take no value; every other flag requires one.
 bool is_boolean_flag(const std::string& key) {
   return key == "report" || key == "stream" || key == "markdown" ||
-         key == "compress" || key == "prefilter";
+         key == "compress" || key == "prefilter" || key == "protocol-markdown" ||
+         key == "sim" || key == "sweep" || key == "ping" || key == "status" ||
+         key == "shutdown";
 }
 
 Args parse_args(int argc, char** argv, int first) {
@@ -687,6 +699,117 @@ int cmd_vhdl(const Args& a) {
   return 0;
 }
 
+/// The daemon a SIGINT/SIGTERM should stop. request_stop is one atomic
+/// store plus one non-blocking pipe write, both async-signal-safe.
+std::atomic<serve::Daemon*> g_serve_daemon{nullptr};
+
+extern "C" void serve_signal_handler(int) {
+  if (auto* d = g_serve_daemon.load()) d->request_stop();
+}
+
+int cmd_serve(const Args& a) {
+  if (has(a, "protocol-markdown")) {
+    // docs/SERVE.md's message-type and error-code tables, generated from
+    // the MsgType/ErrCode enums; CI diffs this output against the doc.
+    std::cout << serve::protocol_markdown();
+    return 0;
+  }
+  // serve.* knobs resolve through the registry like every other
+  // parameter: defaults < --config < --set.
+  const auto cfg = config_from(a);
+  serve::ServeOptions opts;
+  opts.unix_path = get(a, "socket", "");
+  if (has(a, "tcp")) {
+    opts.tcp = true;
+    opts.tcp_port = static_cast<std::uint16_t>(get_u64(a, "tcp", 0));
+  }
+  opts.threads = static_cast<unsigned>(get_u64(a, "j", 1));
+  opts.max_pending = cfg.serve_max_pending;
+  opts.idle_timeout_s = cfg.serve_idle_timeout_s;
+  opts.log = [](const std::string& line) { std::cerr << line << '\n'; };
+
+  serve::Daemon daemon(opts);
+  g_serve_daemon.store(&daemon);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  daemon.start();
+  if (opts.tcp) std::cout << "serve: port " << daemon.port() << '\n';
+  daemon.wait();
+  g_serve_daemon.store(nullptr);
+  return 0;
+}
+
+/// Whole-file read for inlining --config/--spec contents into a request.
+std::string slurp_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+int cmd_client(const Args& a) {
+  serve::Client client = has(a, "socket")
+      ? serve::Client::connect_to_unix(get(a, "socket", ""))
+      : has(a, "tcp")
+          ? serve::Client::connect_to_tcp(
+                static_cast<std::uint16_t>(get_u64(a, "tcp", 0)))
+          : throw std::invalid_argument("client: need --socket PATH or --tcp PORT");
+  const std::string id = get(a, "id", "req-1");
+
+  if (has(a, "ping")) {
+    client.ping(id);
+    std::cout << "pong (id " << id << ")\n";
+    return 0;
+  }
+
+  // Response bodies go to --out or stdout VERBATIM (the served-vs-CLI
+  // byte-identity gate pipes stdout); the frame summary goes to stderr.
+  std::ofstream file;
+  if (has(a, "out")) {
+    file.open(get(a, "out", ""));
+    if (!file) throw std::runtime_error("cannot open output file: " + get(a, "out", ""));
+  }
+  std::ostream& out = file.is_open() ? static_cast<std::ostream&>(file) : std::cout;
+
+  std::string payload;
+  if (has(a, "status")) {
+    payload = serve::build_status_request(id);
+  } else if (has(a, "shutdown")) {
+    payload = serve::build_shutdown_request(id);
+  } else if (has(a, "sim")) {
+    serve::SimRequestSpec spec;
+    spec.id = id;
+    spec.priority = static_cast<int>(get_u64(a, "priority", 0));
+    spec.trace_path = get(a, "trace", "trace.rsim");
+    if (has(a, "config")) spec.config_text = slurp_file(get(a, "config", ""));
+    spec.sets = a.sets;
+    spec.skip = get_u64(a, "skip", 0);
+    spec.warmup = get_u64(a, "warmup", 0);
+    if (has(a, "max-records")) spec.max_records = get_u64(a, "max-records", 0);
+    payload = serve::build_sim_request(spec);
+  } else if (has(a, "sweep")) {
+    serve::SweepRequestSpec spec;
+    spec.id = id;
+    spec.priority = static_cast<int>(get_u64(a, "priority", 0));
+    spec.spec_text = slurp_file(get(a, "spec", ""));
+    if (has(a, "config")) spec.config_text = slurp_file(get(a, "config", ""));
+    spec.sets = a.sets;
+    spec.trace_path = get(a, "trace", "");
+    if (has(a, "insts")) spec.insts = get_u64(a, "insts", 0);
+    spec.format = get(a, "format", "");
+    payload = serve::build_sweep_request(spec);
+  } else {
+    throw std::invalid_argument(
+        "client: need one of --ping, --status, --shutdown, --sim, --sweep");
+  }
+
+  const auto done = client.request(payload, out);
+  std::cerr << "client: id " << id << " done, " << done.frames << " frame(s), "
+            << done.bytes << " byte(s)\n";
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: resim_cli <command> [flags]\n"
@@ -708,6 +831,15 @@ int usage() {
       "           [--out FILE | --resume FILE] [--json FILE] [--csv-full FILE]\n"
       "           [--decode-stats FILE]\n"
       "  params   [--config FILE] [--set key=value]... [--save FILE] [--markdown]\n"
+      "  serve    --socket PATH [--tcp PORT] [-j N] [--config FILE]\n"
+      "           [--set key=value]... [--protocol-markdown]\n"
+      "  client   (--socket PATH | --tcp PORT) [--id ID] [--out FILE]\n"
+      "           (--ping | --status | --shutdown\n"
+      "            | --sim --trace FILE [--config FILE] [--set key=value]...\n"
+      "              [--priority N] [--skip N] [--warmup N] [--max-records N]\n"
+      "            | --sweep --spec FILE [--config FILE] [--set key=value]...\n"
+      "              [--priority N] [--trace FILE] [--insts N]\n"
+      "              [--format csv|json|csv-full])\n"
       "  schedule --variant NAME --width N\n"
       "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n"
       "--stream is shorthand for --backend stream; every backend produces\n"
@@ -728,6 +860,8 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "params") return cmd_params(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "client") return cmd_client(args);
     if (cmd == "schedule") return cmd_schedule(args);
     if (cmd == "vhdl") return cmd_vhdl(args);
     return usage();
