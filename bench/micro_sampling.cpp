@@ -1,0 +1,296 @@
+// Sampled-simulation accuracy and speedup: full detailed run vs
+// SimPoint-style sampled run (driver/sampling.hpp, docs/SAMPLING.md)
+// over every suite workload, on both paper configurations — the 4-wide
+// perfect-memory core (branch-MPKI carries the signal) and the 2-wide
+// cached core (cache MPKI carries the signal). A final long-trace
+// point is the headline: at ~5% detail coverage the sampled run must
+// be several times faster than the full run while landing within a few
+// percent on IPC.
+//
+// Each point runs `reps` times and keeps the fastest wall-clock for
+// both legs (jitter only ever slows a run down); every rep cross-checks
+// committed/cycle totals and the sampled estimates against the point's
+// first rep — sampling is deterministic, so any drift is a bug (exit 1,
+// identity_ok=false in the JSON).
+//
+// The run is saved as machine-readable BENCH_sampling.json (path
+// override: RESIM_BENCH_JSON env var):
+//   * speedup per point feeds the CI perf gate
+//     (tools/check_bench_regression.py vs bench/baselines/);
+//   * ipc_rel_err per point feeds the CI accuracy gate
+//     (tools/check_sampling_accuracy.py, tolerance pinned there).
+//
+//   ./micro_sampling [reps]   (RESIM_BENCH_INSTS sizes traces)
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/sampling.hpp"
+#include "trace/file_source.hpp"
+#include "trace/writer.hpp"
+
+namespace resim::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Relative error with a guard for zero references: two zeros agree
+/// perfectly, a nonzero estimate against a zero reference is reported
+/// as the estimate itself (dimensionless and large enough to notice).
+double rel_err(double estimate, double reference) {
+  if (reference != 0.0) return std::abs(estimate - reference) / reference;
+  return estimate == 0.0 ? 0.0 : std::abs(estimate);
+}
+
+struct Point {
+  std::string name;
+  double full_secs = 0;     ///< fastest full detailed rep
+  double sampled_secs = 0;  ///< fastest sampled rep
+  double full_ipc = 0;
+  double sampled_ipc = 0;
+  double ipc_rel_err = 0;
+  double mpki_rel_err = 0;
+  double branch_mpki_rel_err = 0;
+  double coverage = 0;  ///< fraction of trace records simulated in detail
+
+  [[nodiscard]] double speedup() const {
+    return sampled_secs == 0 ? 0.0 : full_secs / sampled_secs;
+  }
+};
+
+struct FullRef {
+  core::SimResult r;
+  double ipc = 0;
+  double mpki = 0;
+  double branch_mpki = 0;
+};
+
+FullRef full_reference(const core::SimResult& r) {
+  FullRef f;
+  f.r = r;
+  f.ipc = r.ipc();
+  const double committed = static_cast<double>(r.committed);
+  if (committed != 0) {
+    const double misses = static_cast<double>(r.stats.counters().count("il1.misses") != 0
+                                                  ? r.stats.counters().at("il1.misses").value()
+                                                  : 0) +
+                          static_cast<double>(r.stats.counters().count("dl1.misses") != 0
+                                                  ? r.stats.counters().at("dl1.misses").value()
+                                                  : 0);
+    const double mispred =
+        static_cast<double>(r.stats.counters().count("fetch.mispredicts") != 0
+                                ? r.stats.counters().at("fetch.mispredicts").value()
+                                : 0);
+    f.mpki = 1000.0 * misses / committed;
+    f.branch_mpki = 1000.0 * mispred / committed;
+  }
+  return f;
+}
+
+/// One full-vs-sampled point over an on-disk trace. K/W/U are absolute
+/// record counts. Returns false on a determinism violation.
+bool measure_point(const std::string& name, const core::CoreConfig& cfg,
+                   const std::string& rsim_path, std::uint64_t k, int reps,
+                   std::vector<Point>& points) {
+  bool ok = true;
+  Point p;
+  p.name = name;
+
+  FullRef ref;
+  driver::SampledResult sref;
+  for (int rep = 0; rep < reps; ++rep) {
+    trace::FileTraceSource src(rsim_path);
+    core::ReSimEngine eng(cfg, src);
+    const auto t0 = Clock::now();
+    const auto r = eng.run();
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (rep == 0) {
+      ref = full_reference(r);
+      p.full_secs = secs;
+    } else {
+      if (r.committed != ref.r.committed || r.major_cycles != ref.r.major_cycles) {
+        std::cerr << "DETERMINISM VIOLATION (full) at " << name << " rep " << rep << '\n';
+        ok = false;
+      }
+      if (secs < p.full_secs) p.full_secs = secs;
+    }
+  }
+
+  const std::uint64_t total = trace::FileTraceSource(rsim_path).total_records();
+  const std::uint64_t w = total / (k * 10);          // ~10% detail coverage
+  const std::uint64_t u = w / 4;
+  const auto plan = driver::SamplingPlan::uniform(total, k, w == 0 ? 1 : w, u);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    trace::FileTraceSource src(rsim_path);
+    const auto t0 = Clock::now();
+    const auto s = driver::run_sampled(cfg, src, plan);
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (rep == 0) {
+      sref = s;
+      p.sampled_secs = secs;
+    } else {
+      if (s.result.committed != sref.result.committed ||
+          s.ipc.mean != sref.ipc.mean) {
+        std::cerr << "DETERMINISM VIOLATION (sampled) at " << name << " rep " << rep
+                  << '\n';
+        ok = false;
+      }
+      if (secs < p.sampled_secs) p.sampled_secs = secs;
+    }
+  }
+
+  p.full_ipc = ref.ipc;
+  p.sampled_ipc = sref.ipc.mean;
+  p.ipc_rel_err = rel_err(sref.ipc.mean, ref.ipc);
+  p.mpki_rel_err = rel_err(sref.mpki.mean, ref.mpki);
+  p.branch_mpki_rel_err = rel_err(sref.branch_mpki.mean, ref.branch_mpki);
+  p.coverage = sref.coverage();
+
+  std::cout << std::left << std::setw(24) << p.name << std::right << std::fixed
+            << std::setprecision(4) << std::setw(10) << p.full_ipc << std::setw(10)
+            << p.sampled_ipc << std::setw(10) << p.ipc_rel_err << std::setw(10)
+            << p.coverage << std::setprecision(2) << std::setw(10) << p.speedup()
+            << '\n';
+  points.push_back(p);
+  return ok;
+}
+
+std::string temp_rsim(const std::string& tag) {
+  return std::filesystem::temp_directory_path() /
+         ("sampling_bench_" + std::to_string(getpid()) + "_" + tag + ".rsim");
+}
+
+void generate_to(const std::string& bench, std::uint64_t insts,
+                 const core::CoreConfig& cfg, const std::string& path) {
+  trace::TraceGenConfig g;
+  g.max_insts = insts;
+  g.bp = cfg.bp;
+  g.wrong_path_block = cfg.wrong_path_block();
+  trace::TraceGenerator gen(workload::make_workload(bench), g);
+  trace::save_trace(gen.generate(), path);
+}
+
+int run(int reps) {
+  const std::uint64_t insts = inst_budget();
+  bool identity_ok = true;
+
+  bench::print_header("sampled vs full simulation: " + std::to_string(insts) +
+                      " insts per workload, best of " + std::to_string(reps) + " reps");
+  std::cout << std::left << std::setw(24) << "point" << std::right << std::setw(10)
+            << "full IPC" << std::setw(10) << "samp IPC" << std::setw(10) << "rel err"
+            << std::setw(10) << "coverage" << std::setw(10) << "speedup" << '\n';
+  bench::print_rule(74);
+
+  std::vector<Point> points;
+  const struct {
+    const char* tag;
+    core::CoreConfig cfg;
+  } configs[] = {
+      {"perfect", core::CoreConfig::paper_4wide_perfect()},
+      {"cache", core::CoreConfig::paper_2wide_cache()},
+  };
+
+  for (const auto& name : workload::suite_names()) {
+    for (const auto& [tag, cfg] : configs) {
+      const std::string path = temp_rsim(name + "_" + tag);
+      generate_to(name, insts, cfg, path);
+      if (!measure_point(name + "/" + tag, cfg, path, /*k=*/10, reps, points)) {
+        identity_ok = false;
+      }
+      std::filesystem::remove(path);
+    }
+  }
+
+  // Headline: a long trace at ~5% coverage, where chunk-skipping the
+  // gaps unread dominates and the wall-clock win is largest.
+  {
+    const auto cfg = core::CoreConfig::paper_4wide_perfect();
+    const std::uint64_t long_insts = insts * 5;
+    const std::string path = temp_rsim("long");
+    generate_to("gzip", long_insts, cfg, path);
+    const std::uint64_t total = trace::FileTraceSource(path).total_records();
+    Point p;
+    p.name = "gzip/long";
+    FullRef ref;
+    driver::SampledResult sref;
+    for (int rep = 0; rep < reps; ++rep) {
+      trace::FileTraceSource src(path);
+      core::ReSimEngine eng(cfg, src);
+      const auto t0 = Clock::now();
+      ref = full_reference(eng.run());
+      const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (rep == 0 || secs < p.full_secs) p.full_secs = secs;
+    }
+    const auto plan =
+        driver::SamplingPlan::uniform(total, /*k=*/20, total / 400, total / 1600);
+    for (int rep = 0; rep < reps; ++rep) {
+      trace::FileTraceSource src(path);
+      const auto t0 = Clock::now();
+      sref = driver::run_sampled(cfg, src, plan);
+      const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (rep == 0 || secs < p.sampled_secs) p.sampled_secs = secs;
+    }
+    p.full_ipc = ref.ipc;
+    p.sampled_ipc = sref.ipc.mean;
+    p.ipc_rel_err = rel_err(sref.ipc.mean, ref.ipc);
+    p.mpki_rel_err = rel_err(sref.mpki.mean, ref.mpki);
+    p.branch_mpki_rel_err = rel_err(sref.branch_mpki.mean, ref.branch_mpki);
+    p.coverage = sref.coverage();
+    std::cout << std::left << std::setw(24) << p.name << std::right << std::fixed
+              << std::setprecision(4) << std::setw(10) << p.full_ipc << std::setw(10)
+              << p.sampled_ipc << std::setw(10) << p.ipc_rel_err << std::setw(10)
+              << p.coverage << std::setprecision(2) << std::setw(10) << p.speedup()
+              << '\n';
+    points.push_back(p);
+    std::filesystem::remove(path);
+  }
+
+  const char* json_env = std::getenv("RESIM_BENCH_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_sampling.json";
+  std::ofstream jf(json_path);
+  if (!jf) {
+    std::cerr << "warning: cannot write " << json_path << '\n';
+  } else {
+    jf << std::fixed << std::setprecision(6);
+    jf << "{\n"
+       << "  \"bench\": \"micro_sampling\",\n"
+       << "  \"insts_per_workload\": " << insts << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"identity_ok\": " << (identity_ok ? "true" : "false") << ",\n"
+       << "  \"sampling_points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      jf << "    {\"name\": \"" << p.name << "\", \"full_ipc\": " << p.full_ipc
+         << ", \"sampled_ipc\": " << p.sampled_ipc
+         << ", \"ipc_rel_err\": " << p.ipc_rel_err
+         << ", \"mpki_rel_err\": " << p.mpki_rel_err
+         << ", \"branch_mpki_rel_err\": " << p.branch_mpki_rel_err
+         << ", \"coverage\": " << p.coverage << ", \"speedup\": " << p.speedup() << "}"
+         << (i + 1 < points.size() ? ",\n" : "\n");
+    }
+    jf << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << " (" << points.size() << " points)\n";
+  }
+
+  return identity_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace resim::bench
+
+int main(int argc, char** argv) {
+  int reps = 3;
+  if (argc > 1) {
+    const long v = std::strtol(argv[1], nullptr, 10);
+    if (v >= 1 && v <= 100) reps = static_cast<int>(v);
+  }
+  return resim::bench::run(reps);
+}

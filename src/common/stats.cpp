@@ -2,6 +2,7 @@
 
 #include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 namespace resim {
 
@@ -53,6 +54,49 @@ void StatsRegistry::merge(const StatsRegistry& other) {
 void StatsRegistry::reset() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, o] : occupancies_) o.reset();
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  StatsSnapshot s;
+  for (const auto& [name, c] : counters_) {
+    if (c.touched()) s.counters.emplace(name, c.value());
+  }
+  for (const auto& [name, o] : occupancies_) {
+    if (o.touched()) {
+      s.occupancies.emplace(name, StatsSnapshot::Occ{o.sum(), o.samples(), o.max()});
+    }
+  }
+  return s;
+}
+
+StatsSnapshot StatsRegistry::delta(const StatsSnapshot& newer, const StatsSnapshot& older) {
+  StatsSnapshot d;
+  for (const auto& [name, v] : newer.counters) {
+    const std::uint64_t base = older.value(name);
+    if (v < base) {
+      std::string msg = "StatsRegistry::delta: counter '";
+      msg += name;
+      msg += "' decreased between snapshots";
+      throw std::logic_error(msg);
+    }
+    d.counters.emplace(name, v - base);
+  }
+  for (const auto& [name, o] : newer.occupancies) {
+    StatsSnapshot::Occ base{};
+    if (auto it = older.occupancies.find(name); it != older.occupancies.end()) {
+      base = it->second;
+    }
+    if (o.sum < base.sum || o.samples < base.samples) {
+      std::string msg = "StatsRegistry::delta: occupancy '";
+      msg += name;
+      msg += "' decreased between snapshots";
+      throw std::logic_error(msg);
+    }
+    // max is the newer running max: an upper bound for the region, since
+    // a running max cannot be subtracted (documented on StatsSnapshot).
+    d.occupancies.emplace(name, StatsSnapshot::Occ{o.sum - base.sum, o.samples - base.samples, o.max});
+  }
+  return d;
 }
 
 std::string StatsRegistry::report() const {

@@ -82,6 +82,34 @@ class Occupancy {
   bool touched_ = false;
 };
 
+/// A cheap, value-typed capture of a registry's touched stats at one
+/// instant. Snapshots exist so interval recorders and sampled runs can
+/// compute per-region deltas without string lookups in the cycle loop:
+/// the engine snapshots at region boundaries (cold path), and
+/// StatsRegistry::delta() subtracts two snapshots into a region-local
+/// view. Untouched (resolved-but-silent) stats are excluded, mirroring
+/// the report()/merge() visibility contract.
+struct StatsSnapshot {
+  struct Occ {
+    std::uint64_t sum = 0;
+    std::uint64_t samples = 0;
+    /// Running max at snapshot time. A max cannot be "un-merged", so in
+    /// a delta this carries the NEWER snapshot's max (upper bound for
+    /// the region), not a region-exact max.
+    std::uint64_t max = 0;
+  };
+
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, Occ, std::less<>> occupancies;
+
+  /// Counter value by name; 0 if absent (same contract as
+  /// StatsRegistry::value on an untouched name).
+  [[nodiscard]] std::uint64_t value(std::string_view name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
 /// Named registry. Counters and occupancy trackers are created on first
 /// use; names are hierarchical by convention ("fetch.insn", "bpred.dir_hits").
 /// References returned by counter()/occupancy() are stable handles: the
@@ -105,6 +133,19 @@ class StatsRegistry {
   void merge(const StatsRegistry& other);
 
   void reset();
+
+  /// Capture every touched stat's current value. O(stats) map copies —
+  /// cold-path only (region boundaries), never per cycle.
+  [[nodiscard]] StatsSnapshot snapshot() const;
+
+  /// Region delta between two snapshots of the SAME monotonically
+  /// advancing registry: counters subtract (a name absent from `older`
+  /// counts as 0), occupancy sums/samples subtract, occupancy max is
+  /// `newer`'s running max (see StatsSnapshot::Occ). Throws
+  /// std::logic_error naming the stat if any value decreased — that
+  /// means the snapshots are from different registries or out of order.
+  [[nodiscard]] static StatsSnapshot delta(const StatsSnapshot& newer,
+                                           const StatsSnapshot& older);
 
   /// sim-outorder style text report, one "name  value" line per touched
   /// stat, sorted by name.

@@ -225,6 +225,19 @@ ParamRegistry::ParamRegistry() {
   uint_p("serve.idle_timeout_s", 0, 1u << 20, false,
          RESIM_ACC(serve_idle_timeout_s, unsigned),
          "serve daemon: idle seconds before self-shutdown (0 = never)");
+
+  // --- sample.* (interval stats + sampled execution, docs/SAMPLING.md) -----
+  uint_p("sample.interval_insts", 0, kNoMax, false,
+         RESIM_ACC(sample.interval_insts, std::uint64_t),
+         "record a time-series stats row every N committed insts (0 = off)");
+  uint_p("sample.windows", 0, kNoMax, false, RESIM_ACC(sample.windows, std::uint64_t),
+         "sampled execution: number of detailed windows K (0 = full run)", "sw");
+  uint_p("sample.window_insts", 1, kNoMax, false,
+         RESIM_ACC(sample.window_insts, std::uint64_t),
+         "sampled execution: records per detailed window W");
+  uint_p("sample.warmup_insts", 0, kNoMax, false,
+         RESIM_ACC(sample.warmup_insts, std::uint64_t),
+         "sampled execution: functional-warmup records before each window");
 }
 
 #undef RESIM_ACC

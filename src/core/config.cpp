@@ -12,6 +12,7 @@ void CoreConfig::validate() const {
   fu.validate();
   bp.validate();
   mem.validate();
+  sample.validate();
   if (variant == PipelineVariant::kOptimized) {
     // Paper §IV.B: the N+3 pipeline is valid "with the restriction that
     // the simulated processor has up to N-1 memory ports".

@@ -44,6 +44,32 @@ struct FuPoolConfig {
 /// produces bit-identical simulation results.
 enum class TraceBackend : std::uint8_t { kMemory, kStream, kMmap };
 
+/// Interval stats + sampled (SimPoint-style) execution knobs
+/// (docs/SAMPLING.md). All default to "off": with the defaults every
+/// run is the usual full detailed simulation, byte-identical to a build
+/// without this struct. Host-side accuracy/latency trade: sampling
+/// changes which regions are simulated in detail, so reported stats are
+/// estimates of the full run, never a different machine.
+struct SampleConfig {
+  /// Record a time-series stats row every N committed instructions
+  /// (0 = off). Orthogonal to sampling; works in full runs too.
+  std::uint64_t interval_insts = 0;
+
+  /// Number K of detailed sample windows (0 = sampling off: full run).
+  std::uint64_t windows = 0;
+
+  /// Records per detailed window (W).
+  std::uint64_t window_insts = 100'000;
+
+  /// Functional-warmup records replayed into the branch predictor and
+  /// caches immediately before each detailed window.
+  std::uint64_t warmup_insts = 10'000;
+
+  void validate() const {
+    require(window_insts >= 1, "SampleConfig: window_insts >= 1");
+  }
+};
+
 struct CoreConfig {
   unsigned width = 4;       ///< N: fetch/dispatch/issue/writeback/commit width
   unsigned ifq_size = 8;    ///< instruction fetch queue entries
@@ -88,6 +114,10 @@ struct CoreConfig {
   /// own. 0 keeps it alive until a shutdown request or signal.
   /// Host-side only.
   unsigned serve_idle_timeout_s = 0;
+
+  /// Interval stats + sampled execution (defaults: both off — full
+  /// detailed runs, outputs unchanged). See SampleConfig above.
+  SampleConfig sample{};
 
   /// Conservative wrong-path window (ROB + IFQ, paper §V.A).
   [[nodiscard]] unsigned wrong_path_block() const { return rob_size + ifq_size; }

@@ -39,6 +39,8 @@
 
 namespace resim::core {
 
+class IntervalRecorder;  // core/interval.hpp
+
 // --- per-stage statistics structs ------------------------------------------
 // Each stage resolves its counters ONCE at engine construction (the
 // constructors live in the stage's own translation unit, next to the code
@@ -180,6 +182,35 @@ class ReSimEngine {
 
   [[nodiscard]] SimResult result() const;
 
+  // --- sampling / interval-stats plane (core/sampling.cpp) ----------------
+
+  /// Full-view snapshot of the engine's statistics: core stats merged
+  /// with predictor and cache stats, exactly the registry result()
+  /// reports. Cold path (region/interval boundaries only).
+  [[nodiscard]] StatsSnapshot stats_snapshot() const;
+
+  /// Attach (or detach with nullptr) an interval recorder. While
+  /// attached, every rec->interval_insts() committed instructions the
+  /// engine closes an interval with a stats snapshot. The steady-state
+  /// cost in the cycle loop is one integer compare; with no recorder the
+  /// threshold is an unreachable sentinel.
+  void attach_interval_recorder(IntervalRecorder* rec);
+
+  /// Close the trailing partial interval (no-op if empty or detached).
+  /// Call after the run drains; run()/result() do not do this implicitly
+  /// because result() is const and repeatable.
+  void flush_intervals();
+
+  /// Functional warmup (docs/SAMPLING.md): consume up to `max_records`
+  /// records from the source, updating the branch predictor and caches
+  /// architecturally — no pipeline occupancy, no cycle accounting, no
+  /// timing stats. Wrong-path (tagged) records are discarded untouched,
+  /// exactly like the detailed squash path discards them. Requires an
+  /// empty pipeline (throws std::logic_error otherwise). Returns the
+  /// number of records consumed; leaves fetch_pc_ at the next record's
+  /// implicit PC so a detailed window can start seamlessly.
+  std::uint64_t functional_warmup(std::uint64_t max_records);
+
  private:
   // Stage implementations (one translation unit each).
   void stage_commit();
@@ -265,6 +296,14 @@ class ReSimEngine {
   // Per-cycle port usage.
   unsigned read_ports_used_ = 0;
   unsigned write_ports_used_ = 0;
+
+  // Interval-stats plane (core/sampling.cpp). interval_next_ is the
+  // committed-inst threshold for the next boundary; ~0 (the sentinel
+  // when no recorder is attached) keeps the cycle loop's check to one
+  // never-taken compare.
+  void record_interval_boundary();
+  IntervalRecorder* intervals_ = nullptr;
+  std::uint64_t interval_next_ = ~std::uint64_t{0};
 };
 
 }  // namespace resim::core

@@ -1,0 +1,30 @@
+#include "core/interval.hpp"
+
+#include <utility>
+
+namespace resim::core {
+
+void IntervalRecorder::boundary(const StatsSnapshot& cumulative, std::uint64_t committed,
+                                std::uint64_t cycles) {
+  if (committed == last_committed_) return;  // empty interval: nothing to close
+
+  const StatsSnapshot d = StatsRegistry::delta(cumulative, last_);
+
+  IntervalRow row;
+  row.index = rows_.size();
+  row.end_inst = committed;
+  row.end_cycle = cycles;
+  row.committed = committed - last_committed_;
+  row.cycles = cycles - last_cycles_;
+  row.branches = d.value("commit.branches");
+  row.mispredicts = d.value("fetch.mispredicts");
+  row.il1_misses = d.value("il1.misses");
+  row.dl1_misses = d.value("dl1.misses");
+  rows_.push_back(row);
+
+  last_ = cumulative;
+  last_committed_ = committed;
+  last_cycles_ = cycles;
+}
+
+}  // namespace resim::core

@@ -1,0 +1,82 @@
+// Interval statistics: a time series of per-interval IPC/MPKI rows
+// (docs/SAMPLING.md §"Interval stats").
+//
+// The engine snapshots its cumulative stats every `interval_insts`
+// committed instructions (a cold-path boundary event — the cycle loop
+// itself only compares committed_ against a precomputed threshold) and
+// hands the snapshot here. IntervalRecorder subtracts consecutive
+// snapshots with StatsRegistry::delta() and keeps one compact row per
+// interval; exporters render the rows as columnar CSV/JSON
+// (driver/result_export.hpp).
+#ifndef RESIM_CORE_INTERVAL_H
+#define RESIM_CORE_INTERVAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace resim::core {
+
+/// One interval of the time series. All event counts are interval-local
+/// (deltas); `end_inst`/`end_cycle` are cumulative positions so plots
+/// have an x-axis without re-summing.
+struct IntervalRow {
+  std::uint64_t index = 0;       ///< 0-based interval number
+  std::uint64_t end_inst = 0;    ///< cumulative committed insts at the boundary
+  std::uint64_t end_cycle = 0;   ///< cumulative major cycles at the boundary
+  std::uint64_t committed = 0;   ///< insts committed in this interval
+  std::uint64_t cycles = 0;      ///< major cycles elapsed in this interval
+  std::uint64_t branches = 0;    ///< committed branches in this interval
+  std::uint64_t mispredicts = 0; ///< resolved mispredicts in this interval
+  std::uint64_t il1_misses = 0;  ///< L1-I misses in this interval (0 when perfect)
+  std::uint64_t dl1_misses = 0;  ///< L1-D misses in this interval (0 when perfect)
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(committed) / static_cast<double>(cycles);
+  }
+  /// Combined L1 misses per kilo-instruction (committed).
+  [[nodiscard]] double mpki() const {
+    return committed == 0 ? 0.0
+                          : 1000.0 * static_cast<double>(il1_misses + dl1_misses) /
+                                static_cast<double>(committed);
+  }
+  /// Branch mispredicts per kilo-instruction (committed).
+  [[nodiscard]] double branch_mpki() const {
+    return committed == 0
+               ? 0.0
+               : 1000.0 * static_cast<double>(mispredicts) / static_cast<double>(committed);
+  }
+};
+
+/// Accumulates the interval time series for one engine run. Attached to
+/// a ReSimEngine via attach_interval_recorder(); the engine calls
+/// boundary() every `interval_insts` committed instructions and once
+/// more at the end of the run (flush_intervals — the trailing partial
+/// interval).
+class IntervalRecorder {
+ public:
+  explicit IntervalRecorder(std::uint64_t interval_insts) : interval_insts_(interval_insts) {}
+
+  [[nodiscard]] std::uint64_t interval_insts() const { return interval_insts_; }
+
+  /// Close the current interval at a boundary. `cumulative` is the
+  /// engine's full stats snapshot (core + predictor + caches merged);
+  /// `committed`/`cycles` are the engine's cumulative counts. A call
+  /// with no new committed instructions is a no-op, so flushing twice
+  /// (or flushing exactly on a boundary) never emits an empty row.
+  void boundary(const StatsSnapshot& cumulative, std::uint64_t committed, std::uint64_t cycles);
+
+  [[nodiscard]] const std::vector<IntervalRow>& rows() const { return rows_; }
+
+ private:
+  std::uint64_t interval_insts_;
+  StatsSnapshot last_{};
+  std::uint64_t last_committed_ = 0;
+  std::uint64_t last_cycles_ = 0;
+  std::vector<IntervalRow> rows_;
+};
+
+}  // namespace resim::core
+
+#endif  // RESIM_CORE_INTERVAL_H

@@ -18,6 +18,7 @@
 
 #include "config/names.hpp"
 #include "config/param_registry.hpp"
+#include "driver/sampling.hpp"
 #include "trace/batch_cache.hpp"
 #include "trace/file_source.hpp"
 #include "trace/mmap_source.hpp"
@@ -198,14 +199,14 @@ JobResult run_one_with_share(const SimJob& job, GroupShare& g) {
   out.config = job.config;
   if (g.trace) {
     trace::VectorTraceSource src(*g.trace);
-    out.result = core::ReSimEngine(job.config, src).run();
+    out.result = run_engine(job.config, src);
   } else if (g.cache) {
     trace::BatchTraceSource src(g.cache);
-    out.result = core::ReSimEngine(job.config, src).run();
+    out.result = run_engine(job.config, src);
   } else {
     const std::unique_ptr<trace::TraceSource> src =
         open_backend(g.src_path, job.config.trace_backend);
-    out.result = core::ReSimEngine(job.config, *src).run();
+    out.result = run_engine(job.config, *src);
   }
   return out;
 }
@@ -331,34 +332,34 @@ JobResult BatchRunner::run_one(const SimJob& job) {
   if (job.source) {
     const std::unique_ptr<trace::TraceSource> src = job.source();
     if (!src) throw std::runtime_error("SimJob: source factory returned null");
-    out.result = core::ReSimEngine(job.config, *src).run();
+    out.result = run_engine(job.config, *src);
   } else if (!job.trace_path.empty()) {
     if (backend == core::TraceBackend::kMemory) {
       const trace::Trace t = trace::load_trace(job.trace_path);
       trace::VectorTraceSource src(t);
-      out.result = core::ReSimEngine(job.config, src).run();
+      out.result = run_engine(job.config, src);
     } else {
       const std::unique_ptr<trace::TraceSource> src =
           open_backend(job.trace_path, backend);
-      out.result = core::ReSimEngine(job.config, *src).run();
+      out.result = run_engine(job.config, *src);
     }
   } else if (job.trace) {
     if (backend == core::TraceBackend::kMemory) {
       trace::VectorTraceSource src(*job.trace);
-      out.result = core::ReSimEngine(job.config, src).run();
+      out.result = run_engine(job.config, src);
     } else {
       const std::unique_ptr<trace::TraceSource> src = roundtrip_source(*job.trace, backend);
-      out.result = core::ReSimEngine(job.config, *src).run();
+      out.result = run_engine(job.config, *src);
     }
   } else {
     const trace::Trace t =
         trace::TraceGenerator(workload::make_workload(job.workload), job.gen).generate();
     if (backend == core::TraceBackend::kMemory) {
       trace::VectorTraceSource src(t);
-      out.result = core::ReSimEngine(job.config, src).run();
+      out.result = run_engine(job.config, src);
     } else {
       const std::unique_ptr<trace::TraceSource> src = roundtrip_source(t, backend);
-      out.result = core::ReSimEngine(job.config, *src).run();
+      out.result = run_engine(job.config, *src);
     }
   }
   return out;

@@ -158,4 +158,45 @@ void write_config_csv(std::ostream& os, const std::vector<JobResult>& results) {
   for (const auto& r : results) os << config_csv_row(r) << '\n';
 }
 
+void write_intervals_csv(std::ostream& os, const std::vector<core::IntervalRow>& rows) {
+  os << "interval,end_inst,end_cycle,committed,cycles,branches,mispredicts,"
+        "il1_misses,dl1_misses,ipc,mpki,branch_mpki\n";
+  for (const auto& r : rows) {
+    os << r.index << ',' << r.end_inst << ',' << r.end_cycle << ',' << r.committed << ','
+       << r.cycles << ',' << r.branches << ',' << r.mispredicts << ',' << r.il1_misses
+       << ',' << r.dl1_misses << ',' << fixed6(r.ipc()) << ',' << fixed6(r.mpki()) << ','
+       << fixed6(r.branch_mpki()) << '\n';
+  }
+}
+
+void write_intervals_json(std::ostream& os, const std::vector<core::IntervalRow>& rows,
+                          std::uint64_t interval_insts) {
+  // Columnar: one array per metric, index-aligned — the layout plotting
+  // tools consume directly, and far smaller than row objects.
+  const auto column = [&os, &rows](const char* name, auto getter, bool last = false) {
+    os << "  \"" << name << "\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << getter(rows[i]);
+    }
+    os << (last ? "]\n" : "],\n");
+  };
+  os << "{\n";
+  os << "  \"interval_insts\": " << interval_insts << ",\n";
+  os << "  \"intervals\": " << rows.size() << ",\n";
+  column("end_inst", [](const core::IntervalRow& r) { return r.end_inst; });
+  column("end_cycle", [](const core::IntervalRow& r) { return r.end_cycle; });
+  column("committed", [](const core::IntervalRow& r) { return r.committed; });
+  column("cycles", [](const core::IntervalRow& r) { return r.cycles; });
+  column("branches", [](const core::IntervalRow& r) { return r.branches; });
+  column("mispredicts", [](const core::IntervalRow& r) { return r.mispredicts; });
+  column("il1_misses", [](const core::IntervalRow& r) { return r.il1_misses; });
+  column("dl1_misses", [](const core::IntervalRow& r) { return r.dl1_misses; });
+  column("ipc", [](const core::IntervalRow& r) { return fixed6(r.ipc()); });
+  column("mpki", [](const core::IntervalRow& r) { return fixed6(r.mpki()); });
+  column("branch_mpki", [](const core::IntervalRow& r) { return fixed6(r.branch_mpki()); },
+         true);
+  os << "}\n";
+}
+
 }  // namespace resim::driver

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/interval.hpp"
 #include "driver/batch_runner.hpp"
 
 namespace resim::driver {
@@ -42,6 +43,16 @@ void write_json(std::ostream& os, const std::vector<JobResult>& results);
 [[nodiscard]] std::string config_csv_header();
 [[nodiscard]] std::string config_csv_row(const JobResult& r);
 void write_config_csv(std::ostream& os, const std::vector<JobResult>& results);
+
+/// Interval time series (core/interval.hpp) as CSV: one row per
+/// interval, fixed header, derived rates fixed-6 formatted.
+void write_intervals_csv(std::ostream& os, const std::vector<core::IntervalRow>& rows);
+
+/// Interval time series as columnar JSON: one array per column (the
+/// layout plotting tools want), plus the interval length for the
+/// x-axis.
+void write_intervals_json(std::ostream& os, const std::vector<core::IntervalRow>& rows,
+                          std::uint64_t interval_insts);
 
 }  // namespace resim::driver
 

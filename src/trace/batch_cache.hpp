@@ -190,7 +190,9 @@ class BatchTraceSource final : public TraceSource {
   // --- container metadata --------------------------------------------------
   [[nodiscard]] const std::string& trace_name() const { return cache_->header().name; }
   [[nodiscard]] Addr start_pc() const { return cache_->header().start_pc; }
-  [[nodiscard]] std::uint64_t total_records() const { return cache_->header().record_count; }
+  [[nodiscard]] std::uint64_t total_records() const override {
+    return cache_->header().record_count;
+  }
   [[nodiscard]] std::uint32_t container_version() const { return cache_->header().version; }
 
   /// Chunks seeked past (never acquired) by skip().

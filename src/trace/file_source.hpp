@@ -53,7 +53,7 @@ class FileTraceSource final : public TraceSource {
   // --- container metadata (available without decoding any record) ---------
   [[nodiscard]] const std::string& trace_name() const { return hdr_.name; }
   [[nodiscard]] Addr start_pc() const { return hdr_.start_pc; }
-  [[nodiscard]] std::uint64_t total_records() const { return hdr_.record_count; }
+  [[nodiscard]] std::uint64_t total_records() const override { return hdr_.record_count; }
   [[nodiscard]] std::uint32_t container_version() const { return hdr_.version; }
 
   /// High-water mark of decoded records resident at once; tests pin this

@@ -55,7 +55,7 @@ class MmapTraceSource final : public TraceSource {
   // --- container metadata (available without decoding any record) ---------
   [[nodiscard]] const std::string& trace_name() const { return hdr_.name; }
   [[nodiscard]] Addr start_pc() const { return hdr_.start_pc; }
-  [[nodiscard]] std::uint64_t total_records() const { return hdr_.record_count; }
+  [[nodiscard]] std::uint64_t total_records() const override { return hdr_.record_count; }
   [[nodiscard]] std::uint32_t container_version() const { return hdr_.version; }
 
   /// Chunks seeked past (never decoded or decompressed) by skip().

@@ -65,6 +65,12 @@ class TraceSource {
 
   /// Records consumed so far.
   [[nodiscard]] virtual std::uint64_t records_consumed() const = 0;
+
+  /// Total records in the underlying stream when known up front (the
+  /// container header's record_count; a whole in-memory trace). 0 means
+  /// unknown (e.g. a live generator) — planners that need the length
+  /// (driver/sampling.hpp uniform plans) must reject such sources.
+  [[nodiscard]] virtual std::uint64_t total_records() const { return 0; }
 };
 
 /// In-memory source over a Trace (does not own it).
@@ -82,8 +88,21 @@ class VectorTraceSource final : public TraceSource {
     return r;
   }
 
+  /// Index-bump seek: same records/bits accounting as n next() calls
+  /// (records are already decoded in memory, so nothing is re-decoded).
+  std::uint64_t skip(std::uint64_t n) override {
+    std::uint64_t done = 0;
+    while (done < n && pos_ < trace_.records.size()) {
+      bits_ += encoded_bits(trace_.records[pos_]);
+      ++pos_;
+      ++done;
+    }
+    return done;
+  }
+
   [[nodiscard]] std::uint64_t bits_consumed() const override { return bits_; }
   [[nodiscard]] std::uint64_t records_consumed() const override { return pos_; }
+  [[nodiscard]] std::uint64_t total_records() const override { return trace_.records.size(); }
 
   void rewind() {
     pos_ = 0;

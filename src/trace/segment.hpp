@@ -1,0 +1,119 @@
+// SegmentedTraceSource: multi-window adaptor over any TraceSource
+// (docs/SAMPLING.md).
+//
+// TraceWindow carves ONE region out of a trace; a sampled run needs
+// MANY: gap → warmup → detailed window → gap → ... over a single pass
+// of the inner source. This adaptor hands the consumer (one long-lived
+// engine) a bounded allowance at a time:
+//
+//   open_segment(n)   grant n more records; peek()/next()/views flow
+//                     until the allowance is used up (then EOF)
+//   close_segment()   revoke the unused remainder (hard segment end)
+//   skip_gap(n)       fast-forward the inner source between segments
+//                     (chunk-seeking skip(); nothing is decoded or
+//                     counted here)
+//
+// bits_consumed()/records_consumed() count only records handed through
+// segments — gap records never appear in the consumer's totals, exactly
+// like TraceWindow's skip region. inner_position() reports the absolute
+// record cursor of the inner source (its records_consumed(), which by
+// the TraceSource contract includes skipped records), which is what the
+// sampling planner uses to aim skip_gap() at absolute window starts.
+#ifndef RESIM_TRACE_SEGMENT_H
+#define RESIM_TRACE_SEGMENT_H
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "trace/reader.hpp"
+
+namespace resim::trace {
+
+class SegmentedTraceSource final : public TraceSource {
+ public:
+  /// Does not own `inner`. Starts with an empty allowance (EOF until the
+  /// first open_segment()).
+  explicit SegmentedTraceSource(TraceSource& inner) : inner_(inner) {}
+
+  [[nodiscard]] const TraceRecord* peek() override {
+    if (remaining_ == 0) return nullptr;
+    return inner_.peek();
+  }
+
+  TraceRecord next() override {
+    if (remaining_ == 0) {
+      throw std::out_of_range("SegmentedTraceSource::next: past end of segment");
+    }
+    const TraceRecord r = inner_.next();
+    --remaining_;
+    ++consumed_;
+    bits_ += encoded_bits(r);
+    return r;
+  }
+
+  /// Forwards the inner columnar fast path, truncated at the segment
+  /// allowance so a view can never leak records past the segment.
+  [[nodiscard]] BatchView fetch_view() override {
+    if (remaining_ == 0) return {};
+    BatchView v = inner_.fetch_view();
+    if (v.count > remaining_) v.count = static_cast<std::size_t>(remaining_);
+    last_view_ = v;
+    return v;
+  }
+
+  void consume_view(std::size_t n) override {
+    if (n == 0) return;
+    if (last_view_.batch == nullptr || n > last_view_.count) {
+      throw std::logic_error("SegmentedTraceSource::consume_view: more than the view holds");
+    }
+    bits_ += last_view_.batch->bits_in(last_view_.first, n);
+    remaining_ -= n;
+    consumed_ += n;
+    last_view_ = {};
+    inner_.consume_view(n);
+  }
+
+  [[nodiscard]] std::uint64_t bits_consumed() const override { return bits_; }
+  [[nodiscard]] std::uint64_t records_consumed() const override { return consumed_; }
+  [[nodiscard]] std::uint64_t total_records() const override { return inner_.total_records(); }
+
+  // --- segment control (the sampled runner, driver/sampling.cpp) ----------
+
+  /// Grant `n` more records to the consumer.
+  void open_segment(std::uint64_t n) { remaining_ += n; }
+
+  /// Revoke the unused allowance; returns how many records were revoked.
+  std::uint64_t close_segment() {
+    const std::uint64_t unused = remaining_;
+    remaining_ = 0;
+    last_view_ = {};
+    return unused;
+  }
+
+  /// Fast-forward the inner source between segments. Requires a closed
+  /// segment (allowance 0) — skipping through an open segment would
+  /// silently desynchronize the consumer. Returns records skipped
+  /// (fewer than `n` only at end of stream).
+  std::uint64_t skip_gap(std::uint64_t n) {
+    if (remaining_ != 0) {
+      throw std::logic_error("SegmentedTraceSource::skip_gap: segment still open");
+    }
+    return inner_.skip(n);
+  }
+
+  /// Absolute record cursor of the inner source (includes gap records).
+  [[nodiscard]] std::uint64_t inner_position() const { return inner_.records_consumed(); }
+
+  [[nodiscard]] std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  TraceSource& inner_;
+  std::uint64_t remaining_ = 0;  ///< current segment allowance
+  std::uint64_t consumed_ = 0;   ///< records handed through segments
+  std::uint64_t bits_ = 0;
+  BatchView last_view_{};  ///< view handed out, for consume_view accounting
+};
+
+}  // namespace resim::trace
+
+#endif  // RESIM_TRACE_SEGMENT_H

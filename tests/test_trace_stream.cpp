@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "core/engine.hpp"
 #include "driver/batch_runner.hpp"
+#include "trace/batch_cache.hpp"
 #include "trace/file_source.hpp"
 #include "trace/mmap_source.hpp"
 #include "trace/tracegen.hpp"
@@ -347,6 +348,101 @@ TEST(TraceWindow, ChunkSkipSeekKeepsSimResultBitIdentical) {
   EXPECT_EQ(fbase.chunks_skipped(), 4u);
   EXPECT_EQ(fbase.max_buffered_records(), 300u);  // only the tail chunk
   EXPECT_LT(fbase.max_buffered_records(), 512u);  // < decode-everything
+  std::remove(path.c_str());
+}
+
+// ---- TraceWindow over BatchTraceSource ------------------------------------
+//
+// Sampling plans put window starts at arbitrary record indices, so the
+// multi-window path routinely skips to the middle of a chunk and warms
+// up across a chunk boundary. The shared-cache cursor must stay
+// record-exact through both.
+
+TEST(TraceWindow, BatchSourceSkipLandsMidChunk) {
+  const auto cfg = core::CoreConfig::paper_4wide_perfect();
+  Trace t;
+  {
+    TraceGenConfig g;
+    g.max_insts = 4000;
+    g.bp = cfg.bp;
+    g.wrong_path_block = cfg.wrong_path_block();
+    t = TraceGenerator(workload::make_workload("vortex"), g).generate();
+  }
+  ASSERT_GE(t.records.size(), 2348u);
+  t.records.resize(2348);  // 4 full 512-record chunks + 300 tail
+  const std::string path = temp_path("window_batch_mid.rsim");
+  save_trace(t, path, /*chunk_records=*/512);
+
+  // 1610 lands inside chunk 3 (records 1536-2047): the cursor must
+  // decode that chunk and expose exactly its suffix.
+  VectorTraceSource vbase(t);
+  TraceWindow vwin(vbase, /*skip=*/1610, /*warmup=*/0, TraceWindow::kAll);
+  const auto rv = core::ReSimEngine(cfg, vwin).run();
+
+  BatchTraceSource bbase(std::make_shared<SharedBatchCache>(path));
+  TraceWindow bwin(bbase, /*skip=*/1610, /*warmup=*/0, TraceWindow::kAll);
+  const auto rb = core::ReSimEngine(cfg, bwin).run();
+
+  EXPECT_EQ(rb.committed, rv.committed);
+  EXPECT_EQ(rb.fetched, rv.fetched);
+  EXPECT_EQ(rb.wrong_path_fetched, rv.wrong_path_fetched);
+  EXPECT_EQ(rb.squashed, rv.squashed);
+  EXPECT_EQ(rb.major_cycles, rv.major_cycles);
+  EXPECT_EQ(rb.minor_cycles, rv.minor_cycles);
+  EXPECT_EQ(rb.trace_records, rv.trace_records);
+  EXPECT_EQ(rb.trace_bits, rv.trace_bits);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWindow, BatchSourceWarmupCrossesChunkBoundary) {
+  const Trace t = chunked_trace("vpr");
+  const std::string path = temp_path("window_batch_warm.rsim");
+  save_trace(t, path, /*chunk_records=*/512);
+
+  // skip=400, warmup=224: the warm-up region spans records 400-623,
+  // crossing the chunk 0 / chunk 1 boundary at 512. The simulate bound
+  // then ends mid-chunk 1 at record 923.
+  BatchTraceSource base(std::make_shared<SharedBatchCache>(path));
+  TraceWindow win(base, /*skip=*/400, /*warmup=*/224, /*simulate=*/300);
+  EXPECT_FALSE(win.warmup_done());
+  for (std::uint64_t i = 0; i < 224; ++i) {
+    ASSERT_NE(win.peek(), nullptr);
+    ASSERT_TRUE(records_equal(win.next(), t.records[400 + i]));
+  }
+  EXPECT_TRUE(win.warmup_done());
+  for (std::uint64_t i = 224; i < 524; ++i) {
+    ASSERT_NE(win.peek(), nullptr);
+    ASSERT_TRUE(records_equal(win.next(), t.records[400 + i]));
+  }
+  EXPECT_EQ(win.peek(), nullptr);  // limit reached mid-chunk
+  EXPECT_EQ(win.records_consumed(), 524u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWindow, BatchSourceMultiWindowConsumersStayIndependent) {
+  // A sweep gives every job its own BatchTraceSource over one
+  // SharedBatchCache; each job's TraceWindow seeks to a different
+  // region. Interleaved cursors must each see exactly their own slice.
+  const Trace t = chunked_trace("parser");
+  const std::string path = temp_path("window_batch_multi.rsim");
+  save_trace(t, path, /*chunk_records=*/512);
+
+  auto cache = std::make_shared<SharedBatchCache>(path, /*expected_consumers=*/2);
+  BatchTraceSource a(cache);
+  BatchTraceSource b(cache);
+  TraceWindow wa(a, /*skip=*/100, /*warmup=*/0, /*simulate=*/600);   // chunks 0-1
+  TraceWindow wb(b, /*skip=*/1700, /*warmup=*/0, /*simulate=*/500);  // chunks 3-4
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(records_equal(wa.next(), t.records[100 + i]));
+    ASSERT_TRUE(records_equal(wb.next(), t.records[1700 + i]));
+  }
+  for (std::uint64_t i = 500; i < 600; ++i) {
+    ASSERT_TRUE(records_equal(wa.next(), t.records[100 + i]));
+  }
+  EXPECT_EQ(wa.peek(), nullptr);
+  EXPECT_EQ(wb.peek(), nullptr);
+  EXPECT_EQ(wa.records_consumed(), 600u);
+  EXPECT_EQ(wb.records_consumed(), 500u);
   std::remove(path.c_str());
 }
 

@@ -14,6 +14,10 @@ Understood schemas (see docs/CI.md):
   BENCH_engine.json    micro_engine_throughput: minsts_per_sec per
                        workload/pipeline/backend grid point, plus the
                        identity_ok flag
+  BENCH_sampling.json  micro_sampling: sampled-vs-full speedup per
+                       workload/config point (accuracy metrics in the
+                       same file are gated separately by
+                       tools/check_sampling_accuracy.py, not here)
 
 Usage:
   tools/check_bench_regression.py --baseline bench/baselines/BENCH_sweep.json \
@@ -82,6 +86,13 @@ def metrics_of(doc, host_cores=None):
     if "engine_points" in doc:  # micro_engine_throughput
         for p in doc["engine_points"]:
             out[f"minsts_per_sec({p['name']})"] = p["minsts_per_sec"]
+    if "sampling_points" in doc:  # micro_sampling
+        # Only the wall-clock win is a throughput metric; the accuracy
+        # numbers (ipc_rel_err etc.) have their own gate with an
+        # absolute tolerance, where "20% worse than baseline" is the
+        # wrong question.
+        for p in doc["sampling_points"]:
+            out[f"speedup({p['name']})"] = p["speedup"]
     return out
 
 
@@ -103,6 +114,12 @@ def rebaseline(current_path, out_path, derate):
     for p in doc.get("engine_points", []):
         p["minsts_per_sec"] = round(p["minsts_per_sec"] * derate, 6)
         p["mcycles_per_sec"] = round(p["mcycles_per_sec"] * derate, 6)
+    for p in doc.get("sampling_points", []):
+        # Speedup is a same-run quotient, but scheduling jitter moves
+        # the two legs independently — derate like every other metric.
+        # Accuracy fields are reference-relative, not runner-relative:
+        # copy them through untouched.
+        p["speedup"] = round(p["speedup"] * derate, 6)
     doc["derated"] = derate
     with open(out_path, "w") as f:
         json.dump(doc, f, indent=2)
@@ -188,6 +205,28 @@ def self_test():
         rc, out = run("--baseline", fast8, "--current", fast8)
         check("multi-core runner still gates fan-out ratio",
               rc == 0 and "shared_decode_ratio" in out, out)
+
+        # sampling_points: speedup is gated, accuracy is not — a point
+        # whose error worsened but whose speedup held must still pass
+        # this gate (the accuracy gate owns the error).
+        samp_base = os.path.join(td, "BENCH_sampling_base.json")
+        with open(samp_base, "w") as f:
+            json.dump({"sampling_points": [
+                {"name": "gzip/perfect", "speedup": 6.0, "ipc_rel_err": 0.01}]}, f)
+        samp_ok = os.path.join(td, "BENCH_sampling_ok.json")
+        with open(samp_ok, "w") as f:
+            json.dump({"sampling_points": [
+                {"name": "gzip/perfect", "speedup": 6.5, "ipc_rel_err": 0.9}]}, f)
+        samp_slow = os.path.join(td, "BENCH_sampling_slow.json")
+        with open(samp_slow, "w") as f:
+            json.dump({"sampling_points": [
+                {"name": "gzip/perfect", "speedup": 1.0, "ipc_rel_err": 0.01}]}, f)
+        rc, out = run("--baseline", samp_base, "--current", samp_ok)
+        check("sampling speedup gated, accuracy ignored",
+              rc == 0 and "speedup(gzip/perfect)" in out, out)
+        rc, out = run("--baseline", samp_base, "--current", samp_slow)
+        check("sampling speedup regression trips the gate",
+              rc != 0 and "REGRESSED" in out, out)
 
         rc, out = run("--rebaseline", "--current", good,
                       "--out", os.path.join(td, "rb.json"), "--derate", "0.5")

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""CI accuracy gate for sampled simulation (docs/SAMPLING.md).
+
+Reads BENCH_sampling.json (written by bench/micro_sampling) and fails
+(exit 1) when any point's sampled IPC deviates from the full-run IPC by
+more than the pinned tolerance. Unlike the perf gate, the bound is
+ABSOLUTE, not baseline-relative: sampling accuracy is a property of the
+methodology (window count, warmup length, workload phase behavior), not
+of the runner, so "no worse than last time" is the wrong question —
+"close enough to the truth" is the contract. Stdlib only.
+
+The tolerance is pinned HERE, in one place, so loosening it is a
+reviewed diff of this file rather than a quiet baseline refresh.
+
+Usage:
+  tools/check_sampling_accuracy.py --current BENCH_sampling.json
+  tools/check_sampling_accuracy.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+# Maximum |sampled_ipc - full_ipc| / full_ipc per point. Measured errors
+# with the default plan (K=10 windows, ~10% coverage, W/4 warmup) sit
+# under 0.025 across the suite on both paper configurations; 0.05 leaves
+# 2x headroom for workload phase drift without letting a broken warmup
+# or a desynchronized window slip through.
+TOLERANCE = 0.05
+
+# The headline long-trace point must show a real wall-clock win: the
+# whole feature is pointless if sampling is not much faster than the
+# full run. Measured ~13x at 5% coverage; 5x is the floor the issue
+# pins.
+MIN_LONG_SPEEDUP = 5.0
+LONG_POINT = "gzip/long"
+
+
+def fail(msg):
+    print(f"ACCURACY GATE: FAIL: {msg}")
+    return 1
+
+
+def check(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        return fail(f"cannot read {path}: {e.strerror or e}")
+    except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        return fail(f"{path} is not valid JSON: {e}")
+
+    if doc.get("identity_ok") is False:
+        return fail("bench reported identity_ok=false (sampling nondeterminism)")
+    points = doc.get("sampling_points")
+    if not points:
+        return fail(f"no sampling_points in {path}")
+
+    bad = []
+    long_speedup = None
+    for p in points:
+        name, err = p.get("name", "?"), p.get("ipc_rel_err")
+        if err is None:
+            bad.append(f"{name}: missing ipc_rel_err")
+            continue
+        status = "OK" if err <= TOLERANCE else "EXCEEDS"
+        print(f"ACCURACY GATE: {name}: ipc_rel_err {err:.4f} "
+              f"(tolerance {TOLERANCE:g}) {status}")
+        if err > TOLERANCE:
+            bad.append(f"{name}: ipc_rel_err {err:.4f} > {TOLERANCE:g}")
+        if name == LONG_POINT:
+            long_speedup = p.get("speedup")
+
+    if long_speedup is None:
+        bad.append(f"headline point {LONG_POINT} missing")
+    else:
+        status = "OK" if long_speedup >= MIN_LONG_SPEEDUP else "TOO SLOW"
+        print(f"ACCURACY GATE: {LONG_POINT}: speedup {long_speedup:.2f} "
+              f"(floor {MIN_LONG_SPEEDUP:g}) {status}")
+        if long_speedup < MIN_LONG_SPEEDUP:
+            bad.append(f"{LONG_POINT}: speedup {long_speedup:.2f} "
+                       f"< {MIN_LONG_SPEEDUP:g}")
+
+    if bad:
+        for b in bad:
+            print(f"ACCURACY GATE: {b}")
+        return fail(f"{len(bad)} check(s) failed")
+    print("ACCURACY GATE: PASS")
+    return 0
+
+
+def self_test():
+    """Exercise the gate's failure modes exactly as CI would hit them."""
+    import os
+    import subprocess
+    import tempfile
+
+    def run(*argv):
+        p = subprocess.run([sys.executable, __file__, *argv],
+                           capture_output=True, text=True)
+        return p.returncode, p.stdout + p.stderr
+
+    def point(name, err, speedup):
+        return {"name": name, "ipc_rel_err": err, "speedup": speedup}
+
+    failures = []
+
+    def expect(name, cond, detail):
+        tag = "ok" if cond else "FAIL"
+        print(f"ACCURACY GATE SELF-TEST: {name}: {tag}")
+        if not cond:
+            failures.append(f"{name}: {detail}")
+
+    with tempfile.TemporaryDirectory() as td:
+        def write(leaf, doc):
+            path = os.path.join(td, leaf)
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            return path
+
+        good = write("good.json", {"identity_ok": True, "sampling_points": [
+            point("gzip/perfect", TOLERANCE / 2, 6.0),
+            point(LONG_POINT, TOLERANCE / 2, MIN_LONG_SPEEDUP * 2)]})
+        rc, out = run("--current", good)
+        expect("accurate run passes", rc == 0 and "ACCURACY GATE: PASS" in out, out)
+
+        inaccurate = write("inaccurate.json", {"sampling_points": [
+            point("gzip/perfect", TOLERANCE * 3, 6.0),
+            point(LONG_POINT, TOLERANCE / 2, MIN_LONG_SPEEDUP * 2)]})
+        rc, out = run("--current", inaccurate)
+        expect("excess error trips the gate", rc != 0 and "EXCEEDS" in out, out)
+
+        slow = write("slow.json", {"sampling_points": [
+            point(LONG_POINT, TOLERANCE / 2, MIN_LONG_SPEEDUP / 2)]})
+        rc, out = run("--current", slow)
+        expect("slow headline trips the gate", rc != 0 and "TOO SLOW" in out, out)
+
+        noheadline = write("noheadline.json", {"sampling_points": [
+            point("gzip/perfect", TOLERANCE / 2, 6.0)]})
+        rc, out = run("--current", noheadline)
+        expect("missing headline point trips the gate",
+               rc != 0 and LONG_POINT in out, out)
+
+        nondet = write("nondet.json", {"identity_ok": False, "sampling_points": [
+            point(LONG_POINT, 0.0, 10.0)]})
+        rc, out = run("--current", nondet)
+        expect("identity_ok=false trips the gate",
+               rc != 0 and "nondeterminism" in out, out)
+
+        bad = os.path.join(td, "bad.json")
+        with open(bad, "w") as f:
+            f.write('{"sampling_points": [')
+        rc, out = run("--current", bad)
+        expect("unparsable JSON fails with message",
+               rc != 0 and "not valid JSON" in out, out)
+
+        rc, out = run("--current", os.path.join(td, "missing.json"))
+        expect("missing file fails with message",
+               rc != 0 and "cannot read" in out, out)
+
+    if failures:
+        print("ACCURACY GATE SELF-TEST: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("ACCURACY GATE SELF-TEST: PASS")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", help="BENCH_sampling.json from this run")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the gate's own failure-mode checks and exit")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.current:
+        ap.error("--current is required unless --self-test")
+    return check(args.current)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

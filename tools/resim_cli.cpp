@@ -8,6 +8,7 @@
 //                   [--report] [--json FILE]
 //                   [--backend memory|stream|mmap] [--stream]
 //                   [--skip N --warmup N --max-records N]
+//                   [--intervals FILE] [--plan FILE]
 //   resim_cli stats --trace gzip.rsim [--backend memory|stream|mmap]
 //   resim_cli sweep --spec FILE [-j N] [--config FILE] [--set k=v]...
 //                   [--out FILE | --resume FILE] [--json FILE] [--csv-full FILE]
@@ -48,7 +49,9 @@
 #include "config/param_registry.hpp"
 #include "config/sweep_spec.hpp"
 #include "core/cmp.hpp"
+#include "core/interval.hpp"
 #include "driver/result_export.hpp"
+#include "driver/sampling.hpp"
 #include "driver/sweep_grid.hpp"
 #include "resim/resim.hpp"
 #include "serve/client.hpp"
@@ -282,64 +285,140 @@ int cmd_sim(const Args& a) {
       base = &*vec;
       break;
   }
+  // Sampled execution (sample.windows > 0 or --plan FILE) replaces the
+  // single --skip/--warmup window with the plan's own windows.
+  const bool sampled = cfg.sample.windows > 0 || has(a, "plan");
+  if (sampled && windowed) {
+    throw std::invalid_argument(
+        "--skip/--warmup/--max-records describe one window; sampled execution "
+        "(sample.windows > 0 or --plan) places its own windows");
+  }
+  if (has(a, "intervals") && cfg.sample.interval_insts == 0) {
+    throw std::invalid_argument(
+        "--intervals needs an interval length: --set sample.interval_insts=N");
+  }
+  core::IntervalRecorder intervals(cfg.sample.interval_insts);
+  core::IntervalRecorder* irec = cfg.sample.interval_insts > 0 ? &intervals : nullptr;
+
   std::optional<trace::TraceWindow> win;
   if (windowed) win.emplace(*base, skip, warmup, simulate);
   trace::TraceSource& src = win ? static_cast<trace::TraceSource&>(*win) : *base;
 
-  core::ReSimEngine eng(cfg, src);
+  const unsigned sched_latency =
+      core::PipelineSchedule::make(cfg.variant, cfg.width).latency();
   core::SimResult r;
-  std::uint64_t warm_committed = 0;
-  std::uint64_t warm_cycles = 0;
-  if (win && warmup > 0) {
-    // ChampSim-style region run: snapshot at the warm-up boundary so the
-    // measured region's IPC excludes cold-start transients.
-    while (!win->warmup_done() && eng.step_major_cycle()) {
-    }
-    const auto w = eng.result();
-    warm_committed = w.committed;
-    warm_cycles = w.major_cycles;
-    while (eng.step_major_cycle()) {
-    }
-    r = eng.result();
+  std::uint64_t effective_records = 0;  ///< incl. skipped/warmup (stderr Minsts/s)
+  const auto wall0 = std::chrono::steady_clock::now();
+  if (sampled) {
+    const driver::SamplingPlan plan =
+        has(a, "plan") ? driver::SamplingPlan::from_file(get(a, "plan", ""),
+                                                         base->total_records(),
+                                                         cfg.sample.window_insts,
+                                                         cfg.sample.warmup_insts)
+                       : driver::plan_from_config(cfg, *base);
+    const driver::SampledResult sr = driver::run_sampled(cfg, *base, plan, irec);
+    r = sr.result;
+    effective_records = sr.detailed_records + sr.warmup_records + sr.skipped_records;
+
+    std::cout << "trace " << name << ": sampled " << sr.windows.size() << " windows x "
+              << plan.window_records << " records (warmup " << plan.warmup_records
+              << "), " << 100.0 * sr.coverage() << "% of " << plan.total_records
+              << " records in detail\n"
+              << "engine: " << core::variant_name(cfg.variant) << " pipeline, "
+              << sched_latency << " minors/major\n"
+              << "sampled: detailed " << sr.detailed_records << " records, warmup "
+              << sr.warmup_records << ", chunk-skipped " << sr.skipped_records
+              << " unread\n"
+              << "estimate ipc " << sr.ipc.mean << " +/- " << sr.ipc.ci95
+              << " (95% CI over " << sr.windows.size() << " windows)\n"
+              << "estimate mpki " << sr.mpki.mean << " +/- " << sr.mpki.ci95 << '\n'
+              << "estimate branch_mpki " << sr.branch_mpki.mean << " +/- "
+              << sr.branch_mpki.ci95 << '\n';
   } else {
-    r = eng.run();
-  }
-
-  const auto& dev = fpga::device_by_name(get(a, "device", "xc4vlx40"));
-  const auto rpt = core::fpga_throughput(r, dev.minor_clock_mhz, eng.schedule().latency());
-
-  std::cout << "trace " << name << ": committed " << r.committed << " insts, "
-            << r.major_cycles << " cycles, IPC " << r.ipc() << '\n'
-            << "engine: " << core::variant_name(cfg.variant) << " pipeline, "
-            << eng.schedule().latency() << " minors/major, " << r.minor_cycles
-            << " minor cycles\n"
-            << dev.name << ": " << rpt.mips << " MIPS ("
-            << rpt.mips_processed << " incl. wrong path), trace feed "
-            << rpt.trace_mbytes_per_sec << " MB/s\n";
-  if (windowed) {
-    std::cout << "window: skipped " << skip << " records, warm-up " << warmup
-              << ", simulated " << r.trace_records << " records\n";
-    const std::uint64_t jumped = file   ? file->chunks_skipped()
-                                 : mapped ? mapped->chunks_skipped()
-                                          : 0;
-    if (file || mapped) {
-      std::cout << "window: chunk-skip seek jumped " << jumped << " chunks unread\n";
-    }
-  }
-  if (win && warmup > 0) {
-    if (win->records_consumed() < warmup) {
-      std::cout << "warning: trace ended during warm-up (" << win->records_consumed()
-                << " of " << warmup << " records); no measured region\n";
+    core::ReSimEngine eng(cfg, src);
+    eng.attach_interval_recorder(irec);
+    std::uint64_t warm_committed = 0;
+    std::uint64_t warm_cycles = 0;
+    if (win && warmup > 0) {
+      // ChampSim-style region run: snapshot at the warm-up boundary so the
+      // measured region's IPC excludes cold-start transients.
+      while (!win->warmup_done() && eng.step_major_cycle()) {
+      }
+      const auto w = eng.result();
+      warm_committed = w.committed;
+      warm_cycles = w.major_cycles;
+      while (eng.step_major_cycle()) {
+      }
+      r = eng.result();
     } else {
-      const auto m_committed = r.committed - warm_committed;
-      const auto m_cycles = r.major_cycles - warm_cycles;
-      std::cout << "measured region (post warm-up): committed " << m_committed
-                << " in " << m_cycles << " cycles, IPC "
-                << (m_cycles == 0 ? 0.0
-                                  : static_cast<double>(m_committed) /
-                                        static_cast<double>(m_cycles))
-                << '\n';
+      while (eng.step_major_cycle()) {
+      }
+      r = eng.result();
     }
+    eng.flush_intervals();
+    effective_records = skip + r.trace_records;
+
+    const auto& dev = fpga::device_by_name(get(a, "device", "xc4vlx40"));
+    const auto rpt = core::fpga_throughput(r, dev.minor_clock_mhz, eng.schedule().latency());
+
+    std::cout << "trace " << name << ": committed " << r.committed << " insts, "
+              << r.major_cycles << " cycles, IPC " << r.ipc() << '\n'
+              << "engine: " << core::variant_name(cfg.variant) << " pipeline, "
+              << eng.schedule().latency() << " minors/major, " << r.minor_cycles
+              << " minor cycles\n"
+              << dev.name << ": " << rpt.mips << " MIPS ("
+              << rpt.mips_processed << " incl. wrong path), trace feed "
+              << rpt.trace_mbytes_per_sec << " MB/s\n";
+    if (windowed) {
+      std::cout << "window: skipped " << skip << " records, warm-up " << warmup
+                << ", simulated " << r.trace_records << " records\n";
+      const std::uint64_t jumped = file   ? file->chunks_skipped()
+                                   : mapped ? mapped->chunks_skipped()
+                                            : 0;
+      if (file || mapped) {
+        std::cout << "window: chunk-skip seek jumped " << jumped << " chunks unread\n";
+      }
+    }
+    if (win && warmup > 0) {
+      if (win->records_consumed() < warmup) {
+        std::cout << "warning: trace ended during warm-up (" << win->records_consumed()
+                  << " of " << warmup << " records); no measured region\n";
+      } else {
+        const auto m_committed = r.committed - warm_committed;
+        const auto m_cycles = r.major_cycles - warm_cycles;
+        std::cout << "measured region (post warm-up): committed " << m_committed
+                  << " in " << m_cycles << " cycles, IPC "
+                  << (m_cycles == 0 ? 0.0
+                                    : static_cast<double>(m_committed) /
+                                          static_cast<double>(m_cycles))
+                  << '\n';
+      }
+    }
+  }
+  // Effective host throughput counts every record the run got past —
+  // skipped, warmed and simulated — so sampling wins are visible from
+  // the CLI. On stderr: the stdout report is a byte-identity surface
+  // (CI gates), and wall-clock timing is never reproducible.
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+  if (wall_s > 0.0) {
+    std::cerr << "timing: " << static_cast<double>(effective_records) / wall_s / 1e6
+              << " effective Minsts/s (" << effective_records << " records incl. "
+                 "skipped/warmup in " << wall_s << " s)\n";
+  }
+  if (has(a, "intervals")) {
+    const std::string ipath = get(a, "intervals", "");
+    std::ofstream f(ipath);
+    if (!f) throw std::runtime_error("cannot open output file: " + ipath);
+    const bool as_json =
+        ipath.size() >= 5 && ipath.compare(ipath.size() - 5, 5, ".json") == 0;
+    if (as_json) {
+      driver::write_intervals_json(f, intervals.rows(), cfg.sample.interval_insts);
+    } else {
+      driver::write_intervals_csv(f, intervals.rows());
+    }
+    std::cout << "intervals: wrote " << intervals.rows().size() << " x "
+              << cfg.sample.interval_insts << "-inst rows to " << ipath << '\n';
   }
   if (has(a, "report")) {
     std::cout << "\n-- statistics --\n" << r.stats.report();
@@ -822,6 +901,7 @@ int usage() {
       "           [--report] [--json FILE]\n"
       "           [--backend memory|stream|mmap] [--stream]\n"
       "           [--skip N] [--warmup N] [--max-records N]\n"
+      "           [--intervals FILE] [--plan FILE]\n"
       "  stats    --trace FILE [--backend memory|stream|mmap] [--stream]\n"
       "           [--config FILE] [--set key=value]...\n"
       "  sweep    [-j N] [--spec FILE | --bench NAME[,NAME..]|all [--widths 2,4,8]\n"
@@ -844,7 +924,10 @@ int usage() {
       "  vhdl     --out DIR [--pht N --hist N --btb N --ras N]\n"
       "--stream is shorthand for --backend stream; every backend produces\n"
       "bit-identical results. config and sweep-spec file grammars, and the\n"
-      "full parameter table: docs/CONFIG.md (or `resim_cli params`).\n";
+      "full parameter table: docs/CONFIG.md (or `resim_cli params`).\n"
+      "sampled execution: --set sample.windows=K [sample.window_insts=W\n"
+      "sample.warmup_insts=U], or --plan FILE; interval stats: --set\n"
+      "sample.interval_insts=N --intervals FILE (docs/SAMPLING.md).\n";
   return 2;
 }
 
